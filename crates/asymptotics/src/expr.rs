@@ -1,0 +1,323 @@
+//! Symbolic growth expressions of the form `c * n^a * (lg n)^b * (lg lg n)^d`.
+//!
+//! This is exactly the closed-form class appearing in the paper's Tables 1-4:
+//! machine bandwidths are `n^{(k-1)/k}`, `n/lg n`, `lg n`, `1`; maximum host
+//! sizes additionally pick up `lg lg` factors (e.g. Butterfly-class guests on
+//! an X-Tree host give `|H| = O(lg|G| * lg lg|G|)`). The class is closed under
+//! multiplication, division and rational powers, which is all the Efficient
+//! Emulation Theorem's algebra needs.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Div, Mul};
+
+use serde::{Deserialize, Serialize};
+
+use crate::rational::Rational;
+
+/// A growth function `coeff * n^pow_n * (lg n)^pow_lg * (lg lg n)^pow_lglg`.
+///
+/// `coeff` is a positive constant; asymptotic comparison ignores it but
+/// numeric evaluation uses it. Exponents are exact rationals.
+///
+/// ```
+/// use fcn_asymptotics::Asym;
+///
+/// // β of the de Bruijn graph over β of the 2-d mesh:
+/// let ratio = (Asym::n() / Asym::lg()) / Asym::n_pow(1, 2);
+/// assert_eq!(ratio.to_string(), "Θ(n^(1/2) * lg^-1 n)");
+/// assert!((ratio.eval(1024.0) - 32.0 / 10.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Asym {
+    pub coeff: f64,
+    pub pow_n: Rational,
+    pub pow_lg: Rational,
+    pub pow_lglg: Rational,
+}
+
+impl Asym {
+    /// Θ(1).
+    pub const fn one() -> Self {
+        Asym {
+            coeff: 1.0,
+            pow_n: Rational::ZERO,
+            pow_lg: Rational::ZERO,
+            pow_lglg: Rational::ZERO,
+        }
+    }
+
+    /// Θ(n).
+    pub fn n() -> Self {
+        Asym::one().with_pow_n(Rational::ONE)
+    }
+
+    /// Θ(lg n).
+    pub fn lg() -> Self {
+        Asym::one().with_pow_lg(Rational::ONE)
+    }
+
+    /// Θ(lg lg n).
+    pub fn lglg() -> Self {
+        Asym::one().with_pow_lglg(Rational::ONE)
+    }
+
+    /// Θ(n^{num/den}).
+    pub fn n_pow(num: i64, den: i64) -> Self {
+        Asym::one().with_pow_n(Rational::new(num, den))
+    }
+
+    /// Θ(lg^{num/den} n).
+    pub fn lg_pow(num: i64, den: i64) -> Self {
+        Asym::one().with_pow_lg(Rational::new(num, den))
+    }
+
+    pub fn with_coeff(mut self, c: f64) -> Self {
+        assert!(c > 0.0, "asymptotic coefficient must be positive");
+        self.coeff = c;
+        self
+    }
+
+    pub fn with_pow_n(mut self, p: Rational) -> Self {
+        self.pow_n = p;
+        self
+    }
+
+    pub fn with_pow_lg(mut self, p: Rational) -> Self {
+        self.pow_lg = p;
+        self
+    }
+
+    pub fn with_pow_lglg(mut self, p: Rational) -> Self {
+        self.pow_lglg = p;
+        self
+    }
+
+    /// Raise to an exact rational power.
+    pub fn pow(self, p: Rational) -> Self {
+        Asym {
+            coeff: self.coeff.powf(p.to_f64()),
+            pow_n: self.pow_n * p,
+            pow_lg: self.pow_lg * p,
+            pow_lglg: self.pow_lglg * p,
+        }
+    }
+
+    /// Multiplicative inverse (`Θ(1/f)`).
+    pub fn recip(self) -> Self {
+        Asym {
+            coeff: 1.0 / self.coeff,
+            pow_n: -self.pow_n,
+            pow_lg: -self.pow_lg,
+            pow_lglg: -self.pow_lglg,
+        }
+    }
+
+    /// Evaluate at `n` (uses `lg = log2`, clamped so small `n` stays finite).
+    ///
+    /// `lg n` is clamped below at 1 and `lg lg n` at 1, matching the usual
+    /// "for n large enough" reading of asymptotic forms and keeping negative
+    /// exponents well-defined at tiny sizes.
+    pub fn eval(&self, n: f64) -> f64 {
+        assert!(n >= 1.0, "asymptotic expressions evaluated for n >= 1");
+        let lg = n.log2().max(1.0);
+        let lglg = lg.log2().max(1.0);
+        self.coeff
+            * n.powf(self.pow_n.to_f64())
+            * lg.powf(self.pow_lg.to_f64())
+            * lglg.powf(self.pow_lglg.to_f64())
+    }
+
+    /// Compare asymptotic growth, ignoring the constant coefficient.
+    ///
+    /// Lexicographic in (pow_n, pow_lg, pow_lglg): e.g. `n/lg n` grows faster
+    /// than `sqrt(n) * lg^5 n` because 1 > 1/2 at the leading position.
+    pub fn cmp_growth(&self, other: &Asym) -> Ordering {
+        self.pow_n
+            .cmp(&other.pow_n)
+            .then(self.pow_lg.cmp(&other.pow_lg))
+            .then(self.pow_lglg.cmp(&other.pow_lglg))
+    }
+
+    /// True when the two expressions have identical exponents (same Θ-class).
+    pub fn same_class(&self, other: &Asym) -> bool {
+        self.cmp_growth(other) == Ordering::Equal
+    }
+
+    /// True for Θ(1) up to the constant.
+    pub fn is_constant(&self) -> bool {
+        self.pow_n.is_zero() && self.pow_lg.is_zero() && self.pow_lglg.is_zero()
+    }
+
+    /// True when the expression is nondecreasing in `n` for large `n`.
+    pub fn is_nondecreasing(&self) -> bool {
+        if self.pow_n.is_positive() {
+            return true;
+        }
+        if self.pow_n.is_negative() {
+            return false;
+        }
+        if self.pow_lg.is_positive() {
+            return true;
+        }
+        if self.pow_lg.is_negative() {
+            return false;
+        }
+        !self.pow_lglg.is_negative()
+    }
+
+    /// Render without the constant, e.g. `n^(2/3) * lg n` or `lg^2 n`.
+    pub fn theta_string(&self) -> String {
+        fn pow_str(p: Rational) -> String {
+            if p.is_integer() {
+                format!("{}", p.numerator())
+            } else {
+                format!("({p})")
+            }
+        }
+        fn factor(base: &str, p: Rational) -> Option<String> {
+            if p.is_zero() {
+                None
+            } else if p == Rational::ONE {
+                Some(base.to_string())
+            } else if base == "n" {
+                Some(format!("n^{}", pow_str(p)))
+            } else if base == "lg n" {
+                Some(format!("lg^{} n", pow_str(p)))
+            } else {
+                Some(format!("({base})^{}", pow_str(p)))
+            }
+        }
+        let parts: Vec<String> = [
+            factor("n", self.pow_n),
+            factor("lg n", self.pow_lg),
+            factor("lg lg n", self.pow_lglg),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        if parts.is_empty() {
+            "1".to_string()
+        } else {
+            parts.join(" * ")
+        }
+    }
+}
+
+impl Default for Asym {
+    fn default() -> Self {
+        Asym::one()
+    }
+}
+
+impl Mul for Asym {
+    type Output = Asym;
+    fn mul(self, rhs: Asym) -> Asym {
+        Asym {
+            coeff: self.coeff * rhs.coeff,
+            pow_n: self.pow_n + rhs.pow_n,
+            pow_lg: self.pow_lg + rhs.pow_lg,
+            pow_lglg: self.pow_lglg + rhs.pow_lglg,
+        }
+    }
+}
+
+impl Div for Asym {
+    type Output = Asym;
+    // Division is multiplication by the reciprocal by definition here.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: Asym) -> Asym {
+        self * rhs.recip()
+    }
+}
+
+impl fmt::Display for Asym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Θ({})", self.theta_string())
+    }
+}
+
+impl fmt::Debug for Asym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Asym[{} * {}]", self.coeff, self.theta_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_display() {
+        assert_eq!(Asym::one().to_string(), "Θ(1)");
+        assert_eq!(Asym::n().to_string(), "Θ(n)");
+        assert_eq!(Asym::n_pow(2, 3).to_string(), "Θ(n^(2/3))");
+        let de_bruijn_beta = Asym::n() / Asym::lg();
+        assert_eq!(de_bruijn_beta.to_string(), "Θ(n * lg^-1 n)");
+        assert_eq!(Asym::lg_pow(2, 1).to_string(), "Θ(lg^2 n)");
+        assert_eq!(
+            (Asym::lg() * Asym::lglg()).to_string(),
+            "Θ(lg n * lg lg n)"
+        );
+    }
+
+    #[test]
+    fn mul_div_pow() {
+        let mesh2 = Asym::n_pow(1, 2); // β of the 2-d mesh
+        let sq = mesh2.pow(Rational::int(2));
+        assert!(sq.same_class(&Asym::n()));
+        let ratio = (Asym::n() / Asym::lg()) / mesh2;
+        assert_eq!(ratio.pow_n, Rational::new(1, 2));
+        assert_eq!(ratio.pow_lg, Rational::int(-1));
+    }
+
+    #[test]
+    fn growth_ordering() {
+        let a = Asym::n() / Asym::lg(); // n / lg n
+        let b = Asym::n_pow(1, 2) * Asym::lg_pow(5, 1); // sqrt(n) lg^5 n
+        assert_eq!(a.cmp_growth(&b), Ordering::Greater);
+        let c = Asym::lg() * Asym::lglg();
+        assert_eq!(c.cmp_growth(&Asym::lg()), Ordering::Greater);
+        assert_eq!(c.cmp_growth(&Asym::lg_pow(2, 1)), Ordering::Less);
+    }
+
+    #[test]
+    fn eval_matches_math() {
+        let f = Asym::n_pow(1, 2).with_coeff(3.0);
+        assert!((f.eval(1024.0) - 3.0 * 32.0).abs() < 1e-9);
+        let g = Asym::n() / Asym::lg();
+        assert!((g.eval(1024.0) - 1024.0 / 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eval_clamps_small_n() {
+        // at n = 2, lg lg n would be 0; eval must stay finite and positive.
+        let f = Asym::one() / (Asym::lg() * Asym::lglg());
+        assert!(f.eval(2.0).is_finite());
+        assert!(f.eval(2.0) > 0.0);
+    }
+
+    #[test]
+    fn monotonicity_detection() {
+        assert!(Asym::n().is_nondecreasing());
+        assert!(Asym::lg().is_nondecreasing());
+        assert!((Asym::n() / Asym::lg()).is_nondecreasing());
+        assert!(!(Asym::one() / Asym::lg()).is_nondecreasing());
+        assert!(Asym::one().is_nondecreasing());
+        assert!(!(Asym::one() / Asym::lglg()).is_nondecreasing());
+    }
+
+    #[test]
+    fn recip_roundtrip() {
+        let f = Asym::n_pow(2, 3) * Asym::lg_pow(-1, 2);
+        let back = f.recip().recip();
+        assert!(f.same_class(&back));
+        assert!((f.coeff - back.coeff).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nonpositive_coeff_rejected() {
+        let _ = Asym::one().with_coeff(0.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Numeric and symbolic equation solving on growth expressions.
+//!
+//! Two solvers are provided:
+//!
+//! * a robust numeric monotone-function inverter (`invert_monotone`,
+//!   `crossover`) used by the empirical pipeline to locate the Figure 1
+//!   intersection of the load-induced and communication-induced slowdown
+//!   curves at concrete sizes; and
+//! * a symbolic solver (`solve_power_log`) for equations of the shape
+//!   `m^e * (lg m)^d * (lg lg m)^g = X(n)` — precisely the shape produced by
+//!   the Efficient Emulation Theorem when solving `N_G/N_H = β(G)/β(H)` for
+//!   the maximum host size. It returns the solution as an [`Asym`] in `n`.
+
+use crate::expr::Asym;
+use crate::rational::Rational;
+
+/// Invert a strictly monotone function on `[lo, hi]` by bisection.
+///
+/// Finds `x` with `f(x) ≈ target`. Works for increasing or decreasing `f`
+/// (detected from the endpoints). Returns the midpoint after `iters`
+/// bisections; callers choose `iters` ≈ 60 for full f64 precision.
+///
+/// # Panics
+/// Panics if `target` is not bracketed by `f(lo)` and `f(hi)`.
+pub fn invert_monotone(mut lo: f64, mut hi: f64, target: f64, f: impl Fn(f64) -> f64) -> f64 {
+    assert!(lo < hi, "invalid bracket [{lo}, {hi}]");
+    let flo = f(lo);
+    let fhi = f(hi);
+    let increasing = fhi >= flo;
+    let (mut a, mut b) = (flo, fhi);
+    if !increasing {
+        std::mem::swap(&mut a, &mut b);
+    }
+    assert!(
+        a <= target && target <= b,
+        "target {target} not bracketed by f({lo})={flo}, f({hi})={fhi}"
+    );
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        let v = f(mid);
+        let go_right = if increasing { v < target } else { v > target };
+        if go_right {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if (hi - lo) <= 1e-12 * hi.abs().max(1.0) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Find the crossing point of two functions on `[lo, hi]`.
+///
+/// Requires `f - g` to change sign exactly once on the bracket (monotone
+/// difference suffices, which holds for the Figure 1 curves: the load bound
+/// `n/m` is decreasing in `m` while the communication bound `β_G(n)/β_H(m)`
+/// is nonincreasing strictly slower — their ratio is monotone).
+pub fn crossover(lo: f64, hi: f64, f: impl Fn(f64) -> f64, g: impl Fn(f64) -> f64) -> f64 {
+    invert_monotone(lo, hi, 0.0, |x| f(x) - g(x))
+}
+
+/// Error cases for the symbolic power-log solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The left-hand side `m^e (lg m)^d ...` is not strictly increasing in
+    /// `m`, so the equation has no unique meaningful solution.
+    NotMonotone,
+    /// `e = 0` with a nonzero `lg m` exponent and `X` not a pure power of
+    /// `lg n`: the solution leaves the `n^a lg^b n (lg lg n)^c` class.
+    OutsideClass,
+    /// The right-hand side shrinks with `n`; the host would be sublinear in a
+    /// way that makes the emulation question degenerate.
+    ShrinkingRhs,
+}
+
+/// Solve `m^e * (lg m)^d * (lg lg m)^g = X(n)` for `m` as a growth class.
+///
+/// The solver substitutes the correct scale of `lg m` depending on whether
+/// `m` is polynomial, polylogarithmic, or poly-log-log in `n`, which is how
+/// the paper's Tables 1-3 pick up their `lg` and `lg lg` factors:
+///
+/// * `X` polynomial in `n`  ⇒ `lg m = Θ(lg n)`, `lg lg m = Θ(lg lg n)`;
+/// * `X` polylog in `n`     ⇒ `lg m = Θ(lg lg n)`, `lg lg m = Θ(1)`;
+/// * `X` poly-log-log       ⇒ `lg m = Θ(lg lg lg n) = Θ(1)` at this precision.
+///
+/// The special case `e = 0, d > 0` (a Butterfly-class host, where
+/// `m / β_H(m) = lg m`) is handled when `X = κ·lg n`: then `m = n^κ`.
+///
+/// ```
+/// use fcn_asymptotics::{solve_power_log, Asym, Rational};
+///
+/// // de Bruijn guest on a 2-d mesh host: m^(1/2) = lg n ⇒ m = lg² n.
+/// let m = solve_power_log(Rational::new(1, 2), Rational::ZERO, Rational::ZERO, Asym::lg())
+///     .unwrap();
+/// assert!(m.same_class(&Asym::lg_pow(2, 1)));
+/// ```
+pub fn solve_power_log(
+    e: Rational,
+    d: Rational,
+    g: Rational,
+    x: Asym,
+) -> Result<Asym, SolveError> {
+    if e.is_negative() {
+        return Err(SolveError::NotMonotone);
+    }
+    if e.is_zero() {
+        // lhs = (lg m)^d (lg lg m)^g. Only the paper-relevant case
+        // d > 0, g = 0, X = κ lg^k n is supported: m = 2^(X^{1/d}).
+        if !d.is_positive() || !g.is_zero() {
+            return Err(SolveError::NotMonotone);
+        }
+        let xroot = x.pow(d.recip());
+        // m = 2^{xroot}. Stays in class only if xroot = κ·lg n (⇒ m = n^κ)
+        // or xroot = κ·lg lg n (⇒ m = lg^κ n).
+        if xroot.pow_n.is_zero() && xroot.pow_lg == Rational::ONE && xroot.pow_lglg.is_zero() {
+            return Ok(Asym::one().with_pow_n(Rational::int(1)).with_coeff(1.0));
+        }
+        if xroot.pow_n.is_zero() && xroot.pow_lg.is_zero() && xroot.pow_lglg == Rational::ONE {
+            return Ok(Asym::one().with_pow_lg(Rational::int(1)).with_coeff(1.0));
+        }
+        return Err(SolveError::OutsideClass);
+    }
+
+    // m = (X / ((lg m)^d (lg lg m)^g))^{1/e}; substitute scales for lg m.
+    let (lg_m, lglg_m): (Asym, Asym) = if x.pow_n.is_positive() {
+        (Asym::lg(), Asym::lglg())
+    } else if x.pow_n.is_zero() && x.pow_lg.is_positive() {
+        (Asym::lglg(), Asym::one())
+    } else if x.pow_n.is_zero() && x.pow_lg.is_zero() && !x.pow_lglg.is_negative() {
+        (Asym::one(), Asym::one())
+    } else {
+        return Err(SolveError::ShrinkingRhs);
+    };
+    let denom = lg_m.pow(d) * lglg_m.pow(g);
+    Ok((x / denom).pow(e.recip()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invert_increasing() {
+        let x = invert_monotone(1.0, 1e9, 4096.0, |m| m.sqrt());
+        assert!((x - 4096.0f64.powi(2)).abs() / x < 1e-9);
+    }
+
+    #[test]
+    fn invert_decreasing() {
+        let x = invert_monotone(1.0, 1e6, 0.001, |m| 1.0 / m);
+        assert!((x - 1000.0).abs() / x < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "not bracketed")]
+    fn invert_requires_bracket() {
+        invert_monotone(1.0, 10.0, 1000.0, |m| m);
+    }
+
+    #[test]
+    fn crossover_of_figure1_shape() {
+        // load bound n/m vs communication bound β_G(n)/β_H(m) for the intro
+        // example: n = 2^20 de Bruijn on a 2-d mesh. Crossover at m = lg^2 n.
+        let n: f64 = (1u64 << 20) as f64;
+        let lgn = n.log2();
+        let load = move |m: f64| n / m;
+        let comm = move |m: f64| (n / lgn) / m.sqrt();
+        let m_star = crossover(1.0, n, load, comm);
+        assert!((m_star - lgn * lgn).abs() / m_star < 1e-6);
+    }
+
+    #[test]
+    fn symbolic_de_bruijn_on_mesh2() {
+        // n/m = (n/lg n)/sqrt(m)  ⇔  m^{1/2} = lg n  ⇒ m = lg^2 n.
+        let x = Asym::lg();
+        let m = solve_power_log(Rational::new(1, 2), Rational::ZERO, Rational::ZERO, x).unwrap();
+        assert!(m.same_class(&Asym::lg_pow(2, 1)));
+    }
+
+    #[test]
+    fn symbolic_mesh3_on_linear_array() {
+        // guest Mesh_3: β_G = n^{2/3}, host β_H = 1:
+        // n/m = n^{2/3} ⇒ m = n^{1/3}.
+        let x = Asym::n_pow(1, 3);
+        let m = solve_power_log(Rational::ONE, Rational::ZERO, Rational::ZERO, x).unwrap();
+        assert!(m.same_class(&Asym::n_pow(1, 3)));
+    }
+
+    #[test]
+    fn symbolic_mesh_on_xtree_gains_lg_factor() {
+        // guest Mesh_j, host X-Tree (β_H = lg m): m / lg m = n^{1/j}
+        // ⇒ m = n^{1/j} lg n.
+        let x = Asym::n_pow(1, 2);
+        let m = solve_power_log(Rational::ONE, Rational::int(-1), Rational::ZERO, x).unwrap();
+        assert!(m.same_class(&(Asym::n_pow(1, 2) * Asym::lg())));
+    }
+
+    #[test]
+    fn symbolic_butterfly_on_xtree_gains_lglg() {
+        // guest Butterfly (β_G = n/lg n), host X-Tree: m / lg m = lg n
+        // ⇒ m = lg n * lg lg n.
+        let x = Asym::lg();
+        let m = solve_power_log(Rational::ONE, Rational::int(-1), Rational::ZERO, x).unwrap();
+        assert!(m.same_class(&(Asym::lg() * Asym::lglg())));
+    }
+
+    #[test]
+    fn symbolic_butterfly_on_butterfly_full_size() {
+        // host Butterfly-class: m/β_H(m) = lg m; guest same: X = lg n ⇒ m = n.
+        let m = solve_power_log(
+            Rational::ZERO,
+            Rational::ONE,
+            Rational::ZERO,
+            Asym::lg(),
+        )
+        .unwrap();
+        assert!(m.same_class(&Asym::n()));
+    }
+
+    #[test]
+    fn degenerate_cases_rejected() {
+        assert_eq!(
+            solve_power_log(
+                Rational::int(-1),
+                Rational::ZERO,
+                Rational::ZERO,
+                Asym::n()
+            ),
+            Err(SolveError::NotMonotone)
+        );
+        assert_eq!(
+            solve_power_log(
+                Rational::ONE,
+                Rational::ZERO,
+                Rational::ZERO,
+                Asym::one() / Asym::n()
+            ),
+            Err(SolveError::ShrinkingRhs)
+        );
+    }
+
+    #[test]
+    fn numeric_agrees_with_symbolic() {
+        // m / lg m = lg n at n = 2^32: numeric root vs symbolic lg n lg lg n.
+        let n: f64 = 2f64.powi(32);
+        let target = n.log2();
+        let m_num = invert_monotone(2.0, 1e9, target, |m| m / m.log2());
+        let m_sym = (Asym::lg() * Asym::lglg()).eval(n);
+        // Same class: ratio bounded by a small constant.
+        let ratio = m_num / m_sym;
+        assert!(ratio > 0.3 && ratio < 3.0, "ratio {ratio}");
+    }
+}

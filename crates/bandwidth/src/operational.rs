@@ -1,0 +1,158 @@
+//! Operational bandwidth estimation: the measured side of `β`.
+//!
+//! Runs independent saturation sweeps (different seeds) in parallel threads
+//! and combines them into a [`BandwidthEstimate`]. The paper's `β` is the
+//! `m → ∞` expected rate; at finite size we report the best plateau across
+//! trials together with the per-trial samples so downstream fitting can see
+//! the spread.
+
+use fcn_multigraph::Traffic;
+use fcn_routing::{saturation_sweep, RateSample, RouterConfig, Strategy};
+use fcn_topology::Machine;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for operational bandwidth estimation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BandwidthEstimator {
+    /// Batch sizes as multiples of the traffic population `n`.
+    pub multipliers: Vec<usize>,
+    /// Routing strategy.
+    pub strategy: Strategy,
+    /// Router configuration (discipline, tick budget).
+    pub router: RouterConfig,
+    /// Independent trials (different seeds), run in parallel threads.
+    pub trials: usize,
+    /// Base seed; trial `i` uses `seed + 1000·i`.
+    pub seed: u64,
+}
+
+impl Default for BandwidthEstimator {
+    fn default() -> Self {
+        BandwidthEstimator {
+            multipliers: vec![2, 4, 8],
+            strategy: Strategy::ShortestPath,
+            router: RouterConfig::default(),
+            trials: 3,
+            seed: 0xbead,
+        }
+    }
+}
+
+/// Result of operational estimation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BandwidthEstimate {
+    /// Best completed plateau rate across trials — the β̂ sample.
+    pub rate: f64,
+    /// Mean of per-trial plateau rates (spread indicator).
+    pub mean_rate: f64,
+    /// All samples from all trials.
+    pub samples: Vec<RateSample>,
+    /// Number of trials whose sweeps all completed.
+    pub complete_trials: usize,
+}
+
+impl BandwidthEstimator {
+    /// Estimate the delivery rate of `machine` under `traffic`.
+    pub fn estimate(&self, machine: &Machine, traffic: &Traffic) -> BandwidthEstimate {
+        assert!(self.trials >= 1 && !self.multipliers.is_empty());
+        let results: Mutex<Vec<(usize, Vec<RateSample>)>> = Mutex::new(Vec::new());
+        crossbeam::thread::scope(|scope| {
+            for trial in 0..self.trials {
+                let results = &results;
+                let seed = self.seed.wrapping_add(1000 * trial as u64);
+                scope.spawn(move |_| {
+                    let samples = saturation_sweep(
+                        machine,
+                        traffic,
+                        &self.multipliers,
+                        self.strategy,
+                        self.router,
+                        seed,
+                    );
+                    results.lock().push((trial, samples));
+                });
+            }
+        })
+        .expect("bandwidth estimation thread panicked");
+
+        let mut by_trial = results.into_inner();
+        by_trial.sort_by_key(|(t, _)| *t);
+        let mut all = Vec::new();
+        let mut plateaus = Vec::new();
+        let mut complete_trials = 0;
+        for (_, samples) in by_trial {
+            if samples.iter().all(|s| s.completed) {
+                complete_trials += 1;
+            }
+            if let Some(p) = fcn_routing::plateau_rate(&samples) {
+                plateaus.push(p);
+            }
+            all.extend(samples);
+        }
+        assert!(
+            !plateaus.is_empty(),
+            "no trial completed within the tick budget; raise router.max_ticks"
+        );
+        let rate = plateaus.iter().cloned().fold(0.0, f64::max);
+        let mean_rate = plateaus.iter().sum::<f64>() / plateaus.len() as f64;
+        BandwidthEstimate {
+            rate,
+            mean_rate,
+            samples: all,
+            complete_trials,
+        }
+    }
+
+    /// Estimate under the machine's own symmetric traffic — `β̂(M)`.
+    pub fn estimate_symmetric(&self, machine: &Machine) -> BandwidthEstimate {
+        self.estimate(machine, &machine.symmetric_traffic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcn_topology::Machine;
+
+    fn quick() -> BandwidthEstimator {
+        BandwidthEstimator {
+            multipliers: vec![2, 4],
+            trials: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn estimates_are_positive_and_complete() {
+        let m = Machine::mesh(2, 8);
+        let est = quick().estimate_symmetric(&m);
+        assert!(est.rate > 0.0);
+        assert!(est.complete_trials == 2);
+        assert_eq!(est.samples.len(), 4);
+        assert!(est.mean_rate <= est.rate + 1e-12);
+    }
+
+    #[test]
+    fn mesh_estimate_tracks_sqrt_n() {
+        let e8 = quick().estimate_symmetric(&Machine::mesh(2, 8)).rate;
+        let e16 = quick().estimate_symmetric(&Machine::mesh(2, 16)).rate;
+        let ratio = e16 / e8;
+        assert!(ratio > 1.3 && ratio < 3.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn trials_are_deterministic_for_fixed_seed() {
+        let m = Machine::de_bruijn(4);
+        let a = quick().estimate_symmetric(&m);
+        let b = quick().estimate_symmetric(&m);
+        assert_eq!(a.rate, b.rate);
+        assert_eq!(a.samples.len(), b.samples.len());
+    }
+
+    #[test]
+    fn bus_saturates_at_unit_rate() {
+        let est = quick().estimate_symmetric(&Machine::global_bus(16));
+        assert!(est.rate <= 1.05, "bus rate {}", est.rate);
+    }
+}

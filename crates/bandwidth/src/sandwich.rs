@@ -1,0 +1,218 @@
+//! The bandwidth sandwich: measured lower estimate vs certified flux upper
+//! bound vs analytic Θ-form.
+//!
+//! The paper proves its Θ entries with an explicit-embedding lower bound and
+//! a flux upper bound; we do the same at finite sizes. A
+//! [`BandwidthSandwich`] per (machine, size) is the data row behind the
+//! Table 4 reproduction, and [`sweep_family`] collects rows across sizes for
+//! exponent fitting.
+
+use fcn_asymptotics::fit::{classify_growth, classify_growth_offset, table4_candidates};
+use fcn_asymptotics::{fit_power_log, Asym, PowerLogFit};
+use fcn_multigraph::Traffic;
+use fcn_topology::{Family, Machine};
+use serde::{Deserialize, Serialize};
+
+use crate::flux::{flux_upper_bound, FluxBound};
+use crate::operational::{BandwidthEstimate, BandwidthEstimator};
+
+/// One machine-size data point of the Table 4 reproduction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BandwidthSandwich {
+    pub machine: String,
+    pub family: String,
+    /// Processor count.
+    pub n: usize,
+    /// Measured delivery rate (achievable ⇒ lower estimate of β).
+    pub measured: f64,
+    /// Certified flux upper bound.
+    pub flux_bound: f64,
+    /// Analytic Θ-form evaluated at `n` (unit constant).
+    pub analytic: f64,
+    /// Diameter (λ-side check).
+    pub diameter: u32,
+    /// Mean pairwise distance.
+    pub avg_distance: f64,
+}
+
+/// Measure one machine completely.
+pub fn sandwich(
+    machine: &Machine,
+    estimator: &BandwidthEstimator,
+    seed: u64,
+) -> BandwidthSandwich {
+    let traffic: Traffic = machine.symmetric_traffic();
+    let est: BandwidthEstimate = estimator.estimate(machine, &traffic);
+    let flux: FluxBound = flux_upper_bound(machine, &traffic, seed, 4, 2);
+    let mut srng = {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(seed)
+    };
+    let dstats = fcn_multigraph::distance_stats(machine.graph(), 2048, 16, &mut srng);
+    BandwidthSandwich {
+        machine: machine.name().to_string(),
+        family: machine.family().id(),
+        n: machine.processors(),
+        measured: est.rate,
+        flux_bound: flux.rate_bound,
+        analytic: machine.beta_at_size(),
+        diameter: dstats.diameter,
+        avg_distance: dstats.avg_distance,
+    }
+}
+
+/// Sweep a family across target sizes and fit the measured-β exponents.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FamilySweep {
+    pub family: String,
+    pub rows: Vec<BandwidthSandwich>,
+    /// Log-log fit of measured rate vs n (free exponents; informational).
+    pub beta_fit: PowerLogFit,
+    /// Best-fitting Table 4 class for the measured rates, with its RMS
+    /// residual in lg units. This is the robust classification: exponent
+    /// decomposition over narrow size ranges is ill-conditioned, so we score
+    /// the discrete hypotheses instead.
+    pub beta_class: Asym,
+    pub beta_class_residual: f64,
+    /// Best-fitting class for the certified flux upper bounds. Flux bounds
+    /// are deterministic (cut capacities), so this column is noise-free and
+    /// resolves class calls the measured series leaves ambiguous (e.g.
+    /// n/lg n vs n^(3/4), which differ by < 13% below n ≈ 4096).
+    pub flux_class: Asym,
+    pub flux_class_residual: f64,
+    /// Best-fitting class for the measured diameters (the λ side).
+    pub lambda_class: Asym,
+    pub lambda_class_residual: f64,
+    /// Log-log fit of measured diameter vs n (free; informational).
+    pub lambda_fit: PowerLogFit,
+}
+
+/// Run the sweep. `targets` are processor-count targets (the registry picks
+/// the closest legal instance; duplicate instances are dropped).
+pub fn sweep_family(
+    family: Family,
+    targets: &[usize],
+    estimator: &BandwidthEstimator,
+    seed: u64,
+) -> FamilySweep {
+    // Build first (fast, and dedups sizes deterministically)...
+    let mut machines: Vec<(usize, Machine)> = Vec::new();
+    for (i, &t) in targets.iter().enumerate() {
+        let machine = family.build_near(t, seed.wrapping_add(i as u64));
+        if machines
+            .iter()
+            .any(|(_, m)| m.processors() == machine.processors())
+        {
+            continue; // duplicate legal size
+        }
+        machines.push((i, machine));
+    }
+    // ... then measure the sizes in parallel: each sandwich is independent
+    // and the largest sizes dominate the wall clock.
+    let results: parking_lot::Mutex<Vec<(usize, BandwidthSandwich)>> =
+        parking_lot::Mutex::new(Vec::new());
+    crossbeam::thread::scope(|scope| {
+        for (i, machine) in &machines {
+            let results = &results;
+            scope.spawn(move |_| {
+                let row = sandwich(machine, estimator, seed.wrapping_add(100 + *i as u64));
+                results.lock().push((*i, row));
+            });
+        }
+    })
+    .expect("sweep thread panicked");
+    let mut rows: Vec<BandwidthSandwich> = {
+        let mut v = results.into_inner();
+        v.sort_by_key(|(i, _)| *i);
+        v.into_iter().map(|(_, r)| r).collect()
+    };
+    rows.sort_by_key(|r| r.n);
+    assert!(rows.len() >= 2, "need at least two distinct sizes to fit");
+    let beta_samples: Vec<(f64, f64)> = rows
+        .iter()
+        .map(|r| (r.n as f64, r.measured.max(1e-9)))
+        .collect();
+    // λ classification uses the mean pairwise distance: it is Θ(diameter)
+    // for every Table 4 family but varies smoothly with size, whereas the
+    // diameter is a step function whose rounding confuses the classifier
+    // over narrow ranges.
+    let lambda_samples: Vec<(f64, f64)> = rows
+        .iter()
+        .map(|r| (r.n as f64, r.avg_distance.max(1.0)))
+        .collect();
+    let flux_samples: Vec<(f64, f64)> = rows
+        .iter()
+        .map(|r| (r.n as f64, r.flux_bound.max(1e-9)))
+        .collect();
+    let candidates = table4_candidates();
+    let (beta_class, beta_class_residual) = classify_growth(&beta_samples, &candidates);
+    let (flux_class, flux_class_residual) =
+        classify_growth_offset(&flux_samples, &candidates);
+    let (lambda_class, lambda_class_residual) =
+        classify_growth_offset(&lambda_samples, &candidates);
+    FamilySweep {
+        family: family.id(),
+        beta_fit: fit_power_log(&beta_samples),
+        beta_class,
+        beta_class_residual,
+        flux_class,
+        flux_class_residual,
+        lambda_class,
+        lambda_class_residual,
+        lambda_fit: fit_power_log(&lambda_samples),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> BandwidthEstimator {
+        BandwidthEstimator {
+            multipliers: vec![2, 4],
+            trials: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sandwich_orders_hold() {
+        // measured <= flux bound (soundness of both sides).
+        for m in [
+            Machine::mesh(2, 8),
+            Machine::tree(5),
+            Machine::butterfly(3),
+        ] {
+            let s = sandwich(&m, &quick(), 3);
+            assert!(
+                s.measured <= s.flux_bound + 1e-9,
+                "{}: {} > {}",
+                s.machine,
+                s.measured,
+                s.flux_bound
+            );
+            assert!(s.diameter > 0);
+        }
+    }
+
+    #[test]
+    fn sweep_classifies_mesh_as_sqrt_n() {
+        use fcn_asymptotics::Rational;
+        let sweep = sweep_family(Family::Mesh(2), &[64, 144, 256, 576, 1024], &quick(), 9);
+        assert!(sweep.rows.len() >= 4);
+        // β ~ n^{1/2} and λ ~ n^{1/2} are the winning Table 4 classes.
+        assert_eq!(sweep.beta_class.pow_n, Rational::new(1, 2), "{:?}", sweep.beta_class);
+        assert!(sweep.beta_class.pow_lg.is_zero());
+        assert_eq!(sweep.lambda_class.pow_n, Rational::new(1, 2));
+    }
+
+    #[test]
+    fn sweep_dedupes_equal_sizes() {
+        let sweep = sweep_family(Family::Tree, &[60, 63, 64, 255], &quick(), 4);
+        let mut ns: Vec<usize> = sweep.rows.iter().map(|r| r.n).collect();
+        let before = ns.len();
+        ns.dedup();
+        assert_eq!(ns.len(), before);
+    }
+}

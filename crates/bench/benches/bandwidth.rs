@@ -1,0 +1,37 @@
+//! Criterion benchmarks for bandwidth estimation (E-T4): operational
+//! saturation sweeps and flux bound search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fcn_bandwidth::{flux_upper_bound, BandwidthEstimator};
+use fcn_topology::Machine;
+
+fn bench_operational(c: &mut Criterion) {
+    let mut group = c.benchmark_group("operational_beta");
+    group.sample_size(10);
+    let est = BandwidthEstimator {
+        multipliers: vec![2, 4],
+        trials: 2,
+        ..Default::default()
+    };
+    for m in [Machine::mesh(2, 8), Machine::de_bruijn(6), Machine::xtree(5)] {
+        group.bench_with_input(BenchmarkId::from_parameter(m.name()), &m, |b, m| {
+            b.iter(|| est.estimate_symmetric(m).rate)
+        });
+    }
+    group.finish();
+}
+
+fn bench_flux(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flux_bound");
+    group.sample_size(10);
+    for m in [Machine::mesh(2, 16), Machine::butterfly(4)] {
+        let t = m.symmetric_traffic();
+        group.bench_with_input(BenchmarkId::from_parameter(m.name()), &m, |b, m| {
+            b.iter(|| flux_upper_bound(m, &t, 1, 4, 2).rate_bound)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operational, bench_flux);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion benchmarks for circuit construction and the Lemma 9 witness
+//! (the Figure 2 substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fcn_core::{build_witness, Circuit, Lemma9Config};
+use fcn_topology::Machine;
+
+fn bench_circuit_build(c: &mut Criterion) {
+    let m = Machine::mesh(2, 8);
+    c.bench_function("nonredundant_circuit_mesh64_t32", |b| {
+        b.iter(|| Circuit::nonredundant(m.graph(), 32).node_count())
+    });
+    c.bench_function("redundant_circuit_mesh64_t32", |b| {
+        b.iter(|| Circuit::redundant_random(m.graph(), 32, 3, 5).node_count())
+    });
+}
+
+fn bench_lemma9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma9_witness");
+    group.sample_size(10);
+    for m in [Machine::ring(16), Machine::mesh(2, 5), Machine::de_bruijn(4)] {
+        group.bench_with_input(BenchmarkId::from_parameter(m.name()), &m, |b, m| {
+            b.iter(|| build_witness(m.graph(), Lemma9Config::default()).gamma_edges)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_circuit_build, bench_lemma9);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmarks for the emulation strategies (Figure 1 / E-X3
+//! substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fcn_core::{block_mesh_emulation, direct_emulation, EmulationConfig};
+use fcn_topology::Machine;
+
+fn bench_direct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("direct_emulation");
+    group.sample_size(10);
+    let guest = Machine::de_bruijn(7);
+    for host in [Machine::mesh(2, 3), Machine::mesh(2, 6)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(host.name()),
+            &host,
+            |b, host| {
+                let cfg = EmulationConfig {
+                    sample_steps: 1,
+                    ..Default::default()
+                };
+                b.iter(|| direct_emulation(&guest, host, 4, &cfg).host_ticks())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_emulation");
+    group.sample_size(10);
+    let host = Machine::mesh(2, 4);
+    for w in [1u32, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
+            let cfg = EmulationConfig {
+                sample_steps: 1,
+                ..Default::default()
+            };
+            b.iter(|| block_mesh_emulation(2, 32, &host, w, 8, &cfg).host_ticks())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_direct, bench_block);
+criterion_main!(benches);

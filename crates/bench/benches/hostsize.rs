@@ -1,0 +1,38 @@
+//! Criterion benchmarks for the host-size solver (Tables 1–3 machinery).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcn_core::{generate_table, max_host_size, numeric_host_size, table3_spec};
+use fcn_topology::Family;
+
+fn bench_symbolic(c: &mut Criterion) {
+    c.bench_function("symbolic_max_host_size", |b| {
+        b.iter(|| {
+            let mut cells = 0;
+            for guest in [Family::Mesh(3), Family::DeBruijn, Family::Pyramid(2)] {
+                for host in [Family::LinearArray, Family::XTree, Family::Mesh(2)] {
+                    let _ = max_host_size(&guest, &host);
+                    cells += 1;
+                }
+            }
+            cells
+        })
+    });
+}
+
+fn bench_numeric(c: &mut Criterion) {
+    c.bench_function("numeric_crossover", |b| {
+        b.iter(|| numeric_host_size(&Family::DeBruijn, &Family::Mesh(2), (1u64 << 20) as f64))
+    });
+}
+
+fn bench_full_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_table3");
+    group.sample_size(10);
+    group.bench_function("dims_1_2_3", |b| {
+        b.iter(|| generate_table(table3_spec(&[1, 2, 3]), &[1 << 16, 1 << 20]).cells.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_symbolic, bench_numeric, bench_full_table);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks for the algorithm-pattern extension (E-X4) and the
+//! steady-state estimator (E-X5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fcn_core::{execute_pattern, CommPattern};
+use fcn_routing::{saturation_throughput, RouterConfig, SteadyConfig};
+use fcn_topology::Machine;
+
+fn bench_pattern_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pattern_execution");
+    group.sample_size(10);
+    let host = Machine::mesh(2, 6);
+    for p in [
+        CommPattern::fft(5),
+        CommPattern::odd_even_sort(32),
+        CommPattern::all_to_all(32),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(&p.name), &p, |b, p| {
+            b.iter(|| execute_pattern(p, &host, RouterConfig::default(), 1).ticks_measured)
+        });
+    }
+    group.finish();
+}
+
+fn bench_pattern_construction(c: &mut Criterion) {
+    c.bench_function("build_fft_pattern_g10", |b| {
+        b.iter(|| CommPattern::fft(10).message_count())
+    });
+    c.bench_function("build_odd_even_n256", |b| {
+        b.iter(|| CommPattern::odd_even_sort(256).message_count())
+    });
+}
+
+fn bench_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steady_state_saturation");
+    group.sample_size(10);
+    let cfg = SteadyConfig {
+        warmup_ticks: 64,
+        measure_ticks: 256,
+        ..Default::default()
+    };
+    for m in [Machine::mesh(2, 8), Machine::de_bruijn(6)] {
+        let t = m.symmetric_traffic();
+        group.bench_with_input(BenchmarkId::from_parameter(m.name()), &m, |b, m| {
+            b.iter(|| saturation_throughput(m, &t, cfg).0)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pattern_execution,
+    bench_pattern_construction,
+    bench_steady_state
+);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks for the packet router (E-T4 substrate):
+//! batch routing throughput per machine family and per queue discipline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fcn_routing::{route_batch, PathOracle, QueueDiscipline, RouterConfig, Strategy};
+use fcn_topology::Machine;
+
+fn machines() -> Vec<Machine> {
+    vec![
+        Machine::mesh(2, 16),
+        Machine::de_bruijn(8),
+        Machine::butterfly(5),
+        Machine::tree(7),
+    ]
+}
+
+fn bench_route_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_batch");
+    group.sample_size(10);
+    for m in machines() {
+        let traffic = m.symmetric_traffic();
+        let mut oracle = PathOracle::new(m.graph(), 42);
+        let demands: Vec<_> = {
+            let rng = oracle.rng();
+            (0..4 * traffic.n()).map(|_| traffic.sample(rng)).collect()
+        };
+        let routes = oracle.routes(&demands, Strategy::ShortestPath);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(m.name()),
+            &routes,
+            |b, routes| {
+                b.iter(|| {
+                    let out = route_batch(&m, routes.clone(), RouterConfig::default());
+                    assert!(out.completed);
+                    out.ticks
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_disciplines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_discipline");
+    group.sample_size(10);
+    let m = Machine::mesh(2, 16);
+    let traffic = m.symmetric_traffic();
+    let mut oracle = PathOracle::new(m.graph(), 7);
+    let demands: Vec<_> = {
+        let rng = oracle.rng();
+        (0..4 * traffic.n()).map(|_| traffic.sample(rng)).collect()
+    };
+    let routes = oracle.routes(&demands, Strategy::ShortestPath);
+    for d in [
+        QueueDiscipline::Fifo,
+        QueueDiscipline::FarthestFirst,
+        QueueDiscipline::RandomRank,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{d:?}")),
+            &d,
+            |b, &d| {
+                let cfg = RouterConfig {
+                    discipline: d,
+                    ..Default::default()
+                };
+                b.iter(|| route_batch(&m, routes.clone(), cfg).ticks)
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_path_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path_oracle");
+    group.sample_size(10);
+    let m = Machine::de_bruijn(9);
+    let traffic = m.symmetric_traffic();
+    for strategy in [Strategy::ShortestPath, Strategy::Valiant] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    let mut oracle = PathOracle::new(m.graph(), 3);
+                    let demands: Vec<_> = {
+                        let rng = oracle.rng();
+                        (0..2 * traffic.n()).map(|_| traffic.sample(rng)).collect()
+                    };
+                    oracle.routes(&demands, strategy).len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_route_batch, bench_disciplines, bench_path_oracle);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmarks for machine construction and graph primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fcn_multigraph::{bfs_distances, diameter};
+use fcn_topology::Family;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_machine");
+    for family in [
+        Family::Mesh(2),
+        Family::MeshOfTrees(2),
+        Family::Pyramid(2),
+        Family::Butterfly,
+        Family::DeBruijn,
+        Family::Expander,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(family.id()),
+            &family,
+            |b, family| b.iter(|| family.build_near(4096, 1).node_count()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_graph_primitives(c: &mut Criterion) {
+    let m = Family::Mesh(2).build_near(4096, 1);
+    c.bench_function("bfs_mesh2_4096", |b| {
+        b.iter(|| bfs_distances(m.graph(), 0)[m.node_count() - 1])
+    });
+    let small = Family::DeBruijn.build_near(512, 1);
+    c.bench_function("diameter_de_bruijn_512", |b| {
+        b.iter(|| diameter(small.graph()))
+    });
+}
+
+criterion_group!(benches, bench_build, bench_graph_primitives);
+criterion_main!(benches);

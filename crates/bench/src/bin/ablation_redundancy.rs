@@ -1,0 +1,90 @@
+//! Ablation E-X3: redundant vs non-redundant emulation.
+//!
+//! The lower bound must survive the *redundant* model because redundancy
+//! genuinely helps: a block emulation with halo width `w` amortizes host
+//! distance over `w` guest steps at a bounded work-inefficiency cost. This
+//! ablation emulates a 2-d mesh guest on hosts with growing distance (mesh,
+//! X-tree, tree) under w ∈ {1, 2, 4, 8} and reports communication slowdown
+//! per guest step and the inefficiency factor.
+
+use fcn_bench::{banner, fmt, write_records, Scale};
+use fcn_core::{block_mesh_emulation, direct_emulation, EmulationConfig};
+use fcn_topology::Machine;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    host: String,
+    strategy: String,
+    halo_w: u32,
+    comm_slowdown_per_step: f64,
+    total_slowdown: f64,
+    work_ratio: f64,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let guest_side = if scale == Scale::Quick { 32 } else { 64 };
+    let guest = Machine::mesh(2, guest_side);
+    // 16-processor hosts: a mesh (short distances), and a tree-shaped host
+    // (Θ(lg m) distances) built as a custom machine over the tree graph.
+    let hosts: Vec<Machine> = vec![
+        Machine::mesh(2, 4),
+        Machine::custom(
+            fcn_topology::Family::Tree,
+            "tree_host(16 procs)".into(),
+            Machine::tree(4).graph().clone(),
+            16,
+            fcn_topology::SendCapacity::Unlimited,
+            vec![],
+        ),
+    ];
+    let cfg = EmulationConfig::default();
+    let steps = 8u64;
+
+    banner("Redundancy ablation: mesh2 guest, 16-processor hosts");
+    let mut rows = Vec::new();
+    for host in &hosts {
+        println!("\nhost {}:", host.name());
+        let direct = direct_emulation(&guest, host, steps, &cfg);
+        println!(
+            "  direct        comm/step {:>10}  total slowdown {:>10}  work x{}",
+            fmt(direct.communication_slowdown()),
+            fmt(direct.slowdown()),
+            fmt(direct.work_ratio)
+        );
+        rows.push(Row {
+            host: host.name().to_string(),
+            strategy: "direct".into(),
+            halo_w: 0,
+            comm_slowdown_per_step: direct.communication_slowdown(),
+            total_slowdown: direct.slowdown(),
+            work_ratio: direct.work_ratio,
+        });
+        for w in [1u32, 2, 4, 8] {
+            let r = block_mesh_emulation(2, guest_side, host, w, steps.max(w as u64), &cfg);
+            println!(
+                "  block w={w:<2}    comm/step {:>10}  total slowdown {:>10}  work x{}",
+                fmt(r.communication_slowdown()),
+                fmt(r.slowdown()),
+                fmt(r.work_ratio)
+            );
+            rows.push(Row {
+                host: host.name().to_string(),
+                strategy: "block".into(),
+                halo_w: w,
+                comm_slowdown_per_step: r.communication_slowdown(),
+                total_slowdown: r.slowdown(),
+                work_ratio: r.work_ratio,
+            });
+        }
+    }
+    println!(
+        "\ninterpretation: on the tree host, increasing w amortizes the Θ(lg m) \
+         distance (comm/step falls) while work stays within a constant — the \
+         redundant regime the lower bound is proven against."
+    );
+
+    let path = write_records("ablation_redundancy", &rows).expect("write records");
+    println!("records: {}", path.display());
+}

@@ -1,0 +1,72 @@
+//! Ablation E-X5: batch vs steady-state bandwidth estimation.
+//!
+//! The paper's β is a limit (`m → ∞` delivery rate). We approximate it two
+//! ways — growing finite batches, and open-loop injection ramped to
+//! saturation — and check the two estimators agree within constants across
+//! machine families.
+
+use fcn_bench::{banner, fmt, write_records, Scale};
+use fcn_routing::{saturation_throughput, SteadyConfig};
+use fcn_topology::Family;
+use fcn_bandwidth::BandwidthEstimator;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    family: String,
+    n: usize,
+    batch_rate: f64,
+    steady_rate: f64,
+    ratio: f64,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let target = if scale == Scale::Quick { 128 } else { 256 };
+    let estimator = BandwidthEstimator {
+        multipliers: scale.multipliers(),
+        trials: 2,
+        ..Default::default()
+    };
+
+    banner("Batch vs steady-state bandwidth estimates");
+    println!(
+        "{:<18} {:>6} {:>12} {:>12} {:>8}",
+        "family", "n", "batch β̂", "steady β̂", "ratio"
+    );
+    let mut rows = Vec::new();
+    for family in [
+        Family::LinearArray,
+        Family::Tree,
+        Family::XTree,
+        Family::Mesh(2),
+        Family::Mesh(3),
+        Family::DeBruijn,
+        Family::Butterfly,
+        Family::GlobalBus,
+    ] {
+        let machine = family.build_near(target, 0x5d);
+        let t = machine.symmetric_traffic();
+        let batch = estimator.estimate(&machine, &t).rate;
+        let (steady, _) = saturation_throughput(&machine, &t, SteadyConfig::default());
+        let ratio = steady / batch;
+        println!(
+            "{:<18} {:>6} {:>12} {:>12} {:>8}",
+            family.id(),
+            machine.processors(),
+            fmt(batch),
+            fmt(steady),
+            fmt(ratio)
+        );
+        rows.push(Row {
+            family: family.id(),
+            n: machine.processors(),
+            batch_rate: batch,
+            steady_rate: steady,
+            ratio,
+        });
+    }
+    println!("\nagreement within a small constant validates both estimators.");
+    let path = write_records("ablation_steady", &rows).expect("write records");
+    println!("records: {}", path.display());
+}

@@ -1,0 +1,44 @@
+//! Run every table/figure/ablation regeneration in sequence.
+//!
+//! `cargo run --release -p fcn-bench --bin repro-all [-- --quick|--full]`
+//! executes the sibling binaries as subprocesses so each writes its own
+//! stdout report and `target/repro/*.jsonl` records.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "table4",
+        "table1",
+        "table2",
+        "table3",
+        "fig1",
+        "fig2",
+        "ablation_routing",
+        "ablation_bottleneck",
+        "ablation_redundancy",
+        "ablation_steady",
+        "patterns",
+    ];
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("exe dir");
+    let mut failures = Vec::new();
+    for bin in bins {
+        println!("\n################ {bin} ################");
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        if !status.success() {
+            failures.push(bin);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall reproductions completed; records under target/repro/");
+    } else {
+        eprintln!("\nFAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Regenerate Table 2: maximum host sizes for efficient emulation of
+//! j-dimensional Mesh-of-Trees, Multigrids, and Pyramids.
+//!
+//! Theorems 3 and 4 differ in the required guest time (`T ≥ Ω(|G|^{1/j})`
+//! vs `T ≥ Ω(lg|G|)`); the bound itself comes from the same β ratio, so the
+//! cells match Table 1's for equal dimensions. We print both time premises.
+
+use fcn_bench::{banner, write_records, Scale};
+use fcn_core::{generate_table, table2_spec};
+use fcn_topology::Family;
+
+fn main() {
+    let scale = Scale::from_args();
+    let table = generate_table(table2_spec(&[1, 2, 3]), &scale.table_guest_sizes());
+    banner("Table 2 (symbolic cells re-derived from the Efficient Emulation Theorem)");
+    print!("{}", table.render());
+
+    banner("guest-time premises (Theorem 4 uses T = Ω(λ(G)) = Ω(lg |G|))");
+    for j in [1u8, 2, 3] {
+        for fam in [
+            Family::MeshOfTrees(j),
+            Family::Multigrid(j),
+            Family::Pyramid(j),
+        ] {
+            println!(
+                "{:<18} λ = {} (minimal efficient-emulation guest time)",
+                fam.id(),
+                fam.lambda().theta_string()
+            );
+        }
+    }
+    let path = write_records("table2", &table.cells).expect("write records");
+    println!("\nrecords: {}", path.display());
+}

@@ -1,0 +1,62 @@
+//! Regenerate Table 4: β and λ for every machine family.
+//!
+//! For each family, sweeps sizes, measures the delivery rate under
+//! symmetric traffic (operational β), the flux upper bound, and the
+//! diameter (λ side), then classifies the measured series into the
+//! best-fitting Table 4 growth class. Prints paper-vs-measured rows and
+//! writes `target/repro/table4.jsonl`.
+
+use fcn_bandwidth::{sweep_family, BandwidthEstimator, FamilySweep};
+use fcn_bench::{banner, fmt, write_records, Scale};
+use fcn_topology::Family;
+
+fn main() {
+    let scale = Scale::from_args();
+    let estimator = BandwidthEstimator {
+        multipliers: scale.multipliers(),
+        trials: scale.trials(),
+        ..Default::default()
+    };
+    let targets = scale.sweep_targets();
+
+    banner("Table 4: β and λ per machine family (paper vs measured vs flux-certified)");
+    println!(
+        "{:<18} {:>16} {:>16} {:>8} {:>14} {:>12} {:>12} {:>8}",
+        "family", "paper β", "measured β̂", "rms", "flux class", "paper λ", "measured λ̂", "rms"
+    );
+
+    let mut sweeps: Vec<FamilySweep> = Vec::new();
+    for family in Family::all_with_dims(&[1, 2, 3]) {
+        let sweep = sweep_family(family, &targets, &estimator, 0x7ab1e4);
+        println!(
+            "{:<18} {:>16} {:>16} {:>8} {:>14} {:>12} {:>12} {:>8}",
+            family.id(),
+            family.beta().theta_string(),
+            sweep.beta_class.theta_string(),
+            fmt(sweep.beta_class_residual),
+            sweep.flux_class.theta_string(),
+            family.lambda().theta_string(),
+            sweep.lambda_class.theta_string(),
+            fmt(sweep.lambda_class_residual),
+        );
+        sweeps.push(sweep);
+    }
+
+    banner("raw rows (measured rate | flux bound | analytic | diameter)");
+    for sweep in &sweeps {
+        for r in &sweep.rows {
+            println!(
+                "{:<28} n={:<6} β̂={:<10} flux≤{:<10} Θ={:<10} diam={}",
+                r.machine,
+                r.n,
+                fmt(r.measured),
+                fmt(r.flux_bound),
+                fmt(r.analytic),
+                r.diameter
+            );
+        }
+    }
+
+    let path = write_records("table4", &sweeps).expect("write table4 records");
+    println!("\nrecords: {}", path.display());
+}

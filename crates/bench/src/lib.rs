@@ -1,0 +1,146 @@
+//! # fcn-bench
+//!
+//! Shared infrastructure for the table/figure regeneration binaries and the
+//! Criterion micro-benchmarks.
+//!
+//! Each regeneration binary (`table1`..`table4`, `fig1`, `fig2`,
+//! `ablation_*`, `repro-all`) prints a human-readable report to stdout and
+//! appends machine-readable JSON-lines records under `target/repro/`, so
+//! EXPERIMENTS.md's paper-vs-measured claims stay checkable.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Scale of a reproduction run, from the command line (`--quick` /
+/// `--full`; default is a balanced middle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Quick,
+    Default,
+    Full,
+}
+
+impl Scale {
+    /// Parse from `std::env::args()`.
+    pub fn from_args() -> Scale {
+        let mut scale = Scale::Default;
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--quick" => scale = Scale::Quick,
+                "--full" => scale = Scale::Full,
+                other => eprintln!("ignoring unknown argument {other:?}"),
+            }
+        }
+        scale
+    }
+
+    /// Machine-size targets for bandwidth sweeps. The span matters more
+    /// than the count: `lg n` and `n^{1/4}` only separate over a wide range.
+    pub fn sweep_targets(&self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![64, 256, 1024],
+            Scale::Default => vec![64, 128, 256, 512, 1024, 2048],
+            Scale::Full => vec![64, 128, 256, 512, 1024, 2048, 4096, 8192],
+        }
+    }
+
+    /// Guest sizes for the host-size tables' numeric columns.
+    pub fn table_guest_sizes(&self) -> Vec<u64> {
+        match self {
+            Scale::Quick => vec![1 << 12, 1 << 16],
+            Scale::Default => vec![1 << 12, 1 << 16, 1 << 20],
+            Scale::Full => vec![1 << 12, 1 << 16, 1 << 20, 1 << 24],
+        }
+    }
+
+    /// Independent trials for operational estimates.
+    pub fn trials(&self) -> usize {
+        match self {
+            Scale::Quick => 2,
+            Scale::Default => 3,
+            Scale::Full => 4,
+        }
+    }
+
+    /// Saturation multipliers.
+    pub fn multipliers(&self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![2, 4],
+            Scale::Default => vec![2, 4, 8],
+            Scale::Full => vec![2, 4, 8, 16],
+        }
+    }
+}
+
+/// Where JSON-lines records land.
+pub fn repro_dir() -> PathBuf {
+    // target/ of the workspace; CARGO_TARGET_DIR respected when set.
+    let base = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target"));
+    base.join("repro")
+}
+
+/// Append serialized records to `target/repro/<name>.jsonl` (created fresh
+/// on each run).
+pub fn write_records<T: Serialize>(name: &str, records: &[T]) -> std::io::Result<PathBuf> {
+    let dir = repro_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.jsonl"));
+    let mut f = fs::File::create(&path)?;
+    for r in records {
+        let line = serde_json::to_string(r).expect("record serializes");
+        writeln!(f, "{line}")?;
+    }
+    Ok(path)
+}
+
+/// Print a section header.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Format a floating value compactly for report tables.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 || v.abs() < 0.01 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parameters_are_ordered() {
+        assert!(Scale::Quick.sweep_targets().len() < Scale::Full.sweep_targets().len());
+        assert!(Scale::Quick.trials() <= Scale::Full.trials());
+    }
+
+    #[test]
+    fn fmt_is_compact() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(2.71828), "2.718");
+        assert!(fmt(123456.0).contains('e'));
+        assert!(fmt(0.0001).contains('e'));
+    }
+
+    #[test]
+    fn write_records_roundtrip() {
+        #[derive(serde::Serialize)]
+        struct R {
+            x: u32,
+        }
+        let p = write_records("test_records", &[R { x: 1 }, R { x: 2 }]).unwrap();
+        let content = std::fs::read_to_string(p).unwrap();
+        assert_eq!(content.lines().count(), 2);
+        assert!(content.contains("{\"x\":1}"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Minimal argument parsing: `fcnemu <command> [positionals] [--flag value]`.
+//!
+//! The grammar is fixed and small, so a hand-rolled parser keeps the
+//! dependency set to the workspace's approved crates.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    pub command: String,
+    pub positionals: Vec<String>,
+    pub flags: BTreeMap<String, String>,
+}
+
+/// Parse failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Args {
+    /// Parse `argv` (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
+        let mut it = argv.iter().peekable();
+        let command = it
+            .next()
+            .ok_or_else(|| ParseError("missing command".into()))?
+            .clone();
+        let mut positionals = Vec::new();
+        let mut flags = BTreeMap::new();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if name.is_empty() {
+                    return Err(ParseError("empty flag name".into()));
+                }
+                // `--flag=value` or `--flag value` or bare boolean flag.
+                if let Some((k, v)) = name.split_once('=') {
+                    flags.insert(k.to_string(), v.to_string());
+                } else if it.peek().is_some_and(|n| !n.starts_with("--")) {
+                    flags.insert(name.to_string(), it.next().unwrap().clone());
+                } else {
+                    flags.insert(name.to_string(), "true".to_string());
+                }
+            } else {
+                positionals.push(tok.clone());
+            }
+        }
+        Ok(Args {
+            command,
+            positionals,
+            flags,
+        })
+    }
+
+    /// Required positional by index.
+    pub fn pos(&self, i: usize, what: &str) -> Result<&str, ParseError> {
+        self.positionals
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| ParseError(format!("missing <{what}> argument")))
+    }
+
+    /// Optional flag parsed into `T`.
+    pub fn flag<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ParseError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ParseError(format!("invalid value for --{name}: {v:?}"))),
+        }
+    }
+
+    /// Boolean flag (present without a value, or `--flag true`).
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.get(name).is_some_and(|v| v != "false")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_positionals_and_flags() {
+        let a = Args::parse(&argv("beta mesh2 256 --trials 4 --steady")).unwrap();
+        assert_eq!(a.command, "beta");
+        assert_eq!(a.positionals, vec!["mesh2", "256"]);
+        assert_eq!(a.flag::<usize>("trials", 1).unwrap(), 4);
+        assert!(a.has("steady"));
+        assert!(!a.has("missing"));
+    }
+
+    #[test]
+    fn parses_equals_form() {
+        let a = Args::parse(&argv("build tree 63 --format=dot")).unwrap();
+        assert_eq!(a.flags.get("format").unwrap(), "dot");
+    }
+
+    #[test]
+    fn missing_command_is_an_error() {
+        assert!(Args::parse(&[]).is_err());
+    }
+
+    #[test]
+    fn flag_type_errors_are_reported() {
+        let a = Args::parse(&argv("beta mesh2 256 --trials many")).unwrap();
+        let err = a.flag::<usize>("trials", 1).unwrap_err();
+        assert!(err.0.contains("trials"));
+    }
+
+    #[test]
+    fn pos_accessor_errors() {
+        let a = Args::parse(&argv("bound de_bruijn")).unwrap();
+        assert_eq!(a.pos(0, "guest").unwrap(), "de_bruijn");
+        assert!(a.pos(1, "host").is_err());
+    }
+
+    #[test]
+    fn boolean_then_positional_disambiguation() {
+        // `--steady` followed by another flag stays boolean.
+        let a = Args::parse(&argv("beta mesh2 --steady --trials 2")).unwrap();
+        assert!(a.has("steady"));
+        assert_eq!(a.flag::<usize>("trials", 0).unwrap(), 2);
+    }
+}

@@ -1,0 +1,496 @@
+//! `fcnemu` subcommand implementations.
+
+use std::io::Write;
+
+use fcn_bandwidth::{flux_upper_bound, quick_audit, theorem6_sandwich, BandwidthEstimator};
+use fcn_core::{
+    build_witness, direct_emulation, fig1_data, generate_table, max_host_size,
+    numeric_host_size, slowdown_lower_bound, table1_spec, table2_spec, table3_spec,
+    EmulationConfig, Lemma9Config,
+};
+use fcn_routing::{saturation_throughput, SteadyConfig};
+use fcn_topology::{Family, Machine};
+
+use crate::args::{Args, ParseError};
+
+type Out<'a> = &'a mut dyn Write;
+type CmdResult = Result<(), String>;
+
+/// Usage text.
+pub fn usage() -> String {
+    "fcnemu — fixed-connection network emulation-bounds toolkit
+
+USAGE:
+  fcnemu machines
+  fcnemu build   <family> <size> [--seed N] [--format summary|dot|edges|json]
+  fcnemu beta    <family> <size> [--trials N] [--steady] [--seed N]
+  fcnemu bound   <guest-family> <host-family> [--n N] [--m M]
+  fcnemu emulate <guest-family> <n> <host-family> <m> [--steps N]
+  fcnemu audit   <family> <size> [--seed N]
+  fcnemu witness <family> <size> [--alpha X]
+  fcnemu verify  <family> <size> [--hosts M] [--steps N]
+  fcnemu table   <1|2|3> [--size N]
+  fcnemu fig1    <guest-family> <host-family> [--n N]
+  fcnemu help
+
+Families: linear_array ring global_bus tree weak_ppn xtree mesh{1,2,3}
+torus{1,2,3} xgrid{1,2,3} mesh_of_trees{1,2,3} multigrid{1,2,3}
+pyramid{1,2,3} butterfly ccc shuffle_exchange de_bruijn multibutterfly
+expander weak_hypercube"
+        .to_string()
+}
+
+fn family(id: &str) -> Result<Family, String> {
+    Family::all_with_dims(&[1, 2, 3])
+        .into_iter()
+        .find(|f| f.id() == id)
+        .ok_or_else(|| format!("unknown family {id:?} (try `fcnemu machines`)"))
+}
+
+fn build(id: &str, size: usize, seed: u64) -> Result<Machine, String> {
+    Ok(family(id)?.build_near(size, seed))
+}
+
+/// Dispatch a parsed command.
+pub fn dispatch(args: &Args, out: Out) -> CmdResult {
+    let r: Result<CmdResult, ParseError> = (|| {
+        Ok(match args.command.as_str() {
+            "machines" => cmd_machines(out),
+            "build" => cmd_build(args, out)?,
+            "beta" => cmd_beta(args, out)?,
+            "bound" => cmd_bound(args, out)?,
+            "emulate" => cmd_emulate(args, out)?,
+            "audit" => cmd_audit(args, out)?,
+            "witness" => cmd_witness(args, out)?,
+            "verify" => cmd_verify(args, out)?,
+            "table" => cmd_table(args, out)?,
+            "fig1" => cmd_fig1(args, out)?,
+            "help" | "--help" | "-h" => {
+                let _ = writeln!(out, "{}", usage());
+                Ok(())
+            }
+            other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+        })
+    })();
+    r.map_err(|e| e.to_string())?
+}
+
+fn cmd_machines(out: Out) -> CmdResult {
+    let _ = writeln!(
+        out,
+        "{:<18} {:>14} {:>10} {:>14}",
+        "family", "β(n)", "λ(n)", "fixed degree"
+    );
+    for f in Family::all_with_dims(&[1, 2, 3]) {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>14} {:>10} {:>14}",
+            f.id(),
+            f.beta().theta_string(),
+            f.lambda().theta_string(),
+            f.fixed_degree()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_build(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
+    let id = args.pos(0, "family")?.to_string();
+    let size: usize = args.pos(1, "size")?.parse().map_err(|_| {
+        ParseError("size must be a positive integer".into())
+    })?;
+    let seed = args.flag("seed", 0u64)?;
+    let format = args
+        .flags
+        .get("format")
+        .cloned()
+        .unwrap_or_else(|| "summary".into());
+    Ok((|| -> CmdResult {
+        let m = build(&id, size, seed)?;
+        match format.as_str() {
+            "summary" => {
+                let _ = writeln!(out, "machine   : {}", m.name());
+                let _ = writeln!(out, "processors: {}", m.processors());
+                let _ = writeln!(out, "nodes     : {}", m.node_count());
+                let _ = writeln!(out, "edges E(G): {}", m.graph().simple_edge_count());
+                let _ = writeln!(out, "max degree: {}", m.graph().max_degree());
+                let _ = writeln!(out, "β (Θ)     : {}", m.beta_analytic().theta_string());
+                let _ = writeln!(out, "λ (Θ)     : {}", m.lambda_analytic().theta_string());
+                let _ = writeln!(out, "routing   : {:?}", m.route_policy());
+            }
+            "dot" => {
+                let _ = writeln!(out, "{}", fcn_topology::to_labeled_dot(&m));
+            }
+            "edges" => {
+                let _ = write!(out, "{}", fcn_multigraph::to_edge_list(m.graph()));
+            }
+            "json" => {
+                let _ = writeln!(out, "{}", fcn_multigraph::to_json(m.graph()));
+            }
+            other => return Err(format!("unknown format {other:?}")),
+        }
+        Ok(())
+    })())
+}
+
+fn cmd_beta(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
+    let id = args.pos(0, "family")?.to_string();
+    let size: usize = args
+        .pos(1, "size")?
+        .parse()
+        .map_err(|_| ParseError("size must be a positive integer".into()))?;
+    let trials = args.flag("trials", 3usize)?;
+    let seed = args.flag("seed", 0xbeadu64)?;
+    let steady = args.has("steady");
+    Ok((|| -> CmdResult {
+        let m = build(&id, size, seed)?;
+        let t = m.symmetric_traffic();
+        let est = BandwidthEstimator {
+            trials,
+            seed,
+            ..Default::default()
+        };
+        let b = est.estimate(&m, &t);
+        let flux = flux_upper_bound(&m, &t, seed, 4, 2);
+        let _ = writeln!(out, "machine       : {} (n = {})", m.name(), m.processors());
+        let _ = writeln!(out, "measured β̂    : {:.3} (mean {:.3})", b.rate, b.mean_rate);
+        let _ = writeln!(
+            out,
+            "flux bound    : {:.3} [{}]",
+            flux.rate_bound, flux.witness
+        );
+        let _ = writeln!(
+            out,
+            "analytic Θ    : {} -> {:.3} at this size",
+            m.beta_analytic().theta_string(),
+            m.beta_at_size()
+        );
+        if steady {
+            let (sat, _) = saturation_throughput(&m, &t, SteadyConfig::default());
+            let _ = writeln!(out, "steady-state  : {sat:.3}");
+        }
+        Ok(())
+    })())
+}
+
+fn cmd_bound(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
+    let gid = args.pos(0, "guest-family")?.to_string();
+    let hid = args.pos(1, "host-family")?.to_string();
+    let n = args.flag("n", 1u64 << 20)? as f64;
+    let m = args.flag("m", 0u64)?;
+    Ok((|| -> CmdResult {
+        let guest = family(&gid)?;
+        let host = family(&hid)?;
+        let bound = slowdown_lower_bound(&guest, &host);
+        let _ = writeln!(out, "Efficient Emulation Theorem: S ≥ {bound}");
+        let cap = max_host_size(&guest, &host);
+        let _ = writeln!(out, "maximum efficient host size: |H| = {}", cap.to_cell());
+        let m_star = numeric_host_size(&guest, &host, n);
+        let _ = writeln!(out, "numeric crossover at n = {n}: m* ≈ {m_star:.1}");
+        if m > 0 {
+            let _ = writeln!(
+                out,
+                "at (n, m) = ({n}, {m}): load ≥ {:.2}, communication ≥ {:.2}, total ≥ {:.2}",
+                bound.load(n, m as f64),
+                bound.communication(n, m as f64),
+                bound.eval(n, m as f64)
+            );
+        }
+        Ok(())
+    })())
+}
+
+fn cmd_emulate(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
+    let gid = args.pos(0, "guest-family")?.to_string();
+    let n: usize = args
+        .pos(1, "n")?
+        .parse()
+        .map_err(|_| ParseError("n must be a positive integer".into()))?;
+    let hid = args.pos(2, "host-family")?.to_string();
+    let m: usize = args
+        .pos(3, "m")?
+        .parse()
+        .map_err(|_| ParseError("m must be a positive integer".into()))?;
+    let steps = args.flag("steps", 8u64)?;
+    Ok((|| -> CmdResult {
+        let guest = build(&gid, n, 0xa)?;
+        let host = build(&hid, m, 0xb)?;
+        if guest.processors() < host.processors() {
+            return Err("guest must be at least as large as host".into());
+        }
+        let report = direct_emulation(&guest, &host, steps, &EmulationConfig::default());
+        let bound = slowdown_lower_bound(&guest.family(), &host.family());
+        let predicted = bound.eval(guest.processors() as f64, host.processors() as f64);
+        let _ = writeln!(
+            out,
+            "emulating {} (n = {}) on {} (m = {}) for {} steps",
+            guest.name(),
+            guest.processors(),
+            host.name(),
+            host.processors(),
+            steps
+        );
+        let _ = writeln!(out, "max load          : {}", report.max_load);
+        let _ = writeln!(
+            out,
+            "compute / step    : {:.1}",
+            report.compute_ticks as f64 / steps as f64
+        );
+        let _ = writeln!(
+            out,
+            "communication/step: {:.1}",
+            report.communication_slowdown()
+        );
+        let _ = writeln!(out, "measured slowdown : {:.1}", report.slowdown());
+        let _ = writeln!(out, "theorem bound     : {predicted:.1}");
+        Ok(())
+    })())
+}
+
+fn cmd_audit(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
+    let id = args.pos(0, "family")?.to_string();
+    let size: usize = args
+        .pos(1, "size")?
+        .parse()
+        .map_err(|_| ParseError("size must be a positive integer".into()))?;
+    let seed = args.flag("seed", 7u64)?;
+    Ok((|| -> CmdResult {
+        let m = build(&id, size, seed)?;
+        let audit = quick_audit(&m, seed);
+        let _ = writeln!(out, "machine        : {}", m.name());
+        let _ = writeln!(out, "symmetric rate : {:.3}", audit.symmetric_rate);
+        for (label, rate) in &audit.quasi_rates {
+            let _ = writeln!(out, "  {label:<26}: {rate:.3}");
+        }
+        let _ = writeln!(
+            out,
+            "worst ratio    : {:.3} -> {}",
+            audit.worst_ratio,
+            if audit.is_bottleneck_free(4.0) {
+                "bottleneck-free (c <= 4)"
+            } else {
+                "SUSPECT"
+            }
+        );
+        // Theorem 6 certificate as a bonus consistency check.
+        let cert = theorem6_sandwich(&m, 4, seed);
+        let _ = writeln!(
+            out,
+            "β sandwich     : embedding ≥ {:.2} | measured {:.2} | flux ≤ {:.2}",
+            cert.embedding_lower, cert.measured, cert.flux_upper
+        );
+        Ok(())
+    })())
+}
+
+fn cmd_witness(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
+    let id = args.pos(0, "family")?.to_string();
+    let size: usize = args
+        .pos(1, "size")?
+        .parse()
+        .map_err(|_| ParseError("size must be a positive integer".into()))?;
+    let alpha = args.flag("alpha", 1.0f64)?;
+    Ok((|| -> CmdResult {
+        let m = build(&id, size, 3)?;
+        let w = build_witness(m.graph(), Lemma9Config { alpha, seed: 0x9e });
+        let _ = writeln!(out, "guest           : {} (n = {})", m.name(), w.n);
+        let _ = writeln!(out, "Λ / t / cutoff  : {} / {} / {}", w.lambda, w.t, w.cutoff);
+        let _ = writeln!(out, "S-nodes         : {}", w.s_nodes);
+        let _ = writeln!(out, "cone paths      : {}", w.cone_paths);
+        let _ = writeln!(out, "γ vertices/edges: {} / {}", w.gamma_vertices, w.gamma_edges);
+        let _ = writeln!(
+            out,
+            "congestion      : {} (cap {}, ratio {:.3})",
+            w.congestion,
+            w.congestion_cap,
+            w.congestion_ratio()
+        );
+        let _ = writeln!(
+            out,
+            "preservation    : {:.3} (β(circuit,γ) / t·β(G))",
+            w.preservation_ratio()
+        );
+        Ok(())
+    })())
+}
+
+fn cmd_verify(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
+    let id = args.pos(0, "family")?.to_string();
+    let size: usize = args
+        .pos(1, "size")?
+        .parse()
+        .map_err(|_| ParseError("size must be a positive integer".into()))?;
+    let hosts = args.flag("hosts", 4usize)?;
+    let steps = args.flag("steps", 5u32)?;
+    Ok((|| -> CmdResult {
+        let m = build(&id, size, 3)?;
+        let r = fcn_core::verify_direct_emulation(m.graph(), hosts.min(m.processors()), steps, 0xf);
+        let _ = writeln!(
+            out,
+            "direct emulation of {} on {} hosts for {} steps:",
+            m.name(),
+            r.hosts,
+            r.steps
+        );
+        let _ = writeln!(out, "  values communicated : {}", r.values_communicated);
+        let _ = writeln!(out, "  operations          : {} (work x{:.2})", r.operations, r.work_ratio());
+        let _ = writeln!(
+            out,
+            "  semantics           : {}",
+            if r.matches_reference {
+                "EXACT (matches reference run bit-for-bit)"
+            } else {
+                "DIVERGED"
+            }
+        );
+        if !r.matches_reference {
+            return Err("verification failed".into());
+        }
+        Ok(())
+    })())
+}
+
+fn cmd_table(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
+    let which = args.pos(0, "table number")?.to_string();
+    let size = args.flag("size", 1u64 << 16)?;
+    Ok((|| -> CmdResult {
+        let spec = match which.as_str() {
+            "1" => table1_spec(&[1, 2, 3]),
+            "2" => table2_spec(&[1, 2, 3]),
+            "3" => table3_spec(&[1, 2, 3]),
+            other => return Err(format!("unknown table {other:?} (expected 1, 2 or 3)")),
+        };
+        let table = generate_table(spec, &[size]);
+        let _ = write!(out, "{}", table.render());
+        Ok(())
+    })())
+}
+
+fn cmd_fig1(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
+    let gid = args.pos(0, "guest-family")?.to_string();
+    let hid = args.pos(1, "host-family")?.to_string();
+    let n = args.flag("n", 1u64 << 20)? as f64;
+    Ok((|| -> CmdResult {
+        let guest = family(&gid)?;
+        let host = family(&hid)?;
+        let d = fig1_data(&guest, &host, n, 20);
+        let _ = writeln!(
+            out,
+            "guest {gid}, host family {hid}, n = {n}: crossover m* = {:.1}, \
+             min slowdown = {:.1}",
+            d.crossover_m, d.crossover_slowdown
+        );
+        let _ = writeln!(out, "{:>12} {:>14} {:>14}", "m", "load n/m", "comm bound");
+        for p in &d.points {
+            let _ = writeln!(
+                out,
+                "{:>12.1} {:>14.2} {:>14.2}",
+                p.m, p.load_bound, p.comm_bound
+            );
+        }
+        Ok(())
+    })())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run;
+
+    fn run_s(cmd: &str) -> (i32, String) {
+        let argv: Vec<String> = cmd.split_whitespace().map(String::from).collect();
+        let mut buf = Vec::new();
+        let code = run(&argv, &mut buf);
+        (code, String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn machines_lists_all_families() {
+        let (code, out) = run_s("machines");
+        assert_eq!(code, 0);
+        assert!(out.contains("de_bruijn"));
+        assert!(out.contains("pyramid3"));
+        assert!(out.lines().count() >= 30);
+    }
+
+    #[test]
+    fn build_summary_and_formats() {
+        let (code, out) = run_s("build mesh2 64");
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("processors: 64"));
+        let (code, dot) = run_s("build tree 15 --format dot");
+        assert_eq!(code, 0);
+        assert!(dot.contains("graph tree"));
+        let (code, edges) = run_s("build ring 8 --format edges");
+        assert_eq!(code, 0);
+        assert!(edges.starts_with("# nodes 8"));
+        let (code, json) = run_s("build ring 8 --format json");
+        assert_eq!(code, 0);
+        assert!(json.trim_start().starts_with('{'));
+    }
+
+    #[test]
+    fn bound_prints_the_intro_example() {
+        let (code, out) = run_s("bound de_bruijn mesh2 --n 1048576 --m 64");
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("O(lg^2 n)"), "{out}");
+        assert!(out.contains("m* ≈ 400"), "{out}");
+    }
+
+    #[test]
+    fn beta_measures() {
+        let (code, out) = run_s("beta mesh2 64 --trials 2");
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("measured β̂"));
+        assert!(out.contains("flux bound"));
+    }
+
+    #[test]
+    fn emulate_reports_slowdown() {
+        let (code, out) = run_s("emulate de_bruijn 64 mesh2 9 --steps 4");
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("measured slowdown"));
+        assert!(out.contains("theorem bound"));
+    }
+
+    #[test]
+    fn witness_reports_lemma9() {
+        let (code, out) = run_s("witness mesh2 25");
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("preservation"));
+    }
+
+    #[test]
+    fn table_renders() {
+        let (code, out) = run_s("table 3");
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("de_bruijn"));
+        assert!(out.contains("O(lg^2 n)") || out.contains("O(lg n)"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let (code, out) = run_s("beta nosuch 64");
+        assert_eq!(code, 1);
+        assert!(out.contains("unknown family"));
+        let (code, out) = run_s("frobnicate");
+        assert_eq!(code, 1);
+        assert!(out.contains("unknown command"));
+        let (code, _) = run_s("build mesh2");
+        assert_eq!(code, 1);
+    }
+
+    #[test]
+    fn verify_reports_exact_semantics() {
+        let (code, out) = run_s("verify de_bruijn 32 --hosts 4 --steps 4");
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("EXACT"));
+    }
+
+    #[test]
+    fn help_exits_zero() {
+        let (code, out) = run_s("help");
+        assert_eq!(code, 0);
+        assert!(out.contains("USAGE"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # fcn-cli
+//!
+//! Library backing the `fcnemu` command-line tool: a tiny hand-rolled
+//! argument parser (no external dependency needed for a fixed flag
+//! grammar) and the subcommand implementations, kept in the library so
+//! they are unit-testable.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Args, ParseError};
+
+/// Entry point shared by `main` and tests: parse and dispatch, returning
+/// the process exit code and writing the report to `out`.
+pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> i32 {
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}\n");
+            let _ = writeln!(out, "{}", commands::usage());
+            return 2;
+        }
+    };
+    match commands::dispatch(&args, out) {
+        Ok(()) => 0,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            1
+        }
+    }
+}

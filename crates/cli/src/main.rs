@@ -1,0 +1,8 @@
+//! `fcnemu` — command-line interface to the reproduction toolkit.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    let code = fcn_cli::run(&argv, &mut stdout);
+    std::process::exit(code);
+}

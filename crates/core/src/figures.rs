@@ -1,0 +1,184 @@
+//! Regeneration of the paper's figures.
+//!
+//! * **Figure 1** — "Communication-induced vs load-induced slowdown": for a
+//!   fixed guest size `n`, sweep the host size `m` and plot the load bound
+//!   `n/m` (decreasing) against the communication bound `β_G(n)/β_H(m)`.
+//!   Their intersection is the smallest slowdown / largest host. Optionally
+//!   decorated with *measured* direct-emulation slowdowns at small sizes.
+//! * **Figure 2** — the cone construction of Lemma 9, reproduced as the
+//!   measured statistics of the constructed witness
+//!   ([`crate::lemma9::build_witness`]); [`fig2_series`] collects them
+//!   across guest sizes so the claimed scalings are visible.
+
+use fcn_topology::{Family, Machine};
+use serde::{Deserialize, Serialize};
+
+use crate::emulate::{direct_emulation, EmulationConfig};
+use crate::lemma9::{build_witness, Lemma9Config, Lemma9Witness};
+use crate::theorem::slowdown_lower_bound;
+
+/// One point of the Figure 1 curves.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Fig1Point {
+    pub m: f64,
+    /// Load-induced slowdown `n/m`.
+    pub load_bound: f64,
+    /// Communication-induced slowdown `β_G(n)/β_H(m)`.
+    pub comm_bound: f64,
+}
+
+/// The Figure 1 data set for one guest/host family pair at guest size `n`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1Data {
+    pub guest: String,
+    pub host: String,
+    pub n: f64,
+    pub points: Vec<Fig1Point>,
+    /// Host size where the two bounds cross (the largest efficient host).
+    pub crossover_m: f64,
+    /// The slowdown at the crossover (the smallest possible slowdown).
+    pub crossover_slowdown: f64,
+}
+
+/// Compute the Figure 1 curves with `points` geometrically spaced host
+/// sizes in `[2, n]`.
+pub fn fig1_data(guest: &Family, host: &Family, n: f64, points: usize) -> Fig1Data {
+    assert!(points >= 2 && n >= 4.0);
+    let bound = slowdown_lower_bound(guest, host);
+    let lo = 2.0f64;
+    let hi = n;
+    let pts: Vec<Fig1Point> = (0..points)
+        .map(|i| {
+            let f = i as f64 / (points - 1) as f64;
+            let m = lo * (hi / lo).powf(f);
+            Fig1Point {
+                m,
+                load_bound: bound.load(n, m),
+                comm_bound: bound.communication(n, m),
+            }
+        })
+        .collect();
+    // Load decreases in m; communication decreases strictly slower (or
+    // grows): their ratio is monotone, so a crossover exists iff the
+    // communication bound dominates at m = n.
+    let crossover_m = if bound.communication(n, n) <= bound.load(n, n) {
+        n
+    } else {
+        fcn_asymptotics::crossover(lo, hi, |m| bound.load(n, m), |m| bound.communication(n, m))
+    };
+    Fig1Data {
+        guest: guest.id(),
+        host: host.id(),
+        n,
+        crossover_m,
+        crossover_slowdown: bound.eval(n, crossover_m),
+        points: pts,
+    }
+}
+
+/// A measured decoration for Figure 1: direct-emulation slowdowns at small
+/// concrete sizes, to overlay on the analytic curves.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1Measured {
+    pub m: usize,
+    pub measured_slowdown: f64,
+    pub predicted_lower_bound: f64,
+}
+
+/// Measure direct emulation of `guest` on hosts of the given sizes.
+pub fn fig1_measured(
+    guest: &Machine,
+    host_family: &Family,
+    host_sizes: &[usize],
+    steps: u64,
+    cfg: &EmulationConfig,
+) -> Vec<Fig1Measured> {
+    let bound = slowdown_lower_bound(&guest.family(), host_family);
+    host_sizes
+        .iter()
+        .map(|&target| {
+            let host = host_family.build_near(target, cfg.seed);
+            let report = direct_emulation(guest, &host, steps, cfg);
+            Fig1Measured {
+                m: host.processors(),
+                measured_slowdown: report.slowdown(),
+                predicted_lower_bound: bound
+                    .eval(guest.processors() as f64, host.processors() as f64),
+            }
+        })
+        .collect()
+}
+
+/// Figure 2 reproduced as a size series of Lemma 9 witnesses.
+pub fn fig2_series(guests: &[Machine], cfg: Lemma9Config) -> Vec<(String, Lemma9Witness)> {
+    guests
+        .iter()
+        .map(|g| (g.name().to_string(), build_witness(g.graph(), cfg)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_intro_example_crossover() {
+        // de Bruijn on 2-d mesh at n = 2^20: crossover at m ≈ lg² n = 400.
+        let d = fig1_data(&Family::DeBruijn, &Family::Mesh(2), (1u64 << 20) as f64, 32);
+        assert!((d.crossover_m - 400.0).abs() < 40.0, "m* {}", d.crossover_m);
+        // Slowdown at crossover = n/m* ≈ 2621.
+        assert!(
+            (d.crossover_slowdown - (1u64 << 20) as f64 / d.crossover_m).abs() < 1.0
+        );
+        assert_eq!(d.points.len(), 32);
+    }
+
+    #[test]
+    fn fig1_curves_are_monotone() {
+        let d = fig1_data(&Family::Mesh(3), &Family::Mesh(1), 32768.0, 16);
+        for w in d.points.windows(2) {
+            assert!(w[1].load_bound < w[0].load_bound);
+            assert!(w[1].comm_bound <= w[0].comm_bound + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fig1_same_class_crossover_is_full_size() {
+        let d = fig1_data(&Family::Butterfly, &Family::Butterfly, 4096.0, 8);
+        assert!((d.crossover_m - 4096.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fig1_measured_exceeds_prediction() {
+        let guest = Machine::de_bruijn(6);
+        let rows = fig1_measured(
+            &guest,
+            &Family::Mesh(2),
+            &[4, 16],
+            6,
+            &EmulationConfig {
+                sample_steps: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(
+                r.measured_slowdown >= 0.4 * r.predicted_lower_bound,
+                "m {}: measured {} vs bound {}",
+                r.m,
+                r.measured_slowdown,
+                r.predicted_lower_bound
+            );
+        }
+    }
+
+    #[test]
+    fn fig2_series_is_labeled() {
+        let guests = vec![Machine::ring(8), Machine::mesh(2, 4)];
+        let series = fig2_series(&guests, Lemma9Config::default());
+        assert_eq!(series.len(), 2);
+        assert!(series[0].0.contains("ring"));
+        assert!(series[1].1.gamma_edges > 0);
+    }
+}

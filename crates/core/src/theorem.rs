@@ -1,0 +1,198 @@
+//! The Efficient Emulation Theorem, executable.
+//!
+//! **Theorem 1** (Kruskal & Rappoport, SPAA'94): any efficient emulation of a
+//! fixed-degree guest `G` on host `H` has slowdown `S ≥ Ω(β(G)/β(H))`,
+//! provided (1) the guest time satisfies `T ≥ (1 + Ω(1))·Λ(G)` and (2) `H`
+//! is bottleneck-free.
+//!
+//! [`slowdown_lower_bound`] returns the bound as a symbolic two-variable
+//! ratio; [`SlowdownBound::eval`] evaluates it at concrete sizes; and
+//! [`check_premises`] audits the theorem's side conditions for a concrete
+//! pair of machines (degree boundedness, guest-time threshold, empirical
+//! bottleneck-freeness).
+
+use fcn_asymptotics::Asym;
+use fcn_bandwidth::{quick_audit, BottleneckAudit};
+use fcn_topology::{Family, Machine};
+use serde::{Deserialize, Serialize};
+
+/// The total slowdown lower bound `max(load, communication)`:
+/// `S ≥ max(N_G/N_H, β_G(n)/β_H(m))`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SlowdownBound {
+    /// β of the guest, as a growth class in the guest size `n`.
+    pub guest_beta: Asym,
+    /// β of the host, as a growth class in the host size `m`.
+    pub host_beta: Asym,
+}
+
+impl SlowdownBound {
+    /// Communication-induced slowdown at concrete sizes (unit constants).
+    pub fn communication(&self, n: f64, m: f64) -> f64 {
+        self.guest_beta.eval(n) / self.host_beta.eval(m)
+    }
+
+    /// Load-induced slowdown `n/m` (some host processor emulates at least
+    /// `⌈n/m⌉` guest processors).
+    pub fn load(&self, n: f64, m: f64) -> f64 {
+        n / m
+    }
+
+    /// The combined lower bound `max(load, communication)`.
+    pub fn eval(&self, n: f64, m: f64) -> f64 {
+        self.load(n, m).max(self.communication(n, m))
+    }
+
+    /// Render the communication bound, e.g.
+    /// `Θ((n * lg^-1 n) / (m^(1/2)))` for de Bruijn on a 2-d mesh.
+    pub fn to_string_in_n_m(&self) -> String {
+        let g = self.guest_beta.theta_string();
+        // The host expression's only variable letter is `n` ("lg" has none),
+        // so a character substitution renames it to `m`.
+        let h = self.host_beta.theta_string().replace('n', "m");
+        format!("Θ(({g}) / ({h}))")
+    }
+}
+
+impl std::fmt::Display for SlowdownBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_string_in_n_m())
+    }
+}
+
+/// The Efficient Emulation Theorem's bound for a guest/host family pair.
+///
+/// ```
+/// use fcn_core::slowdown_lower_bound;
+/// use fcn_topology::Family;
+///
+/// let b = slowdown_lower_bound(&Family::DeBruijn, &Family::Mesh(2));
+/// // At n = 2^20 and m = lg² n the two slowdown sources balance.
+/// let n = (1u64 << 20) as f64;
+/// assert!((b.communication(n, 400.0) / b.load(n, 400.0) - 1.0).abs() < 1e-9);
+/// ```
+pub fn slowdown_lower_bound(guest: &Family, host: &Family) -> SlowdownBound {
+    SlowdownBound {
+        guest_beta: guest.beta(),
+        host_beta: host.beta(),
+    }
+}
+
+/// Result of auditing the theorem's premises on concrete machines.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PremiseReport {
+    /// Premise: the guest is a fixed-degree network (the weak hypercube
+    /// qualifies via its unit node capacity; the bus does not qualify as a
+    /// *guest*).
+    pub guest_fixed_degree: bool,
+    /// Maximum guest degree observed.
+    pub guest_max_degree: u64,
+    /// Premise: guest computation long enough, `T ≥ (1+ε)·Λ(G)`.
+    pub guest_time_ok: bool,
+    /// The Λ(G) threshold used (analytic λ at the guest size).
+    pub lambda_threshold: f64,
+    /// Premise: host is bottleneck-free (empirical audit).
+    pub bottleneck_audit: BottleneckAudit,
+    /// Whether the audit passed with the allowed constant.
+    pub host_bottleneck_free: bool,
+}
+
+impl PremiseReport {
+    /// All premises hold.
+    pub fn all_ok(&self) -> bool {
+        self.guest_fixed_degree && self.guest_time_ok && self.host_bottleneck_free
+    }
+}
+
+/// Audit the theorem's premises for a concrete guest/host pair and a guest
+/// computation length `guest_steps`, requiring `T ≥ (1+epsilon)·Λ(G)` and
+/// bottleneck constant at most `allowed_bottleneck`.
+pub fn check_premises(
+    guest: &Machine,
+    host: &Machine,
+    guest_steps: u64,
+    epsilon: f64,
+    allowed_bottleneck: f64,
+    seed: u64,
+) -> PremiseReport {
+    let guest_max_degree = guest.graph().max_degree();
+    // "Fixed degree" at a single size is read as: degree stays bounded as
+    // the family scales, which Family::fixed_degree knows; the weak
+    // hypercube is admitted through its node capacity.
+    let guest_fixed_degree =
+        guest.family().fixed_degree() || guest.has_node_capacities();
+    let lambda_threshold = guest.lambda_at_size();
+    let guest_time_ok = guest_steps as f64 >= (1.0 + epsilon) * lambda_threshold;
+    let bottleneck_audit = quick_audit(host, seed);
+    let host_bottleneck_free = bottleneck_audit.is_bottleneck_free(allowed_bottleneck);
+    PremiseReport {
+        guest_fixed_degree,
+        guest_max_degree,
+        guest_time_ok,
+        lambda_threshold,
+        bottleneck_audit,
+        host_bottleneck_free,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn de_bruijn_on_mesh_bound_matches_intro_example() {
+        // S_c ≥ Ω((n/lg n) / sqrt(m)).
+        let b = slowdown_lower_bound(&Family::DeBruijn, &Family::Mesh(2));
+        let n = (1u64 << 20) as f64;
+        // At m = lg^2 n the communication bound equals the load bound.
+        let m_star = 20.0f64 * 20.0;
+        let comm = b.communication(n, m_star);
+        let load = b.load(n, m_star);
+        assert!((comm / load - 1.0).abs() < 1e-9, "comm {comm} load {load}");
+    }
+
+    #[test]
+    fn same_family_bound_is_size_ratio_only() {
+        let b = slowdown_lower_bound(&Family::Butterfly, &Family::Butterfly);
+        // communication(n, n) = 1: equal machines emulate at constant
+        // slowdown per the bound.
+        assert!((b.communication(4096.0, 4096.0) - 1.0).abs() < 1e-9);
+        assert!((b.eval(4096.0, 1024.0) - 4.0).abs() < 0.6);
+    }
+
+    #[test]
+    fn bound_is_monotone_in_host_size_for_mesh_hosts() {
+        let b = slowdown_lower_bound(&Family::DeBruijn, &Family::Mesh(2));
+        let n = 65536.0;
+        assert!(b.communication(n, 64.0) > b.communication(n, 256.0));
+        assert!(b.eval(n, 64.0) >= b.load(n, 64.0));
+    }
+
+    #[test]
+    fn premises_hold_for_classic_pair() {
+        let guest = Machine::de_bruijn(5);
+        let host = Machine::mesh(2, 4);
+        let steps = 3 * 5; // >= (1+eps)·lg n
+        let report = check_premises(&guest, &host, steps, 0.5, 4.0, 3);
+        assert!(report.guest_fixed_degree);
+        assert!(report.guest_time_ok);
+        assert!(report.host_bottleneck_free, "ratio {}", report.bottleneck_audit.worst_ratio);
+        assert!(report.all_ok());
+    }
+
+    #[test]
+    fn short_computations_fail_the_time_premise() {
+        let guest = Machine::mesh(2, 16); // λ = Θ(sqrt n) = 16
+        let host = Machine::mesh(2, 4);
+        let report = check_premises(&guest, &host, 4, 0.5, 4.0, 3);
+        assert!(!report.guest_time_ok);
+        assert!(!report.all_ok());
+    }
+
+    #[test]
+    fn display_renders_both_variables() {
+        let b = slowdown_lower_bound(&Family::DeBruijn, &Family::Mesh(2));
+        let s = b.to_string();
+        assert!(s.contains('n') && s.contains('m'), "{s}");
+    }
+}

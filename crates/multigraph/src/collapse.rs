@@ -1,0 +1,166 @@
+//! Super-vertex collapse — the Lemma 11 operation.
+//!
+//! "The nodes of [the circuit] are collected into |H| sets or
+//! *super-vertices* and edges between circuit nodes collapsed into different
+//! super-vertices become edges between the super-vertices" — emulating a big
+//! communication pattern on a smaller host is modeled as collapsing it onto
+//! `|H|` super-vertices (with bounded load) and then 1-to-1 embedding the
+//! collapsed graph. [`collapse`] performs the operation, preserving internal
+//! edges as self-loops so that work accounting stays exact.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{Multigraph, MultigraphBuilder, NodeId};
+
+/// Result of collapsing a multigraph onto super-vertices.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CollapseResult {
+    /// The collapsed multigraph on `num_supers` vertices. Edges internal to
+    /// a super-vertex become self-loops; parallel inter-super edges
+    /// accumulate multiplicity.
+    pub graph: Multigraph,
+    /// `loads[s]` = number of original vertices assigned to super-vertex `s`.
+    pub loads: Vec<u32>,
+}
+
+impl CollapseResult {
+    /// Maximum load over super-vertices — the Lemma 11 `O(k)`.
+    pub fn max_load(&self) -> u32 {
+        self.loads.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of super-vertices with zero load ("some super-vertices may be
+    /// empty").
+    pub fn empty_supers(&self) -> usize {
+        self.loads.iter().filter(|&&l| l == 0).count()
+    }
+}
+
+/// Collapse `g` onto `num_supers` super-vertices according to `assign`
+/// (`assign[u]` = super-vertex of original vertex `u`).
+///
+/// # Panics
+/// Panics if `assign` has the wrong length or maps out of range.
+pub fn collapse(g: &Multigraph, assign: &[NodeId], num_supers: usize) -> CollapseResult {
+    assert_eq!(assign.len(), g.node_count(), "assignment length mismatch");
+    let mut loads = vec![0u32; num_supers];
+    for &s in assign {
+        assert!((s as usize) < num_supers, "assignment out of range");
+        loads[s as usize] += 1;
+    }
+    let mut b = MultigraphBuilder::new(num_supers);
+    for e in g.edges() {
+        b.add_edge_mult(assign[e.u as usize], assign[e.v as usize], e.multiplicity);
+    }
+    CollapseResult {
+        graph: b.build(),
+        loads,
+    }
+}
+
+/// Contiguous-block assignment of `n` vertices to `m` super-vertices:
+/// super-vertex `s` gets ids `[s·⌈n/m⌉, ...)`. Load is `⌈n/m⌉` or less.
+/// Topology generators number vertices so blocks are geometrically local,
+/// making this the natural "good" emulation assignment.
+pub fn contiguous_blocks(n: usize, m: usize) -> Vec<NodeId> {
+    assert!(m >= 1 && n >= 1);
+    let block = n.div_ceil(m);
+    (0..n).map(|u| (u / block) as NodeId).collect()
+}
+
+/// Round-robin assignment: vertex `u` goes to super-vertex `u mod m`.
+/// Geometrically *bad* on purpose — used as an adversarial baseline.
+pub fn round_robin(n: usize, m: usize) -> Vec<NodeId> {
+    assert!(m >= 1);
+    (0..n).map(|u| (u % m) as NodeId).collect()
+}
+
+/// Random balanced assignment: a shuffled contiguous-block assignment, so
+/// loads stay within one of each other but placement is random.
+pub fn random_balanced(n: usize, m: usize, rng: &mut impl Rng) -> Vec<NodeId> {
+    let mut slots: Vec<NodeId> = (0..n).map(|u| (u % m) as NodeId).collect();
+    slots.shuffle(rng);
+    slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cycle(n: usize) -> Multigraph {
+        Multigraph::from_edges(n, (0..n as NodeId).map(|i| (i, (i + 1) % n as NodeId)))
+    }
+
+    #[test]
+    fn collapse_cycle_onto_two_halves() {
+        let g = cycle(8);
+        let r = collapse(&g, &contiguous_blocks(8, 2), 2);
+        assert_eq!(r.loads, vec![4, 4]);
+        // 2 crossing edges (3-4 and 7-0), 3 internal per side as self-loops.
+        assert_eq!(r.graph.multiplicity(0, 1), 2);
+        assert_eq!(r.graph.multiplicity(0, 0), 3);
+        assert_eq!(r.graph.multiplicity(1, 1), 3);
+        // Total simple edges preserved.
+        assert_eq!(r.graph.simple_edge_count(), g.simple_edge_count());
+    }
+
+    #[test]
+    fn edge_mass_is_always_preserved() {
+        let g = cycle(12).scaled(3);
+        for m in [1, 2, 3, 4, 6, 12] {
+            let r = collapse(&g, &round_robin(12, m), m);
+            assert_eq!(r.graph.simple_edge_count(), g.simple_edge_count());
+        }
+    }
+
+    #[test]
+    fn round_robin_on_cycle_maximizes_crossing() {
+        // u mod 2 on a cycle: every edge crosses — no self-loops.
+        let g = cycle(8);
+        let r = collapse(&g, &round_robin(8, 2), 2);
+        assert_eq!(r.graph.self_loop_count(), 0);
+        assert_eq!(r.graph.multiplicity(0, 1), 8);
+    }
+
+    #[test]
+    fn contiguous_blocks_load_bound() {
+        for (n, m) in [(10, 3), (16, 4), (7, 7), (5, 8)] {
+            let a = contiguous_blocks(n, m);
+            let r = collapse(&cycle(n.max(3)), &contiguous_blocks(n.max(3), m), m);
+            assert!(r.max_load() as usize <= (n.max(3)).div_ceil(m));
+            assert_eq!(a.len(), n);
+        }
+    }
+
+    #[test]
+    fn random_balanced_is_balanced() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let a = random_balanced(100, 7, &mut rng);
+        let mut counts = vec![0u32; 7];
+        for &s in &a {
+            counts[s as usize] += 1;
+        }
+        let (lo, hi) = (
+            counts.iter().min().copied().unwrap(),
+            counts.iter().max().copied().unwrap(),
+        );
+        assert!(hi - lo <= 1, "loads {counts:?}");
+    }
+
+    #[test]
+    fn empty_supers_reported() {
+        let g = cycle(4);
+        let r = collapse(&g, &[0, 0, 1, 1], 5);
+        assert_eq!(r.empty_supers(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_assignment_panics() {
+        let _ = collapse(&cycle(3), &[0, 1, 5], 2);
+    }
+}

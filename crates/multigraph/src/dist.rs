@@ -1,0 +1,274 @@
+//! BFS distances, diameter, and average distance.
+//!
+//! The paper's minimal-computation-time parameter `Λ(G)` ("proportional to
+//! diameter for most machines") and the `λ` column of Table 4 are distance
+//! quantities; the distance lower bound on bandwidth (`β ≤ E(G)/avg-dist`)
+//! also needs the mean pairwise distance. Everything here is unweighted BFS:
+//! multiplicities affect capacity, not hop counts.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{Multigraph, NodeId};
+
+/// Sentinel distance for unreachable vertices.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances (hops). Unreachable vertices get
+/// [`UNREACHABLE`].
+pub fn bfs_distances(g: &Multigraph, src: NodeId) -> Vec<u32> {
+    let n = g.node_count();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut queue = std::collections::VecDeque::with_capacity(n.min(1024));
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for (v, _) in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS that also records one parent per vertex, for shortest-path extraction.
+/// Ties are broken toward the neighbor discovered first (deterministic).
+pub fn bfs_parents(g: &Multigraph, src: NodeId) -> (Vec<u32>, Vec<NodeId>) {
+    let n = g.node_count();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut parent = vec![NodeId::MAX; n];
+    let mut queue = std::collections::VecDeque::with_capacity(n.min(1024));
+    dist[src as usize] = 0;
+    parent[src as usize] = src;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for (v, _) in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                parent[v as usize] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+    (dist, parent)
+}
+
+/// Extract the `src -> dst` shortest path from a parent array produced by
+/// [`bfs_parents`] rooted at `src`. Returns the vertex sequence including
+/// both endpoints, or `None` if `dst` is unreachable.
+pub fn path_from_parents(parent: &[NodeId], src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+    if parent[dst as usize] == NodeId::MAX {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = parent[cur as usize];
+        path.push(cur);
+        debug_assert!(path.len() <= parent.len(), "parent cycle");
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Exact diameter (max eccentricity). `O(n·E)`; use on small graphs or rely
+/// on [`distance_stats`] with sampling for large ones.
+///
+/// # Panics
+/// Panics if the graph is disconnected (diameter undefined).
+pub fn diameter(g: &Multigraph) -> u32 {
+    let mut best = 0;
+    for u in 0..g.node_count() as NodeId {
+        let d = bfs_distances(g, u);
+        let ecc = d.iter().copied().max().unwrap_or(0);
+        assert!(ecc != UNREACHABLE, "diameter of a disconnected graph");
+        best = best.max(ecc);
+    }
+    best
+}
+
+/// Exact average pairwise distance over ordered pairs.
+pub fn avg_distance_exact(g: &Multigraph) -> f64 {
+    let n = g.node_count();
+    assert!(n >= 2);
+    let mut total = 0u64;
+    for u in 0..n as NodeId {
+        let d = bfs_distances(g, u);
+        for (v, &dv) in d.iter().enumerate() {
+            assert!(dv != UNREACHABLE, "avg distance of a disconnected graph");
+            if v as NodeId != u {
+                total += dv as u64;
+            }
+        }
+    }
+    total as f64 / (n as f64 * (n as f64 - 1.0))
+}
+
+/// Average distance estimated from `samples` random BFS sources.
+pub fn avg_distance_sampled(g: &Multigraph, samples: usize, rng: &mut impl Rng) -> f64 {
+    let n = g.node_count();
+    assert!(n >= 2 && samples >= 1);
+    let mut total = 0u64;
+    let mut count = 0u64;
+    for _ in 0..samples {
+        let u = rng.random_range(0..n as NodeId);
+        let d = bfs_distances(g, u);
+        for (v, &dv) in d.iter().enumerate() {
+            assert!(dv != UNREACHABLE, "sampled distance on disconnected graph");
+            if v as NodeId != u {
+                total += dv as u64;
+                count += 1;
+            }
+        }
+    }
+    total as f64 / count as f64
+}
+
+/// Distance summary for a machine: the paper's `λ`-side quantities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistanceStats {
+    /// Max observed eccentricity (== diameter when `exact`).
+    pub diameter: u32,
+    /// Mean pairwise distance over the probed sources.
+    pub avg_distance: f64,
+    /// Whether every vertex was used as a BFS source.
+    pub exact: bool,
+}
+
+/// Compute [`DistanceStats`], exactly when `n <= exact_threshold`, otherwise
+/// from `samples` random sources.
+pub fn distance_stats(
+    g: &Multigraph,
+    exact_threshold: usize,
+    samples: usize,
+    rng: &mut impl Rng,
+) -> DistanceStats {
+    let n = g.node_count();
+    if n <= exact_threshold {
+        return DistanceStats {
+            diameter: diameter(g),
+            avg_distance: avg_distance_exact(g),
+            exact: true,
+        };
+    }
+    let mut max_ecc = 0;
+    let mut total = 0u64;
+    let mut count = 0u64;
+    for _ in 0..samples.max(1) {
+        let u = rng.random_range(0..n as NodeId);
+        let d = bfs_distances(g, u);
+        for (v, &dv) in d.iter().enumerate() {
+            assert!(dv != UNREACHABLE, "distance stats on disconnected graph");
+            if v as NodeId != u {
+                total += dv as u64;
+                count += 1;
+                max_ecc = max_ecc.max(dv);
+            }
+        }
+    }
+    DistanceStats {
+        diameter: max_ecc,
+        avg_distance: total as f64 / count as f64,
+        exact: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn path_graph(n: usize) -> Multigraph {
+        Multigraph::from_edges(n, (0..n as NodeId - 1).map(|i| (i, i + 1)))
+    }
+
+    fn cycle_graph(n: usize) -> Multigraph {
+        Multigraph::from_edges(n, (0..n as NodeId).map(|i| (i, (i + 1) % n as NodeId)))
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path_graph(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        let d = bfs_distances(&g, 2);
+        assert_eq!(d, vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_marks_unreachable() {
+        let g = Multigraph::from_edges(4, [(0, 1)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn parents_give_shortest_paths() {
+        let g = cycle_graph(8);
+        let (dist, parent) = bfs_parents(&g, 0);
+        let p = path_from_parents(&parent, 0, 3).unwrap();
+        assert_eq!(p.first(), Some(&0));
+        assert_eq!(p.last(), Some(&3));
+        assert_eq!(p.len() as u32 - 1, dist[3]);
+        // consecutive vertices adjacent
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn unreachable_path_is_none() {
+        let g = Multigraph::from_edges(3, [(0, 1)]);
+        let (_, parent) = bfs_parents(&g, 0);
+        assert!(path_from_parents(&parent, 0, 2).is_none());
+    }
+
+    #[test]
+    fn diameter_of_path_and_cycle() {
+        assert_eq!(diameter(&path_graph(10)), 9);
+        assert_eq!(diameter(&cycle_graph(10)), 5);
+        assert_eq!(diameter(&cycle_graph(9)), 4);
+    }
+
+    #[test]
+    fn avg_distance_of_path3() {
+        // distances: (0,1)=1 (0,2)=2 (1,2)=1 → ordered mean = 8/6
+        let g = path_graph(3);
+        assert!((avg_distance_exact(&g) - 8.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_close_to_exact() {
+        let g = cycle_graph(64);
+        let exact = avg_distance_exact(&g);
+        let mut rng = StdRng::seed_from_u64(5);
+        let approx = avg_distance_sampled(&g, 16, &mut rng);
+        assert!((approx - exact).abs() / exact < 0.05);
+    }
+
+    #[test]
+    fn stats_exact_and_sampled_modes() {
+        let g = cycle_graph(32);
+        let mut rng = StdRng::seed_from_u64(2);
+        let s1 = distance_stats(&g, 64, 4, &mut rng);
+        assert!(s1.exact);
+        assert_eq!(s1.diameter, 16);
+        let s2 = distance_stats(&g, 8, 8, &mut rng);
+        assert!(!s2.exact);
+        assert!(s2.diameter >= 8); // sampled eccentricity lower-bounds diameter
+        assert!((s2.avg_distance - s1.avg_distance).abs() / s1.avg_distance < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn diameter_rejects_disconnected() {
+        let g = Multigraph::from_edges(4, [(0, 1), (2, 3)]);
+        let _ = diameter(&g);
+    }
+}

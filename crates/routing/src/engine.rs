@@ -1,0 +1,425 @@
+//! The synchronous store-and-forward router.
+//!
+//! Model (exactly the paper's): time proceeds in unit ticks; each *wire*
+//! (directed edge; an undirected link of multiplicity `m` is two opposite
+//! wires of capacity `m`) moves at most `m` packets per tick; packets queue
+//! at wires; a packet forwarded at tick `t` becomes available at the next
+//! vertex at tick `t+1`. "Weak" machines additionally cap the total packets
+//! a *node* may transmit per tick ([`fcn_topology::SendCapacity::PerNode`]),
+//! which is how the global bus (hub capacity 1) and the weak hypercube (one
+//! wire per node per tick) are expressed.
+//!
+//! The queue discipline resolves contention; `RandomRank` mirrors the
+//! random-priority scheduling of the universal O(congestion + dilation)
+//! routing result the paper's Theorem 6 invokes.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use fcn_multigraph::NodeId;
+use fcn_topology::Machine;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::packet::{PacketPath, QueueDiscipline};
+
+/// Router configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouterConfig {
+    pub discipline: QueueDiscipline,
+    /// Seed for random ranks.
+    pub seed: u64,
+    /// Safety valve: abort after this many ticks.
+    pub max_ticks: u64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            discipline: QueueDiscipline::RandomRank,
+            seed: 0x5eed,
+            max_ticks: 4_000_000,
+        }
+    }
+}
+
+/// Result of routing one batch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoutingOutcome {
+    /// Ticks until the last delivery (0 if every packet was trivial).
+    pub ticks: u64,
+    /// Packets delivered.
+    pub delivered: usize,
+    /// Packets injected.
+    pub total: usize,
+    /// False iff `max_ticks` was hit first.
+    pub completed: bool,
+    /// Peak queue length observed on any single wire.
+    pub max_queue: usize,
+    /// Total wire traversals performed.
+    pub total_hops: u64,
+}
+
+impl RoutingOutcome {
+    /// Average delivery rate `m / r(m)` — the operational bandwidth sample.
+    pub fn rate(&self) -> f64 {
+        self.delivered as f64 / self.ticks.max(1) as f64
+    }
+}
+
+/// Per-wire queue under a discipline. Priority queues pop the smallest key.
+enum WireQueue {
+    Fifo(VecDeque<u32>),
+    Prio(BinaryHeap<Reverse<(u32, u32)>>),
+}
+
+impl WireQueue {
+    fn new(discipline: QueueDiscipline) -> Self {
+        match discipline {
+            QueueDiscipline::Fifo => WireQueue::Fifo(VecDeque::new()),
+            _ => WireQueue::Prio(BinaryHeap::new()),
+        }
+    }
+
+    fn push(&mut self, key: u32, pid: u32) {
+        match self {
+            WireQueue::Fifo(q) => q.push_back(pid),
+            WireQueue::Prio(q) => q.push(Reverse((key, pid))),
+        }
+    }
+
+    fn pop(&mut self) -> Option<u32> {
+        match self {
+            WireQueue::Fifo(q) => q.pop_front(),
+            WireQueue::Prio(q) => q.pop().map(|Reverse((_, pid))| pid),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            WireQueue::Fifo(q) => q.len(),
+            WireQueue::Prio(q) => q.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+struct PacketState {
+    path: PacketPath,
+    /// Index of the vertex the packet currently sits at.
+    pos: u32,
+    /// Random rank (used by `RandomRank`).
+    rank: u32,
+}
+
+/// Route a batch of packets to completion on a machine.
+///
+/// All packets are injected at tick 0 (the paper's "deliver all m messages"
+/// batch semantics); the returned outcome's [`RoutingOutcome::rate`] is the
+/// delivery-rate sample `m / r(m)`.
+pub fn route_batch(machine: &Machine, packets: Vec<PacketPath>, cfg: RouterConfig) -> RoutingOutcome {
+    let g = machine.graph();
+    let n = g.node_count();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Directed wire arrays. Neighbor lists are ascending (CSR built from an
+    // ordered map), so next-hop lookup is a binary search.
+    let mut wire_offsets = Vec::with_capacity(n + 1);
+    let mut wire_to: Vec<NodeId> = Vec::new();
+    let mut wire_cap: Vec<u32> = Vec::new();
+    wire_offsets.push(0usize);
+    for u in 0..n as NodeId {
+        for (v, m) in g.neighbors(u) {
+            if v != u {
+                wire_to.push(v);
+                wire_cap.push(m);
+            }
+        }
+        wire_offsets.push(wire_to.len());
+    }
+    let wire_of = |u: NodeId, v: NodeId| -> usize {
+        let lo = wire_offsets[u as usize];
+        let hi = wire_offsets[u as usize + 1];
+        lo + wire_to[lo..hi]
+            .binary_search(&v)
+            .unwrap_or_else(|_| panic!("no wire {u} -> {v}"))
+    };
+    let mut queues: Vec<WireQueue> = (0..wire_to.len())
+        .map(|_| WireQueue::new(cfg.discipline))
+        .collect();
+    // Activity is tracked per *node* (a node is active while any of its
+    // out-wires has queued packets), so the send phase iterates active
+    // nodes and their short wire ranges — no per-tick sorting.
+    let mut active_nodes: Vec<NodeId> = Vec::new();
+    let mut node_queued = vec![0u32; n]; // queued packets across the node's wires
+    let mut node_listed = vec![false; n];
+    let mut rotate = vec![0u32; n];
+
+    let total = packets.len();
+    let mut states: Vec<PacketState> = packets
+        .into_iter()
+        .map(|p| PacketState {
+            path: p,
+            pos: 0,
+            rank: rng.random::<u32>(),
+        })
+        .collect();
+
+    let key_of = |st: &PacketState, discipline: QueueDiscipline| -> u32 {
+        match discipline {
+            QueueDiscipline::Fifo => 0,
+            // Smaller key pops first; invert remaining hops so farther
+            // packets win.
+            QueueDiscipline::FarthestFirst => {
+                u32::MAX - (st.path.hops() as u32 - st.pos)
+            }
+            QueueDiscipline::RandomRank => st.rank,
+        }
+    };
+
+    let mut delivered = 0usize;
+    let mut total_hops = 0u64;
+    let mut max_queue = 0usize;
+
+    // Injection.
+    for (pid, st) in states.iter().enumerate() {
+        if st.path.hops() == 0 {
+            delivered += 1;
+            continue;
+        }
+        let src = st.path.path[0];
+        let w = wire_of(src, st.path.path[1]);
+        let key = key_of(st, cfg.discipline);
+        queues[w].push(key, pid as u32);
+        node_queued[src as usize] += 1;
+        if !node_listed[src as usize] {
+            node_listed[src as usize] = true;
+            active_nodes.push(src);
+        }
+    }
+    for q in &queues {
+        max_queue = max_queue.max(q.len());
+    }
+
+    let mut ticks = 0u64;
+    let mut arrivals: Vec<u32> = Vec::new();
+    while delivered < total && ticks < cfg.max_ticks {
+        ticks += 1;
+        arrivals.clear();
+        // Send phase: each active node pushes packets subject to per-wire
+        // and per-node budgets, starting at a rotating wire offset for
+        // fairness under tight budgets.
+        for &u in &active_nodes {
+            let lo = wire_offsets[u as usize];
+            let hi = wire_offsets[u as usize + 1];
+            let deg = hi - lo;
+            if deg == 0 || node_queued[u as usize] == 0 {
+                continue;
+            }
+            let mut budget = machine.send_capacity(u) as u64;
+            let start = (rotate[u as usize] as usize) % deg;
+            for idx in 0..deg {
+                if budget == 0 {
+                    break;
+                }
+                let w = lo + (start + idx) % deg;
+                if queues[w].is_empty() {
+                    continue;
+                }
+                let cap = (wire_cap[w] as u64).min(budget);
+                let mut sent = 0u64;
+                while sent < cap {
+                    match queues[w].pop() {
+                        Some(pid) => {
+                            arrivals.push(pid);
+                            sent += 1;
+                        }
+                        None => break,
+                    }
+                }
+                budget -= sent;
+                node_queued[u as usize] -= sent as u32;
+            }
+            rotate[u as usize] = rotate[u as usize].wrapping_add(1);
+        }
+        // Drop nodes emptied by the send phase (before arrivals re-add).
+        active_nodes.retain(|&u| {
+            let keep = node_queued[u as usize] > 0;
+            if !keep {
+                node_listed[u as usize] = false;
+            }
+            keep
+        });
+        // Arrival phase: advance packets, deliver or re-enqueue.
+        for &pid in &arrivals {
+            let st = &mut states[pid as usize];
+            st.pos += 1;
+            total_hops += 1;
+            if st.pos as usize == st.path.hops() {
+                delivered += 1;
+                continue;
+            }
+            let from = st.path.path[st.pos as usize];
+            let to = st.path.path[st.pos as usize + 1];
+            let w = wire_of(from, to);
+            let key = key_of(st, cfg.discipline);
+            queues[w].push(key, pid);
+            max_queue = max_queue.max(queues[w].len());
+            node_queued[from as usize] += 1;
+            if !node_listed[from as usize] {
+                node_listed[from as usize] = true;
+                active_nodes.push(from);
+            }
+        }
+    }
+
+    RoutingOutcome {
+        ticks,
+        delivered,
+        total,
+        completed: delivered == total,
+        max_queue,
+        total_hops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcn_topology::Machine;
+
+    fn cfg(d: QueueDiscipline) -> RouterConfig {
+        RouterConfig {
+            discipline: d,
+            seed: 7,
+            max_ticks: 100_000,
+        }
+    }
+
+    #[test]
+    fn single_packet_takes_path_length_ticks() {
+        let m = Machine::linear_array(10);
+        let p = PacketPath::new((0..10).collect());
+        let out = route_batch(&m, vec![p], cfg(QueueDiscipline::Fifo));
+        assert!(out.completed);
+        assert_eq!(out.ticks, 9);
+        assert_eq!(out.total_hops, 9);
+        assert!((out.rate() - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trivial_packets_deliver_at_tick_zero() {
+        let m = Machine::linear_array(4);
+        let out = route_batch(
+            &m,
+            vec![PacketPath::new(vec![2]), PacketPath::new(vec![0])],
+            cfg(QueueDiscipline::Fifo),
+        );
+        assert!(out.completed);
+        assert_eq!(out.ticks, 0);
+        assert_eq!(out.delivered, 2);
+    }
+
+    #[test]
+    fn contention_serializes_on_one_wire() {
+        // k packets all crossing the same single wire take k ticks for the
+        // final crossing: flux in action.
+        let m = Machine::linear_array(2);
+        let packets: Vec<_> = (0..8).map(|_| PacketPath::new(vec![0, 1])).collect();
+        let out = route_batch(&m, packets, cfg(QueueDiscipline::Fifo));
+        assert!(out.completed);
+        assert_eq!(out.ticks, 8);
+        assert_eq!(out.max_queue, 8);
+    }
+
+    #[test]
+    fn opposite_wires_are_independent() {
+        let m = Machine::linear_array(2);
+        let mut packets: Vec<_> = (0..4).map(|_| PacketPath::new(vec![0, 1])).collect();
+        packets.extend((0..4).map(|_| PacketPath::new(vec![1, 0])));
+        let out = route_batch(&m, packets, cfg(QueueDiscipline::Fifo));
+        assert_eq!(out.ticks, 4);
+    }
+
+    #[test]
+    fn node_capacity_throttles_the_bus() {
+        // 6 packets from distinct sources via the hub: hub forwards 1/tick,
+        // so the last arrives around tick 7 (1 tick in + 6 hub slots).
+        let m = Machine::global_bus(6);
+        let hub = 6 as NodeId;
+        let packets: Vec<_> = (0..6u32)
+            .map(|i| PacketPath::new(vec![i, hub, (i + 1) % 6]))
+            .collect();
+        let out = route_batch(&m, packets, cfg(QueueDiscipline::RandomRank));
+        assert!(out.completed);
+        assert!(out.ticks >= 7, "bus finished too fast: {}", out.ticks);
+        assert!(out.ticks <= 8, "bus too slow: {}", out.ticks);
+    }
+
+    #[test]
+    fn unit_node_capacity_on_weak_hypercube() {
+        // Node 0 fans out 4 packets on 4 distinct wires; weak capacity 1
+        // serializes them.
+        let m = Machine::weak_hypercube(2);
+        let packets: Vec<_> = vec![
+            PacketPath::new(vec![0, 1]),
+            PacketPath::new(vec![0, 2]),
+            PacketPath::new(vec![0, 1, 3]),
+            PacketPath::new(vec![0, 2, 3]),
+        ];
+        let out = route_batch(&m, packets, cfg(QueueDiscipline::Fifo));
+        assert!(out.completed);
+        assert!(out.ticks >= 4, "weak cap violated: {}", out.ticks);
+    }
+
+    #[test]
+    fn multiplicity_gives_parallel_capacity() {
+        // Double every edge of a 2-path: two packets cross per tick.
+        use fcn_multigraph::Cut;
+        use fcn_topology::{Family, SendCapacity};
+        let g = fcn_multigraph::Multigraph::from_edges(2, [(0, 1)]).scaled(2);
+        let m = fcn_topology::Machine::custom(
+            Family::LinearArray,
+            "double_edge".into(),
+            g,
+            2,
+            SendCapacity::Unlimited,
+            vec![Cut::prefix(2, 1)],
+        );
+        let packets: Vec<_> = (0..8).map(|_| PacketPath::new(vec![0, 1])).collect();
+        let out = route_batch(&m, packets, cfg(QueueDiscipline::Fifo));
+        assert_eq!(out.ticks, 4);
+    }
+
+    #[test]
+    fn all_disciplines_complete_random_traffic() {
+        let m = Machine::mesh(2, 4);
+        for d in [
+            QueueDiscipline::Fifo,
+            QueueDiscipline::FarthestFirst,
+            QueueDiscipline::RandomRank,
+        ] {
+            let mut oracle = crate::oracle::PathOracle::new(m.graph(), 5);
+            let demands: Vec<_> = (0..16u32).map(|i| (i, 15 - i)).collect();
+            let routes = oracle.routes(&demands, crate::packet::Strategy::ShortestPath);
+            let out = route_batch(&m, routes, cfg(d));
+            assert!(out.completed, "{d:?} did not complete");
+            assert_eq!(out.delivered, 16);
+        }
+    }
+
+    #[test]
+    fn max_ticks_aborts() {
+        let m = Machine::linear_array(2);
+        let packets: Vec<_> = (0..100).map(|_| PacketPath::new(vec![0, 1])).collect();
+        let mut c = cfg(QueueDiscipline::Fifo);
+        c.max_ticks = 10;
+        let out = route_batch(&m, packets, c);
+        assert!(!out.completed);
+        assert_eq!(out.delivered, 10);
+    }
+}

@@ -1,0 +1,204 @@
+//! Delivery-rate measurement harness.
+//!
+//! The paper defines `β(G, π)` as the expected value, as `m → ∞`, of
+//! `m / r(m)` where `r(m)` is the time to deliver `m` messages drawn from
+//! `π`. [`measure_rate`] produces one `m / r(m)` sample; [`saturation_sweep`]
+//! grows `m` geometrically until the rate plateaus, approximating the limit.
+
+use fcn_multigraph::Traffic;
+use fcn_topology::Machine;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{route_batch, RouterConfig, RoutingOutcome};
+use crate::packet::Strategy;
+
+/// One rate sample at a specific batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateSample {
+    /// Messages injected.
+    pub messages: usize,
+    /// Ticks to deliver them all.
+    pub ticks: u64,
+    /// `messages / ticks`.
+    pub rate: f64,
+    /// Whether routing completed within the tick budget.
+    pub completed: bool,
+}
+
+/// Route `messages` random pairs from `traffic` and report the delivery
+/// rate. `seed` controls both pair sampling and routing randomness.
+///
+/// ```
+/// use fcn_routing::{measure_rate, RouterConfig, Strategy};
+/// use fcn_topology::Machine;
+///
+/// let m = Machine::mesh(2, 4);
+/// let t = m.symmetric_traffic();
+/// let s = measure_rate(&m, &t, 64, Strategy::ShortestPath, RouterConfig::default(), 1);
+/// assert!(s.completed);
+/// assert!(s.rate > 0.0);
+/// ```
+pub fn measure_rate(
+    machine: &Machine,
+    traffic: &Traffic,
+    messages: usize,
+    strategy: Strategy,
+    cfg: RouterConfig,
+    seed: u64,
+) -> RateSample {
+    let outcome = route_traffic(machine, traffic, messages, strategy, cfg, seed);
+    RateSample {
+        messages,
+        ticks: outcome.ticks,
+        rate: outcome.rate(),
+        completed: outcome.completed,
+    }
+}
+
+/// Route a batch and return the raw outcome (queue stats included).
+pub fn route_traffic(
+    machine: &Machine,
+    traffic: &Traffic,
+    messages: usize,
+    strategy: Strategy,
+    cfg: RouterConfig,
+    seed: u64,
+) -> RoutingOutcome {
+    assert!(messages >= 1);
+    assert!(
+        traffic.n() <= machine.processors(),
+        "traffic addresses more processors than the machine has"
+    );
+    let mut rng = {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(seed ^ 0x7ea55a17)
+    };
+    let demands: Vec<_> = (0..messages).map(|_| traffic.sample(&mut rng)).collect();
+    let routes = crate::native::plan_routes(machine, &demands, strategy, seed);
+    route_batch(machine, routes, cfg)
+}
+
+/// Grow the batch geometrically (`m = mult · n` for each multiplier) and
+/// report all samples. The largest completed sample's rate is the bandwidth
+/// estimate (rates increase toward the saturation plateau as fixed transit
+/// latency amortizes away).
+pub fn saturation_sweep(
+    machine: &Machine,
+    traffic: &Traffic,
+    multipliers: &[usize],
+    strategy: Strategy,
+    cfg: RouterConfig,
+    seed: u64,
+) -> Vec<RateSample> {
+    let n = traffic.n();
+    multipliers
+        .iter()
+        .enumerate()
+        .map(|(i, &mult)| {
+            measure_rate(
+                machine,
+                traffic,
+                (mult * n).max(1),
+                strategy,
+                cfg,
+                seed.wrapping_add(i as u64),
+            )
+        })
+        .collect()
+}
+
+/// The plateau estimate from a sweep: the maximum completed rate.
+pub fn plateau_rate(samples: &[RateSample]) -> Option<f64> {
+    samples
+        .iter()
+        .filter(|s| s.completed)
+        .map(|s| s.rate)
+        .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::QueueDiscipline;
+    use fcn_topology::Machine;
+
+    fn cfg() -> RouterConfig {
+        RouterConfig {
+            discipline: QueueDiscipline::RandomRank,
+            seed: 3,
+            max_ticks: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn linear_array_rate_is_constant() {
+        // β(linear array) = Θ(1): the measured rate must not grow with n.
+        let mut rates = Vec::new();
+        for n in [32, 64, 128] {
+            let m = Machine::linear_array(n);
+            let t = m.symmetric_traffic();
+            let s = measure_rate(&m, &t, 8 * n, Strategy::ShortestPath, cfg(), 11);
+            assert!(s.completed);
+            rates.push(s.rate);
+        }
+        let (lo, hi) = (
+            rates.iter().cloned().fold(f64::MAX, f64::min),
+            rates.iter().cloned().fold(0.0, f64::max),
+        );
+        assert!(hi / lo < 2.0, "rates {rates:?} not flat");
+    }
+
+    #[test]
+    fn mesh_rate_grows_like_sqrt_n() {
+        let r8 = {
+            let m = Machine::mesh(2, 8);
+            measure_rate(&m, &m.symmetric_traffic(), 8 * 64, Strategy::ShortestPath, cfg(), 5)
+        };
+        let r16 = {
+            let m = Machine::mesh(2, 16);
+            measure_rate(&m, &m.symmetric_traffic(), 8 * 256, Strategy::ShortestPath, cfg(), 5)
+        };
+        assert!(r8.completed && r16.completed);
+        let ratio = r16.rate / r8.rate;
+        // β ~ sqrt(n): quadrupling n should double the rate, within noise.
+        assert!(ratio > 1.4 && ratio < 2.8, "ratio {ratio}");
+    }
+
+    #[test]
+    fn bus_rate_is_about_one() {
+        let m = Machine::global_bus(32);
+        let s = measure_rate(&m, &m.symmetric_traffic(), 256, Strategy::ShortestPath, cfg(), 2);
+        assert!(s.completed);
+        assert!(s.rate <= 1.2, "bus rate {}", s.rate);
+        assert!(s.rate > 0.5, "bus rate {}", s.rate);
+    }
+
+    #[test]
+    fn sweep_rates_increase_with_batch_size() {
+        let m = Machine::mesh(2, 8);
+        let t = m.symmetric_traffic();
+        let samples = saturation_sweep(&m, &t, &[1, 4, 16], Strategy::ShortestPath, cfg(), 9);
+        assert_eq!(samples.len(), 3);
+        assert!(samples.iter().all(|s| s.completed));
+        assert!(samples[2].rate >= samples[0].rate * 0.9);
+        let plateau = plateau_rate(&samples).unwrap();
+        assert!(plateau >= samples[2].rate * 0.999);
+    }
+
+    #[test]
+    fn valiant_completes_on_de_bruijn() {
+        let m = Machine::de_bruijn(5);
+        let t = m.symmetric_traffic();
+        let s = measure_rate(&m, &t, 4 * 32, Strategy::Valiant, cfg(), 21);
+        assert!(s.completed);
+        assert!(s.rate > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more processors")]
+    fn traffic_must_fit_machine() {
+        let m = Machine::linear_array(4);
+        let t = Traffic::symmetric(8);
+        let _ = measure_rate(&m, &t, 8, Strategy::ShortestPath, cfg(), 0);
+    }
+}

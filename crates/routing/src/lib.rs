@@ -1,0 +1,27 @@
+//! # fcn-routing
+//!
+//! A synchronous, unit-capacity, store-and-forward packet-routing simulator
+//! — the operational realization of the Kruskal–Snir bandwidth definition
+//! the paper builds on: route `m` messages drawn from a traffic
+//! distribution, measure the completion time `r(m)`, and report the
+//! delivery rate `m / r(m)`.
+//!
+//! * [`oracle`] — converts source/destination demands into explicit routes
+//!   (randomized shortest paths or Valiant two-phase);
+//! * [`engine`] — the tick simulator: one packet per wire per tick, per-node
+//!   send budgets for the "weak" machines, pluggable queue disciplines;
+//! * [`harness`] — batch-rate measurement and saturation sweeps.
+
+pub mod engine;
+pub mod harness;
+pub mod native;
+pub mod oracle;
+pub mod packet;
+pub mod steady;
+
+pub use engine::{route_batch, RouterConfig, RoutingOutcome};
+pub use harness::{measure_rate, plateau_rate, route_traffic, saturation_sweep, RateSample};
+pub use native::{de_bruijn_path, plan_routes, shuffle_exchange_path};
+pub use oracle::PathOracle;
+pub use packet::{PacketPath, QueueDiscipline, Strategy};
+pub use steady::{saturation_throughput, steady_state_rate, SteadyConfig, SteadyOutcome};

@@ -1,0 +1,220 @@
+//! Path computation: turns (source, destination) demands into explicit
+//! routes, memory-frugally.
+//!
+//! One BFS tree is computed per distinct *group key* (source for direct
+//! routing, intermediate for the second Valiant leg) and dropped as soon as
+//! its group is done, so peak memory is one tree plus the output paths. Per
+//! group, BFS tie-breaking uses a random neighbor-preference permutation so
+//! that shortest-path load spreads across equal-cost alternatives (on
+//! meshes this approximates the usual randomized dimension-interleaving).
+
+use fcn_multigraph::{path_from_parents, Multigraph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt, SeedableRng};
+
+use crate::packet::{PacketPath, Strategy};
+
+/// Computes explicit routes over a fixed host graph.
+pub struct PathOracle<'g> {
+    graph: &'g Multigraph,
+    rng: StdRng,
+    /// BFS only visits nodes with id below this limit (used by machines
+    /// whose good routing scheme avoids auxiliary/apex structure).
+    node_limit: usize,
+}
+
+impl<'g> PathOracle<'g> {
+    pub fn new(graph: &'g Multigraph, seed: u64) -> Self {
+        PathOracle {
+            graph,
+            rng: StdRng::seed_from_u64(seed),
+            node_limit: usize::MAX,
+        }
+    }
+
+    /// An oracle whose shortest paths are restricted to the subgraph induced
+    /// by nodes `0..limit`. All demands must lie inside the prefix.
+    pub fn with_node_limit(graph: &'g Multigraph, limit: usize, seed: u64) -> Self {
+        PathOracle {
+            graph,
+            rng: StdRng::seed_from_u64(seed),
+            node_limit: limit,
+        }
+    }
+
+    /// Compute routes for the given demands under a strategy.
+    ///
+    /// Output order matches input order.
+    pub fn routes(&mut self, demands: &[(NodeId, NodeId)], strategy: Strategy) -> Vec<PacketPath> {
+        match strategy {
+            Strategy::ShortestPath => self.direct_routes(demands),
+            Strategy::Valiant => self.valiant_routes(demands),
+        }
+    }
+
+    fn direct_routes(&mut self, demands: &[(NodeId, NodeId)]) -> Vec<PacketPath> {
+        let legs = self.legs_grouped(demands);
+        legs.into_iter().map(PacketPath::new).collect()
+    }
+
+    fn valiant_routes(&mut self, demands: &[(NodeId, NodeId)]) -> Vec<PacketPath> {
+        let n = (self.graph.node_count().min(self.node_limit)) as NodeId;
+        let intermediates: Vec<NodeId> =
+            (0..demands.len()).map(|_| self.rng.random_range(0..n)).collect();
+        let first: Vec<(NodeId, NodeId)> = demands
+            .iter()
+            .zip(&intermediates)
+            .map(|(&(s, _), &w)| (s, w))
+            .collect();
+        let second: Vec<(NodeId, NodeId)> = demands
+            .iter()
+            .zip(&intermediates)
+            .map(|(&(_, d), &w)| (w, d))
+            .collect();
+        let leg1 = self.legs_grouped(&first);
+        let leg2 = self.legs_grouped(&second);
+        leg1.into_iter()
+            .zip(leg2)
+            .map(|(mut a, b)| {
+                debug_assert_eq!(*a.last().unwrap(), b[0]);
+                a.extend_from_slice(&b[1..]);
+                PacketPath::new(a)
+            })
+            .collect()
+    }
+
+    /// Shortest-path legs for all demands, one BFS per distinct source,
+    /// trees dropped eagerly. Returns raw vertex sequences in input order.
+    fn legs_grouped(&mut self, demands: &[(NodeId, NodeId)]) -> Vec<Vec<NodeId>> {
+        let mut order: Vec<usize> = (0..demands.len()).collect();
+        order.sort_by_key(|&i| demands[i].0);
+        let mut out: Vec<Vec<NodeId>> = vec![Vec::new(); demands.len()];
+        let mut current_src: Option<NodeId> = None;
+        let mut parent: Vec<NodeId> = Vec::new();
+        for &i in &order {
+            let (s, d) = demands[i];
+            if current_src != Some(s) {
+                parent = self.bfs_parents_randomized(s);
+                current_src = Some(s);
+            }
+            if s == d {
+                out[i] = vec![s];
+            } else {
+                out[i] = path_from_parents(&parent, s, d)
+                    .unwrap_or_else(|| panic!("no path {s} -> {d} in host"));
+            }
+        }
+        out
+    }
+
+    /// BFS parents with a per-call random neighbor-preference permutation,
+    /// honoring the node limit.
+    fn bfs_parents_randomized(&mut self, src: NodeId) -> Vec<NodeId> {
+        let g = self.graph;
+        let n = g.node_count();
+        let limit = self.node_limit;
+        assert!((src as usize) < limit, "source {src} outside node limit");
+        let mut parent = vec![NodeId::MAX; n];
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        parent[src as usize] = src;
+        dist[src as usize] = 0;
+        queue.push_back(src);
+        // A small reusable scratch buffer of neighbors, shuffled per vertex.
+        let mut scratch: Vec<NodeId> = Vec::new();
+        while let Some(u) = queue.pop_front() {
+            scratch.clear();
+            scratch.extend(g.neighbors(u).map(|(v, _)| v));
+            scratch.shuffle(&mut self.rng);
+            for &v in &scratch {
+                if (v as usize) < limit && dist[v as usize] == u32::MAX {
+                    dist[v as usize] = dist[u as usize] + 1;
+                    parent[v as usize] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+        parent
+    }
+
+    /// Access the oracle's RNG (for callers composing extra randomness with
+    /// the same seed stream).
+    pub fn rng(&mut self) -> &mut impl Rng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcn_multigraph::Multigraph;
+
+    fn cycle(n: usize) -> Multigraph {
+        Multigraph::from_edges(n, (0..n as NodeId).map(|i| (i, (i + 1) % n as NodeId)))
+    }
+
+    #[test]
+    fn direct_routes_are_shortest() {
+        let g = cycle(10);
+        let mut oracle = PathOracle::new(&g, 1);
+        let routes = oracle.routes(&[(0, 3), (0, 7), (5, 5)], Strategy::ShortestPath);
+        assert_eq!(routes[0].hops(), 3);
+        assert_eq!(routes[1].hops(), 3); // around the other way
+        assert_eq!(routes[2].hops(), 0);
+        for r in &routes {
+            for w in r.path.windows(2) {
+                assert!(g.has_edge(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn routes_preserve_input_order() {
+        let g = cycle(8);
+        let mut oracle = PathOracle::new(&g, 2);
+        let demands = [(3, 1), (0, 2), (3, 4), (0, 6)];
+        let routes = oracle.routes(&demands, Strategy::ShortestPath);
+        for (r, &(s, d)) in routes.iter().zip(&demands) {
+            assert_eq!(r.src(), s);
+            assert_eq!(r.dst(), d);
+        }
+    }
+
+    #[test]
+    fn valiant_routes_connect_endpoints() {
+        let g = cycle(12);
+        let mut oracle = PathOracle::new(&g, 3);
+        let demands: Vec<_> = (0..12u32).map(|i| (i, (i + 6) % 12)).collect();
+        let routes = oracle.routes(&demands, Strategy::Valiant);
+        for (r, &(s, d)) in routes.iter().zip(&demands) {
+            assert_eq!(r.src(), s);
+            assert_eq!(r.dst(), d);
+            for w in r.path.windows(2) {
+                assert!(g.has_edge(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn tie_breaking_varies_with_seed() {
+        // On a 4x4 torus many (s,d) pairs have multiple shortest paths;
+        // different seeds should produce at least one differing route.
+        let mut b = fcn_multigraph::MultigraphBuilder::new(16);
+        for r in 0..4u32 {
+            for c in 0..4u32 {
+                let id = r * 4 + c;
+                b.add_edge(id, r * 4 + (c + 1) % 4);
+                b.add_edge(id, ((r + 1) % 4) * 4 + c);
+            }
+        }
+        let g = b.build();
+        let demands: Vec<_> = (0..16u32).map(|i| (i, (i + 5) % 16)).collect();
+        let r1 = PathOracle::new(&g, 10).routes(&demands, Strategy::ShortestPath);
+        let r2 = PathOracle::new(&g, 20).routes(&demands, Strategy::ShortestPath);
+        assert!(r1 != r2, "seeds produced identical routes");
+        // But same seed reproduces exactly.
+        let r1b = PathOracle::new(&g, 10).routes(&demands, Strategy::ShortestPath);
+        assert_eq!(r1, r1b);
+    }
+}

@@ -1,0 +1,336 @@
+//! Hierarchical mesh machines: mesh-of-trees, multigrid, and pyramid.
+//!
+//! All three overlay logarithmic-depth structure on a `side^k` base grid
+//! (`side` a power of two), which brings `λ` down to Θ(lg n) while the base
+//! grid keeps `β = Θ(n^{(k-1)/k})`. Numbering puts base-grid leaves first
+//! (row-major, coordinate 0 most significant), auxiliary/tree/coarse nodes
+//! after, so processor-prefix traffic splits remain geometric.
+
+use fcn_multigraph::{Cut, MultigraphBuilder, NodeId};
+
+use crate::family::Family;
+use crate::machine::{Machine, RoutePolicy, SendCapacity};
+use crate::mesh::{coords_of, id_of};
+
+fn assert_power_of_two(side: usize, what: &str) {
+    assert!(
+        side >= 2 && side.is_power_of_two(),
+        "{what} side must be a power of two >= 2, got {side}"
+    );
+}
+
+/// k-dimensional mesh of trees on a `side^k` grid: one complete binary tree
+/// per axis-aligned line of grid points, per dimension; internal tree nodes
+/// are distinct vertices.
+///
+/// Nodes: `side^k + k · side^{k-1} · (side-1)`. β = Θ(n^{(k-1)/k}),
+/// λ = Θ(lg n).
+pub fn mesh_of_trees(k: u8, side: usize) -> Machine {
+    assert!(k >= 1, "mesh-of-trees needs k >= 1");
+    assert_power_of_two(side, "mesh-of-trees");
+    let kk = k as usize;
+    let leaves = side.pow(k as u32);
+    let lines_per_dim = side.pow(k as u32 - 1);
+    let internal_per_line = side - 1;
+    let n = leaves + kk * lines_per_dim * internal_per_line;
+    let mut b = MultigraphBuilder::new(n);
+
+    // Internal node id for (dim d, line L, 1-based heap position h in
+    // [1, side-1]).
+    let internal_id = |d: usize, line: usize, h: usize| -> NodeId {
+        (leaves + d * lines_per_dim * internal_per_line + line * internal_per_line + (h - 1))
+            as NodeId
+    };
+    // Leaf id for (dim d, line L, position p): line coordinates with `p`
+    // inserted at dimension d.
+    let leaf_id = |d: usize, line: usize, p: usize| -> NodeId {
+        let lc = coords_of(line, kk - 1, side.max(2)); // line index in side^{k-1}
+        let mut c = Vec::with_capacity(kk);
+        c.extend_from_slice(&lc[..d]);
+        c.push(p);
+        c.extend_from_slice(&lc[d..]);
+        id_of(&c, side) as NodeId
+    };
+
+    for d in 0..kk {
+        for line in 0..lines_per_dim {
+            // Segment-tree edges: heap node h has children 2h, 2h+1; child
+            // ids >= side refer to leaves (position = child - side).
+            for h in 1..side {
+                for child in [2 * h, 2 * h + 1] {
+                    let child_vertex = if child < side {
+                        internal_id(d, line, child)
+                    } else {
+                        leaf_id(d, line, child - side)
+                    };
+                    b.add_edge(internal_id(d, line, h), child_vertex);
+                }
+            }
+        }
+    }
+
+    // Canonical dim-0 half cut: leaves with x0 < side/2; internal nodes of
+    // dim-0 trees whose segment lies inside [0, side/2); internal nodes of
+    // other dims' trees whose line has x0 < side/2.
+    let mut members: Vec<NodeId> = (0..leaves)
+        .filter(|&id| coords_of(id, kk, side)[0] < side / 2)
+        .map(|id| id as NodeId)
+        .collect();
+    for line in 0..lines_per_dim {
+        for h in 1..side {
+            let level = h.ilog2() as usize;
+            let seg = side >> level;
+            let lo = (h - (1 << level)) * seg;
+            if lo + seg <= side / 2 {
+                members.push(internal_id(0, line, h));
+            }
+        }
+    }
+    for d in 1..kk {
+        for line in 0..lines_per_dim {
+            let lc = coords_of(line, kk - 1, side);
+            // After removing dimension d (> 0), coordinate 0 stays at index 0.
+            if lc[0] < side / 2 {
+                for h in 1..side {
+                    members.push(internal_id(d, line, h));
+                }
+            }
+        }
+    }
+
+    Machine::new(
+        Family::MeshOfTrees(k),
+        format!("mesh_of_trees{k}(side={side})"),
+        b.build(),
+        n,
+        SendCapacity::Unlimited,
+        vec![Cut::from_members(n, &members)],
+    )
+}
+
+/// Vertex counts and id offsets of the mesh-hierarchy levels
+/// (`side, side/2, ..., 1`).
+fn level_offsets(k: usize, side: usize) -> (Vec<usize>, Vec<usize>, usize) {
+    let mut sides = Vec::new();
+    let mut offsets = Vec::new();
+    let mut total = 0usize;
+    let mut s = side;
+    loop {
+        sides.push(s);
+        offsets.push(total);
+        total += s.pow(k as u32);
+        if s == 1 {
+            break;
+        }
+        s /= 2;
+    }
+    (sides, offsets, total)
+}
+
+fn add_level_mesh(b: &mut MultigraphBuilder, k: usize, s: usize, off: usize) {
+    for id in 0..s.pow(k as u32) {
+        let c = coords_of(id, k, s);
+        for d in 0..k {
+            if c[d] + 1 < s {
+                let mut c2 = c.clone();
+                c2[d] += 1;
+                b.add_edge((off + id) as NodeId, (off + id_of(&c2, s)) as NodeId);
+            }
+        }
+    }
+}
+
+/// Half-space canonical cut for the mesh hierarchies: every level's nodes
+/// with `x_0 < side_ℓ/2`.
+fn hierarchy_half_cut(k: usize, sides: &[usize], offsets: &[usize], n: usize) -> Cut {
+    let mut members = Vec::new();
+    for (&s, &off) in sides.iter().zip(offsets) {
+        for id in 0..s.pow(k as u32) {
+            if coords_of(id, k, s)[0] < s / 2 {
+                members.push((off + id) as NodeId);
+            }
+        }
+    }
+    Cut::from_members(n, &members)
+}
+
+/// k-dimensional multigrid: a hierarchy of k-d meshes of sides
+/// `side, side/2, ..., 1`; each coarse node `(ℓ+1, c)` links to the fine
+/// node `(ℓ, 2c)` at the same spatial position. Degree ≤ 2k + 2.
+///
+/// β = Θ(n^{(k-1)/k}) (finest level dominates the half cut), λ = Θ(lg n)
+/// (climb to the apex and back down).
+pub fn multigrid(k: u8, side: usize) -> Machine {
+    assert!(k >= 1, "multigrid needs k >= 1");
+    assert_power_of_two(side, "multigrid");
+    let kk = k as usize;
+    let (sides, offsets, n) = level_offsets(kk, side);
+    let mut b = MultigraphBuilder::new(n);
+    for (l, (&s, &off)) in sides.iter().zip(&offsets).enumerate() {
+        add_level_mesh(&mut b, kk, s, off);
+        if l + 1 < sides.len() {
+            let (cs, coff) = (sides[l + 1], offsets[l + 1]);
+            for cid in 0..cs.pow(k as u32) {
+                let cc = coords_of(cid, kk, cs);
+                let fine: Vec<usize> = cc.iter().map(|&x| 2 * x).collect();
+                b.add_edge((coff + cid) as NodeId, (off + id_of(&fine, s)) as NodeId);
+            }
+        }
+    }
+    let cut = hierarchy_half_cut(kk, &sides, &offsets, n);
+    let base = side.pow(k as u32); // base-grid nodes are the processors-first prefix
+    Machine::new(
+        Family::Multigrid(k),
+        format!("multigrid{k}(side={side})"),
+        b.build(),
+        base,
+        SendCapacity::Unlimited,
+        vec![cut],
+    )
+    // For k >= 2, shortest paths funnel through the coarse levels and
+    // congest the apex; the scheme achieving Θ(n^{(k-1)/k}) routes across
+    // the base mesh. For k = 1 the express levels *are* the Θ(lg n)
+    // bandwidth, so BFS (which uses them) stays.
+    .with_route_policy(if k >= 2 {
+        RoutePolicy::RestrictToPrefix(base)
+    } else {
+        RoutePolicy::ShortestPath
+    })
+}
+
+/// k-dimensional pyramid: same level structure as the multigrid, but each
+/// coarse node links to all `2^k` fine nodes of its block. Degree ≤
+/// `2k + 2^k + 1`.
+pub fn pyramid(k: u8, side: usize) -> Machine {
+    assert!(k >= 1, "pyramid needs k >= 1");
+    assert_power_of_two(side, "pyramid");
+    let kk = k as usize;
+    let (sides, offsets, n) = level_offsets(kk, side);
+    let mut b = MultigraphBuilder::new(n);
+    for (l, (&s, &off)) in sides.iter().zip(&offsets).enumerate() {
+        add_level_mesh(&mut b, kk, s, off);
+        if l + 1 < sides.len() {
+            let (cs, coff) = (sides[l + 1], offsets[l + 1]);
+            for cid in 0..cs.pow(k as u32) {
+                let cc = coords_of(cid, kk, cs);
+                for delta in 0..(1usize << kk) {
+                    let fine: Vec<usize> = cc
+                        .iter()
+                        .enumerate()
+                        .map(|(d, &x)| 2 * x + ((delta >> d) & 1))
+                        .collect();
+                    b.add_edge((coff + cid) as NodeId, (off + id_of(&fine, s)) as NodeId);
+                }
+            }
+        }
+    }
+    let cut = hierarchy_half_cut(kk, &sides, &offsets, n);
+    let base = side.pow(k as u32);
+    Machine::new(
+        Family::Pyramid(k),
+        format!("pyramid{k}(side={side})"),
+        b.build(),
+        base,
+        SendCapacity::Unlimited,
+        vec![cut],
+    )
+    .with_route_policy(if k >= 2 {
+        RoutePolicy::RestrictToPrefix(base)
+    } else {
+        RoutePolicy::ShortestPath
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcn_multigraph::diameter;
+
+    #[test]
+    fn mot2_counts() {
+        let m = mesh_of_trees(2, 4);
+        // 16 leaves + 2 dims * 4 lines * 3 internal = 40.
+        assert_eq!(m.node_count(), 40);
+        assert_eq!(m.processors(), 40);
+        assert!(m.graph().is_connected());
+        // Leaves belong to k trees: degree k.
+        for leaf in 0..16 {
+            assert_eq!(m.graph().degree(leaf), 2, "leaf {leaf}");
+        }
+        // Edge count: each tree contributes 2*(side-1) edges.
+        assert_eq!(m.graph().simple_edge_count(), (2 * 4 * 2 * 3) as u64);
+    }
+
+    #[test]
+    fn mot1_is_a_single_tree() {
+        let m = mesh_of_trees(1, 8);
+        assert_eq!(m.node_count(), 8 + 7);
+        assert!(m.graph().is_connected());
+        assert_eq!(diameter(m.graph()), 6);
+    }
+
+    #[test]
+    fn mot_diameter_logarithmic() {
+        let m = mesh_of_trees(2, 8);
+        // Any leaf reaches any other in <= 2 tree climbs: <= 4 lg side + O(1).
+        assert!(diameter(m.graph()) <= 4 * 3 + 2);
+    }
+
+    #[test]
+    fn mot_canonical_cut_is_thin() {
+        let m = mesh_of_trees(2, 8);
+        // Only the 8 dim-0 tree root-to-left-child edges cross.
+        assert_eq!(m.canonical_cuts()[0].capacity(m.graph()), 8);
+    }
+
+    #[test]
+    fn multigrid2_counts() {
+        let m = multigrid(2, 4);
+        // Levels 4,2,1: 16 + 4 + 1 = 21 nodes.
+        assert_eq!(m.node_count(), 21);
+        assert_eq!(m.processors(), 16);
+        assert!(m.graph().is_connected());
+        // Up links: 4 (level1->0) + 1 (level2->1) = 5; mesh edges 24 + 4 + 0.
+        assert_eq!(m.graph().simple_edge_count(), 24 + 4 + 5);
+    }
+
+    #[test]
+    fn multigrid_diameter_logarithmic() {
+        let m = multigrid(2, 16);
+        // Climb + descend: O(k lg side).
+        assert!(diameter(m.graph()) <= 6 * 4 + 4, "{}", diameter(m.graph()));
+    }
+
+    #[test]
+    fn pyramid2_counts_and_degree() {
+        let m = pyramid(2, 4);
+        assert_eq!(m.node_count(), 21);
+        // Apex connects to its 4 children of level 1.
+        let apex = 20;
+        assert_eq!(m.graph().degree(apex), 4);
+        // Mesh edges same as multigrid; up edges 16 + 4.
+        assert_eq!(m.graph().simple_edge_count(), 24 + 4 + 16 + 4);
+        assert!(m.graph().max_degree() <= (2 * 2 + 4 + 1) as u64);
+    }
+
+    #[test]
+    fn pyramid_half_cut_is_dominated_by_the_base() {
+        let m = pyramid(2, 8);
+        // Mesh crossings per level (8 + 4 + 2) plus the 2 apex links whose
+        // child sits in the kept half.
+        assert_eq!(m.canonical_cuts()[0].capacity(m.graph()), 14 + 2);
+    }
+
+    #[test]
+    fn multigrid_half_cut_capacity() {
+        let m = multigrid(2, 8);
+        // Mesh crossings per level (8 + 4 + 2) plus the topmost up-link.
+        assert_eq!(m.canonical_cuts()[0].capacity(m.graph()), 14 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = pyramid(2, 6);
+    }
+}

@@ -1,0 +1,265 @@
+//! Hypercubic machines: butterfly, cube-connected cycles, shuffle-exchange,
+//! de Bruijn, and the (weak) hypercube.
+//!
+//! All share the Table 4 class β = Θ(n/lg n), λ = Θ(lg n). Numbering puts
+//! the "row" bits lowest, so splitting ids by the row's most significant bit
+//! is the canonical near-bisection for the butterfly/CCC; for the
+//! shuffle-exchange and de Bruijn graphs no simple cut witnesses the true
+//! Θ(n/lg n) bisection, so their canonical cut is the plain half split (the
+//! router measurement supplies the tight side).
+
+use fcn_multigraph::{Cut, MultigraphBuilder, NodeId};
+
+use crate::family::Family;
+use crate::machine::{Machine, RoutePolicy, SendCapacity};
+
+/// Butterfly of dimension `g`: `(g+1) · 2^g` processors at (level, row)
+/// positions, id = `level · 2^g + row`. Straight edges keep the row; cross
+/// edges at level `ℓ` flip row bit `ℓ`.
+pub fn butterfly(g: u32) -> Machine {
+    assert!(g >= 1, "butterfly needs dimension >= 1");
+    let rows = 1usize << g;
+    let n = (g as usize + 1) * rows;
+    let mut b = MultigraphBuilder::new(n);
+    let id = |level: u32, row: usize| (level as usize * rows + row) as NodeId;
+    for level in 0..g {
+        for row in 0..rows {
+            b.add_edge(id(level, row), id(level + 1, row));
+            b.add_edge(id(level, row), id(level + 1, row ^ (1 << level)));
+        }
+    }
+    // Canonical cut: rows with top bit 0 (all levels). Only the 2^g cross
+    // edges of level g-1 flip the top bit, so capacity = 2^g = Θ(n/lg n).
+    let members: Vec<NodeId> = (0..n as NodeId)
+        .filter(|&v| ((v as usize % rows) >> (g - 1)) & 1 == 0)
+        .collect();
+    Machine::new(
+        Family::Butterfly,
+        format!("butterfly(g={g})"),
+        b.build(),
+        n,
+        SendCapacity::Unlimited,
+        vec![Cut::from_members(n, &members)],
+    )
+}
+
+/// Cube-connected cycles of dimension `g`: each hypercube corner `r` becomes
+/// a `g`-cycle; node `(r, ℓ)` has cycle edges and one cube edge flipping bit
+/// `ℓ` of `r`. Id = `ℓ · 2^g + r`. Degree 3.
+pub fn cube_connected_cycles(g: u32) -> Machine {
+    assert!(g >= 2, "CCC needs dimension >= 2 (g = 1 degenerates)");
+    let rows = 1usize << g;
+    let n = g as usize * rows;
+    let mut b = MultigraphBuilder::new(n);
+    let id = |pos: u32, row: usize| (pos as usize * rows + row) as NodeId;
+    for pos in 0..g {
+        for row in 0..rows {
+            // Cycle edge to the next position (g >= 2 keeps this simple).
+            if g > 2 || pos == 0 {
+                b.add_edge(id(pos, row), id((pos + 1) % g, row));
+            }
+            // Cube edge flips bit `pos` (add once per pair).
+            if (row >> pos) & 1 == 0 {
+                b.add_edge(id(pos, row), id(pos, row ^ (1 << pos)));
+            }
+        }
+    }
+    let members: Vec<NodeId> = (0..n as NodeId)
+        .filter(|&v| ((v as usize % rows) >> (g - 1)) & 1 == 0)
+        .collect();
+    Machine::new(
+        Family::Ccc,
+        format!("ccc(g={g})"),
+        b.build(),
+        n,
+        SendCapacity::Unlimited,
+        vec![Cut::from_members(n, &members)],
+    )
+}
+
+/// Shuffle-exchange on `2^g` processors: exchange edges `r ↔ r xor 1` and
+/// shuffle edges `r ↔ rotate_left(r)` (fixed points 0…0 and 1…1 skipped).
+pub fn shuffle_exchange(g: u32) -> Machine {
+    assert!(g >= 2, "shuffle-exchange needs dimension >= 2");
+    let n = 1usize << g;
+    let mask = n - 1;
+    let mut b = MultigraphBuilder::new(n);
+    // Shuffle 2-cycles (e.g. 01 <-> 10) would insert the same unordered pair
+    // from both endpoints; dedupe keeps the graph simple.
+    let mut seen = std::collections::BTreeSet::new();
+    for r in 0..n {
+        if r & 1 == 0 {
+            b.add_edge(r as NodeId, (r ^ 1) as NodeId);
+        }
+        let shuffled = ((r << 1) | (r >> (g - 1))) & mask;
+        if shuffled != r && seen.insert((r.min(shuffled), r.max(shuffled))) {
+            b.add_edge(r as NodeId, shuffled as NodeId);
+        }
+    }
+    Machine::new(
+        Family::ShuffleExchange,
+        format!("shuffle_exchange(g={g})"),
+        b.build(),
+        n,
+        SendCapacity::Unlimited,
+        vec![Cut::prefix(n, n / 2)],
+    )
+    // BFS trees concentrate on hub nodes; the classical bit-correction
+    // scheme realizes Θ(n/lg n).
+    .with_route_policy(RoutePolicy::ShuffleExchangeBits { g })
+}
+
+/// Binary de Bruijn graph on `2^g` processors: `r ↔ (2r) mod n` and
+/// `r ↔ (2r+1) mod n` (self-loops at 0…0 and 1…1 skipped). Degree ≤ 4.
+pub fn de_bruijn(g: u32) -> Machine {
+    assert!(g >= 2, "de Bruijn needs dimension >= 2");
+    let n = 1usize << g;
+    let mask = n - 1;
+    let mut b = MultigraphBuilder::new(n);
+    // The same unordered pair can arise as a shift of both endpoints (e.g.
+    // 01 -> 10 and 10 -> 01), so dedupe to keep the graph simple.
+    let mut seen = std::collections::BTreeSet::new();
+    for r in 0..n {
+        for bit in 0..2usize {
+            let t = ((r << 1) | bit) & mask;
+            if t != r && seen.insert((r.min(t), r.max(t))) {
+                b.add_edge(r as NodeId, t as NodeId);
+            }
+        }
+    }
+    Machine::new(
+        Family::DeBruijn,
+        format!("de_bruijn(g={g})"),
+        b.build(),
+        n,
+        SendCapacity::Unlimited,
+        vec![Cut::prefix(n, n / 2)],
+    )
+    .with_route_policy(RoutePolicy::DeBruijnBits { g })
+}
+
+/// Weak hypercube of dimension `g`: the full binary hypercube wiring
+/// (degree `g`), but each node may transmit on only one incident wire per
+/// tick — the "weak" restriction that brings its usable bandwidth into the
+/// fixed-degree class β = Θ(n/lg n).
+pub fn weak_hypercube(g: u32) -> Machine {
+    assert!(g >= 1, "hypercube needs dimension >= 1");
+    let n = 1usize << g;
+    let mut b = MultigraphBuilder::new(n);
+    for r in 0..n {
+        for bit in 0..g {
+            let t = r ^ (1usize << bit);
+            if t > r {
+                b.add_edge(r as NodeId, t as NodeId);
+            }
+        }
+    }
+    Machine::new(
+        Family::WeakHypercube,
+        format!("weak_hypercube(g={g})"),
+        b.build(),
+        n,
+        SendCapacity::PerNode(vec![1; n]),
+        vec![Cut::prefix(n, n / 2)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcn_multigraph::diameter;
+
+    #[test]
+    fn butterfly_counts() {
+        let m = butterfly(3);
+        assert_eq!(m.processors(), 4 * 8);
+        // 2^{g+1} edges per level gap: 3 gaps * 16 = 48.
+        assert_eq!(m.graph().simple_edge_count(), 48);
+        assert!(m.graph().is_connected());
+        assert!(m.graph().max_degree() <= 4);
+    }
+
+    #[test]
+    fn butterfly_cut_is_one_per_row() {
+        for g in 2..=5 {
+            let m = butterfly(g);
+            assert_eq!(
+                m.canonical_cuts()[0].capacity(m.graph()),
+                1u64 << g,
+                "g = {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn butterfly_diameter() {
+        // 2g hops suffice (up and down); at least g needed.
+        let m = butterfly(4);
+        let d = diameter(m.graph());
+        assert!((4..=9).contains(&d), "diameter {d}");
+    }
+
+    #[test]
+    fn ccc_is_cubic() {
+        let m = cube_connected_cycles(3);
+        assert_eq!(m.processors(), 3 * 8);
+        for u in 0..24 {
+            assert_eq!(m.graph().degree(u), 3, "node {u}");
+        }
+        assert!(m.graph().is_connected());
+    }
+
+    #[test]
+    fn ccc_g2_stays_simple() {
+        let m = cube_connected_cycles(2);
+        assert!(m.graph().is_connected());
+        // Cycle of length 2 collapses to a single edge, not a double edge.
+        assert!(m.graph().edges().all(|e| e.multiplicity == 1));
+    }
+
+    #[test]
+    fn ccc_cut_capacity() {
+        let m = cube_connected_cycles(4);
+        // Cube edges at position g-1: 2^{g-1} pairs.
+        assert_eq!(m.canonical_cuts()[0].capacity(m.graph()), 8);
+    }
+
+    #[test]
+    fn shuffle_exchange_degree_bounded() {
+        let m = shuffle_exchange(4);
+        assert_eq!(m.processors(), 16);
+        assert!(m.graph().is_connected());
+        assert!(m.graph().max_degree() <= 3);
+    }
+
+    #[test]
+    fn de_bruijn_structure() {
+        let m = de_bruijn(4);
+        assert_eq!(m.processors(), 16);
+        assert!(m.graph().is_connected());
+        assert!(m.graph().max_degree() <= 4);
+        // Node 1 connects to 2 and 3 (shifts) and 8 (predecessor 1000 -> 0001).
+        assert!(m.graph().has_edge(1, 2));
+        assert!(m.graph().has_edge(1, 3));
+        assert!(m.graph().has_edge(8, 1));
+        // Diameter is exactly g.
+        assert_eq!(diameter(m.graph()), 4);
+    }
+
+    #[test]
+    fn de_bruijn_no_self_loops() {
+        let m = de_bruijn(5);
+        assert_eq!(m.graph().self_loop_count(), 0);
+    }
+
+    #[test]
+    fn weak_hypercube_capacities() {
+        let m = weak_hypercube(4);
+        assert_eq!(m.processors(), 16);
+        assert_eq!(m.graph().simple_edge_count(), 32);
+        assert_eq!(m.send_capacity(3), 1);
+        assert_eq!(diameter(m.graph()), 4);
+        // Half cut = dimension cut: 2^{g-1} edges.
+        assert_eq!(m.canonical_cuts()[0].capacity(m.graph()), 8);
+    }
+}

@@ -1,0 +1,113 @@
+//! Linear arrays, rings, and the global bus.
+
+use fcn_multigraph::{Cut, MultigraphBuilder, NodeId};
+
+use crate::family::Family;
+use crate::machine::{Machine, SendCapacity};
+
+/// Linear array on `n` processors: `0 - 1 - ... - n-1`.
+///
+/// β = Θ(1) (the middle edge is a bottleneck), λ = Θ(n).
+pub fn linear_array(n: usize) -> Machine {
+    assert!(n >= 2, "linear array needs at least 2 processors");
+    let mut b = MultigraphBuilder::new(n);
+    for i in 0..n as NodeId - 1 {
+        b.add_edge(i, i + 1);
+    }
+    Machine::new(
+        Family::LinearArray,
+        format!("linear_array({n})"),
+        b.build(),
+        n,
+        SendCapacity::Unlimited,
+        vec![Cut::prefix(n, n / 2)],
+    )
+}
+
+/// Ring (1-d torus) on `n` processors.
+pub fn ring(n: usize) -> Machine {
+    assert!(n >= 3, "ring needs at least 3 processors");
+    let mut b = MultigraphBuilder::new(n);
+    for i in 0..n as NodeId {
+        b.add_edge(i, (i + 1) % n as NodeId);
+    }
+    Machine::new(
+        Family::Ring,
+        format!("ring({n})"),
+        b.build(),
+        n,
+        SendCapacity::Unlimited,
+        vec![Cut::prefix(n, n / 2)],
+    )
+}
+
+/// Global bus on `n` processors: a shared medium carrying one message per
+/// tick, modeled as a star whose hub (the auxiliary vertex `n`) has send
+/// capacity 1.
+///
+/// β = Θ(1) (one delivery per tick), λ = Θ(1) (two hops).
+pub fn global_bus(n: usize) -> Machine {
+    assert!(n >= 2, "bus needs at least 2 processors");
+    let hub = n as NodeId;
+    let mut b = MultigraphBuilder::new(n + 1);
+    for i in 0..n as NodeId {
+        b.add_edge(i, hub);
+    }
+    let mut caps = vec![u32::MAX; n + 1];
+    caps[n] = 1;
+    Machine::new(
+        Family::GlobalBus,
+        format!("global_bus({n})"),
+        b.build(),
+        n,
+        SendCapacity::PerNode(caps),
+        // A half/half processor split has huge wire capacity; the bus
+        // bottleneck is the hub's node capacity, which the flux bound can't
+        // see — the router measurement certifies β = Θ(1) instead.
+        vec![Cut::prefix(n + 1, n / 2)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcn_multigraph::diameter;
+
+    #[test]
+    fn linear_array_shape() {
+        let m = linear_array(10);
+        assert_eq!(m.processors(), 10);
+        assert_eq!(m.graph().simple_edge_count(), 9);
+        assert_eq!(m.graph().max_degree(), 2);
+        assert_eq!(diameter(m.graph()), 9);
+    }
+
+    #[test]
+    fn ring_shape() {
+        let m = ring(10);
+        assert_eq!(m.graph().simple_edge_count(), 10);
+        assert_eq!(diameter(m.graph()), 5);
+        for u in 0..10 {
+            assert_eq!(m.graph().degree(u), 2);
+        }
+    }
+
+    #[test]
+    fn bus_is_a_capacitated_star() {
+        let m = global_bus(8);
+        assert_eq!(m.processors(), 8);
+        assert_eq!(m.node_count(), 9);
+        assert_eq!(m.graph().degree(8), 8);
+        assert_eq!(m.send_capacity(8), 1);
+        assert_eq!(m.send_capacity(0), u32::MAX);
+        assert!(m.has_node_capacities());
+        assert_eq!(diameter(m.graph()), 2);
+    }
+
+    #[test]
+    fn canonical_cut_on_array_is_the_middle_edge() {
+        let m = linear_array(16);
+        let cut = &m.canonical_cuts()[0];
+        assert_eq!(cut.capacity(m.graph()), 1);
+    }
+}

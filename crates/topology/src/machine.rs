@@ -1,0 +1,198 @@
+//! A concrete machine instance: a built multigraph plus metadata.
+//!
+//! [`Machine`] couples a [`Family`] with a generated [`Multigraph`], the
+//! processor count (auxiliary vertices like the global bus hub are not
+//! processors), per-node send capacities (the "weak" machines), and
+//! family-specific canonical cuts used by the flux bound.
+
+use fcn_asymptotics::Asym;
+use fcn_multigraph::{Cut, Multigraph, Traffic};
+use serde::{Deserialize, Serialize};
+
+use crate::family::Family;
+
+/// How a machine prefers its packets routed.
+///
+/// The operational bandwidth `β` is defined over the *best* routing the
+/// machine supports; naive BFS shortest paths are a poor scheme on several
+/// families (pyramid/multigrid shortest paths funnel through the apex;
+/// shuffle-exchange BFS trees concentrate on hub nodes), so those machines
+/// declare the standard scheme that achieves their Θ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutePolicy {
+    /// Randomized BFS shortest paths (fine for meshes, trees, butterflies).
+    ShortestPath,
+    /// Shortest paths restricted to the vertex-id prefix `0..p` (used by
+    /// pyramid/multigrid: route across the base mesh, not over the apex).
+    RestrictToPrefix(usize),
+    /// de Bruijn bit-shift routing: shift in the destination's bits, one
+    /// edge per bit.
+    DeBruijnBits { g: u32 },
+    /// Shuffle-exchange bit-correction routing: alternate shuffle steps
+    /// with exchange corrections.
+    ShuffleExchangeBits { g: u32 },
+    /// X-Tree level-balanced routing: each pair crosses at a uniformly
+    /// random tree level (climb, walk the level's sibling links, descend).
+    /// BFS shortest paths push all far traffic over the root and saturate
+    /// at Θ(1); spreading across levels realizes the Θ(lg n) of the level
+    /// highways.
+    XTreeLevels { depth: u32 },
+}
+
+/// Per-node forwarding capacity per tick.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SendCapacity {
+    /// A node may forward on all incident wires simultaneously (the default
+    /// fixed-connection model: capacity lives on wires, not nodes).
+    Unlimited,
+    /// `cap[u]` packets per tick total across node `u`'s outgoing wires —
+    /// models the global bus hub (1) and the weak hypercube (1 per node).
+    PerNode(Vec<u32>),
+}
+
+/// A built fixed-connection network machine.
+///
+/// ```
+/// use fcn_topology::Machine;
+///
+/// let m = Machine::de_bruijn(5);
+/// assert_eq!(m.processors(), 32);
+/// assert_eq!(m.beta_analytic().to_string(), "Θ(n * lg^-1 n)");
+/// assert!(m.graph().max_degree() <= 4);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Machine {
+    pub(crate) family: Family,
+    pub(crate) name: String,
+    pub(crate) graph: Multigraph,
+    /// The first `processors` node ids are processors; any further ids are
+    /// auxiliary (bus hub). Traffic and emulation address processors only.
+    pub(crate) processors: usize,
+    pub(crate) send_capacity: SendCapacity,
+    /// Family-specific good flux cuts over *all* nodes (witnesses for the β
+    /// upper bound).
+    pub(crate) canonical_cuts: Vec<Cut>,
+    /// The routing scheme that realizes this machine's bandwidth.
+    pub(crate) route_policy: RoutePolicy,
+}
+
+impl Machine {
+    /// Build a machine from explicit parts — an escape hatch for custom
+    /// topologies not covered by the generators. `family` controls which
+    /// analytic β/λ the machine reports; pass the closest class.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the graph is disconnected or `processors`
+    /// exceeds the node count.
+    pub fn custom(
+        family: Family,
+        name: String,
+        graph: Multigraph,
+        processors: usize,
+        send_capacity: SendCapacity,
+        canonical_cuts: Vec<Cut>,
+    ) -> Self {
+        Machine::new(family, name, graph, processors, send_capacity, canonical_cuts)
+    }
+
+    /// Construct directly (used by the generator modules).
+    pub(crate) fn new(
+        family: Family,
+        name: String,
+        graph: Multigraph,
+        processors: usize,
+        send_capacity: SendCapacity,
+        canonical_cuts: Vec<Cut>,
+    ) -> Self {
+        debug_assert!(processors <= graph.node_count());
+        debug_assert!(graph.is_connected(), "machine graphs must be connected");
+        Machine {
+            family,
+            name,
+            graph,
+            processors,
+            send_capacity,
+            canonical_cuts,
+            route_policy: RoutePolicy::ShortestPath,
+        }
+    }
+
+    /// Set the routing scheme (builder style; used by generators whose
+    /// bandwidth needs a non-BFS scheme).
+    pub(crate) fn with_route_policy(mut self, policy: RoutePolicy) -> Self {
+        self.route_policy = policy;
+        self
+    }
+
+    /// The routing scheme that realizes this machine's bandwidth.
+    pub fn route_policy(&self) -> RoutePolicy {
+        self.route_policy
+    }
+
+    pub fn family(&self) -> Family {
+        self.family
+    }
+
+    /// Human-readable instance name, e.g. `mesh2(8x8)`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn graph(&self) -> &Multigraph {
+        &self.graph
+    }
+
+    /// Number of processors (traffic endpoints).
+    pub fn processors(&self) -> usize {
+        self.processors
+    }
+
+    /// Total vertices including auxiliary ones.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Per-tick forwarding capacity of node `u`.
+    pub fn send_capacity(&self, u: fcn_multigraph::NodeId) -> u32 {
+        match &self.send_capacity {
+            SendCapacity::Unlimited => u32::MAX,
+            SendCapacity::PerNode(caps) => caps[u as usize],
+        }
+    }
+
+    /// Whether any node has a finite send capacity.
+    pub fn has_node_capacities(&self) -> bool {
+        matches!(self.send_capacity, SendCapacity::PerNode(_))
+    }
+
+    /// Family-specific cut witnesses (β upper bounds), over all nodes.
+    pub fn canonical_cuts(&self) -> &[Cut] {
+        &self.canonical_cuts
+    }
+
+    /// The symmetric traffic distribution over this machine's processors —
+    /// the distribution under which the paper's `β` is defined.
+    pub fn symmetric_traffic(&self) -> Traffic {
+        Traffic::symmetric(self.processors)
+    }
+
+    /// Analytic `β` growth class of the family.
+    pub fn beta_analytic(&self) -> Asym {
+        self.family.beta()
+    }
+
+    /// Analytic `λ` growth class of the family.
+    pub fn lambda_analytic(&self) -> Asym {
+        self.family.lambda()
+    }
+
+    /// Analytic `β` evaluated at this instance's processor count.
+    pub fn beta_at_size(&self) -> f64 {
+        self.family.beta().eval(self.processors as f64)
+    }
+
+    /// Analytic `λ` evaluated at this instance's processor count.
+    pub fn lambda_at_size(&self) -> f64 {
+        self.family.lambda().eval(self.processors as f64)
+    }
+}

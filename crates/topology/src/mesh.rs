@@ -1,0 +1,222 @@
+//! k-dimensional meshes, tori, and X-Grids.
+//!
+//! Vertices are numbered row-major with coordinate 0 most significant, so an
+//! id-prefix cut at `n/2` is exactly the hyperplane `x_0 < side/2` — the cut
+//! witnessing β = Θ(n^{(k-1)/k}).
+
+use fcn_multigraph::{Cut, Multigraph, MultigraphBuilder, NodeId};
+
+use crate::family::Family;
+use crate::machine::{Machine, SendCapacity};
+
+/// Mixed-radix decode: id -> coordinates (coordinate 0 most significant).
+pub fn coords_of(id: usize, k: usize, side: usize) -> Vec<usize> {
+    let mut c = vec![0; k];
+    let mut rest = id;
+    for i in (0..k).rev() {
+        c[i] = rest % side;
+        rest /= side;
+    }
+    debug_assert_eq!(rest, 0);
+    c
+}
+
+/// Mixed-radix encode: coordinates -> id.
+pub fn id_of(coords: &[usize], side: usize) -> usize {
+    coords.iter().fold(0, |acc, &c| {
+        debug_assert!(c < side);
+        acc * side + c
+    })
+}
+
+fn mesh_graph(k: usize, side: usize, wrap: bool) -> Multigraph {
+    let n = side.pow(k as u32);
+    let mut b = MultigraphBuilder::new(n);
+    for id in 0..n {
+        let c = coords_of(id, k, side);
+        for d in 0..k {
+            if c[d] + 1 < side {
+                let mut c2 = c.clone();
+                c2[d] += 1;
+                b.add_edge(id as NodeId, id_of(&c2, side) as NodeId);
+            } else if wrap && side > 2 {
+                let mut c2 = c.clone();
+                c2[d] = 0;
+                b.add_edge(id as NodeId, id_of(&c2, side) as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Hyperplane cuts `x_d < side/2` for every dimension `d`.
+fn hyperplane_cuts(k: usize, side: usize, total_nodes: usize) -> Vec<Cut> {
+    let n = side.pow(k as u32);
+    (0..k)
+        .map(|d| {
+            let members: Vec<NodeId> = (0..n)
+                .filter(|&id| coords_of(id, k, side)[d] < side / 2)
+                .map(|id| id as NodeId)
+                .collect();
+            Cut::from_members(total_nodes, &members)
+        })
+        .collect()
+}
+
+/// k-dimensional mesh with `side^k` processors.
+///
+/// β = Θ(n^{(k-1)/k}), λ = Θ(n^{1/k}).
+pub fn mesh(k: u8, side: usize) -> Machine {
+    assert!(k >= 1 && side >= 2, "mesh needs k >= 1 and side >= 2");
+    let n = side.pow(k as u32);
+    Machine::new(
+        Family::Mesh(k),
+        format!("mesh{k}(side={side})"),
+        mesh_graph(k as usize, side, false),
+        n,
+        SendCapacity::Unlimited,
+        hyperplane_cuts(k as usize, side, n),
+    )
+}
+
+/// k-dimensional torus (mesh with wraparound; no wrap added for `side <= 2`
+/// where it would only double edges).
+pub fn torus(k: u8, side: usize) -> Machine {
+    assert!(k >= 1 && side >= 3, "torus needs k >= 1 and side >= 3");
+    let n = side.pow(k as u32);
+    Machine::new(
+        Family::Torus(k),
+        format!("torus{k}(side={side})"),
+        mesh_graph(k as usize, side, true),
+        n,
+        SendCapacity::Unlimited,
+        hyperplane_cuts(k as usize, side, n),
+    )
+}
+
+/// k-dimensional X-Grid: the mesh plus all diagonal (Moore-neighborhood)
+/// links — every pair of nodes differing by at most 1 in each coordinate is
+/// adjacent. Degree `3^k - 1`; same β/λ class as the mesh.
+pub fn xgrid(k: u8, side: usize) -> Machine {
+    assert!(k >= 1 && side >= 2, "x-grid needs k >= 1 and side >= 2");
+    let kk = k as usize;
+    let n = side.pow(k as u32);
+    let mut b = MultigraphBuilder::new(n);
+    // Enumerate offset vectors in {-1,0,1}^k, keep only id-increasing ones
+    // to add each undirected edge once.
+    let offsets = 3usize.pow(k as u32);
+    for id in 0..n {
+        let c = coords_of(id, kk, side);
+        'offs: for mut o in 0..offsets {
+            let mut c2 = c.clone();
+            let mut all_zero = true;
+            for cell in c2.iter_mut() {
+                let delta = (o % 3) as isize - 1; // -1, 0, +1
+                o /= 3;
+                let x = *cell as isize + delta;
+                if x < 0 || x >= side as isize {
+                    continue 'offs;
+                }
+                if delta != 0 {
+                    all_zero = false;
+                }
+                *cell = x as usize;
+            }
+            if all_zero {
+                continue;
+            }
+            let id2 = id_of(&c2, side);
+            if id2 > id {
+                b.add_edge(id as NodeId, id2 as NodeId);
+            }
+        }
+    }
+    Machine::new(
+        Family::XGrid(k),
+        format!("xgrid{k}(side={side})"),
+        b.build(),
+        n,
+        SendCapacity::Unlimited,
+        hyperplane_cuts(kk, side, n),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcn_multigraph::diameter;
+
+    #[test]
+    fn coords_roundtrip() {
+        for id in 0..27 {
+            assert_eq!(id_of(&coords_of(id, 3, 3), 3), id);
+        }
+        assert_eq!(coords_of(5, 2, 4), vec![1, 1]);
+        assert_eq!(id_of(&[1, 1], 4), 5);
+    }
+
+    #[test]
+    fn mesh2_shape() {
+        let m = mesh(2, 4);
+        assert_eq!(m.processors(), 16);
+        // 2 * side * (side-1) edges.
+        assert_eq!(m.graph().simple_edge_count(), 24);
+        assert_eq!(diameter(m.graph()), 6);
+        assert_eq!(m.graph().max_degree(), 4);
+    }
+
+    #[test]
+    fn mesh1_is_linear_array_shaped() {
+        let m = mesh(1, 8);
+        assert_eq!(m.graph().simple_edge_count(), 7);
+        assert_eq!(diameter(m.graph()), 7);
+    }
+
+    #[test]
+    fn mesh3_degree_and_diameter() {
+        let m = mesh(3, 3);
+        assert_eq!(m.processors(), 27);
+        assert_eq!(m.graph().max_degree(), 6);
+        assert_eq!(diameter(m.graph()), 6);
+    }
+
+    #[test]
+    fn torus_wraps() {
+        let m = torus(2, 4);
+        assert_eq!(m.graph().simple_edge_count(), 32);
+        assert_eq!(diameter(m.graph()), 4);
+        for u in 0..16 {
+            assert_eq!(m.graph().degree(u), 4);
+        }
+    }
+
+    #[test]
+    fn xgrid2_has_diagonals() {
+        let m = xgrid(2, 3);
+        // interior node (1,1) = id 4 has all 8 neighbors.
+        assert_eq!(m.graph().degree(4), 8);
+        assert!(m.graph().has_edge(0, 4)); // (0,0)-(1,1) diagonal
+        assert_eq!(diameter(m.graph()), 2);
+    }
+
+    #[test]
+    fn hyperplane_cut_capacity() {
+        let m = mesh(2, 8);
+        // x0 < 4 cut crosses exactly `side` edges.
+        assert_eq!(m.canonical_cuts()[0].capacity(m.graph()), 8);
+        assert_eq!(m.canonical_cuts()[1].capacity(m.graph()), 8);
+        let t = torus(2, 8);
+        assert_eq!(t.canonical_cuts()[0].capacity(t.graph()), 16);
+    }
+
+    #[test]
+    fn prefix_half_cut_matches_dim0_hyperplane() {
+        // Row-major numbering: the id-prefix cut at n/2 is the x0 hyperplane.
+        let m = mesh(3, 4);
+        let prefix = Cut::prefix(64, 32);
+        assert_eq!(
+            prefix.capacity(m.graph()),
+            m.canonical_cuts()[0].capacity(m.graph())
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Randomized machines: random-regular expanders and multibutterflies.
+//!
+//! Both take explicit seeds so every instance is reproducible. The expander
+//! is the union of `d/2` random permutation cycles (a standard
+//! constant-degree expander construction, expanding with high probability);
+//! the multibutterfly replaces each butterfly splitter with `d` random
+//! up-neighbors and `d` random down-neighbors per node, following
+//! Upfal/Leighton–Maggs.
+
+use fcn_multigraph::{Cut, MultigraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use crate::family::Family;
+use crate::machine::{Machine, SendCapacity};
+
+/// Random `d`-regular-ish expander on `n` nodes: the union of `d/2` uniform
+/// random permutations' cycle edges (self-loops skipped; parallel edges kept
+/// as multiplicity). `d` must be even and ≥ 4 for expansion w.h.p.
+pub fn expander(n: usize, d: u32, seed: u64) -> Machine {
+    assert!(n >= 4, "expander needs at least 4 nodes");
+    assert!(d >= 4 && d.is_multiple_of(2), "expander degree must be even and >= 4");
+    let mut rng = StdRng::seed_from_u64(seed);
+    loop {
+        let mut b = MultigraphBuilder::new(n);
+        for _ in 0..d / 2 {
+            let mut perm: Vec<NodeId> = (0..n as NodeId).collect();
+            perm.shuffle(&mut rng);
+            // Cycle edges of the permutation: perm[i] - perm[i+1].
+            for i in 0..n {
+                let (u, v) = (perm[i], perm[(i + 1) % n]);
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        let g = b.build();
+        if g.is_connected() {
+            return Machine::new(
+                Family::Expander,
+                format!("expander(n={n},d={d})"),
+                g,
+                n,
+                SendCapacity::Unlimited,
+                vec![Cut::prefix(n, n / 2)],
+            );
+        }
+        // A union of >= 2 random Hamiltonian cycles is connected by
+        // construction (each cycle alone is); this branch is unreachable but
+        // keeps the loop total.
+    }
+}
+
+/// Multibutterfly of dimension `g` with splitter degree `d`: butterfly level
+/// structure, but each node of a level-`ℓ` block (rows sharing their top `ℓ`
+/// bits) gets `d` random neighbors in the upper half and `d` in the lower
+/// half of its block at level `ℓ+1`.
+pub fn multibutterfly(g: u32, d: u32, seed: u64) -> Machine {
+    assert!(g >= 2, "multibutterfly needs dimension >= 2");
+    assert!(d >= 1, "splitter degree must be >= 1");
+    let rows = 1usize << g;
+    let n = (g as usize + 1) * rows;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = MultigraphBuilder::new(n);
+    let id = |level: u32, row: usize| (level as usize * rows + row) as NodeId;
+    for level in 0..g {
+        let block = rows >> level; // rows per block at this level
+        let half = block / 2;
+        for block_base in (0..rows).step_by(block) {
+            for row in block_base..block_base + block {
+                // `d` random targets in each half of the next level's block.
+                for half_base in [block_base, block_base + half] {
+                    for _ in 0..d {
+                        let target = half_base + rng.random_range(0..half.max(1));
+                        b.add_edge(id(level, row), id(level + 1, target));
+                    }
+                }
+            }
+        }
+    }
+    let members: Vec<NodeId> = (0..n as NodeId)
+        .filter(|&v| ((v as usize % rows) >> (g - 1)) & 1 == 0)
+        .collect();
+    Machine::new(
+        Family::Multibutterfly,
+        format!("multibutterfly(g={g},d={d})"),
+        b.build(),
+        n,
+        SendCapacity::Unlimited,
+        vec![Cut::from_members(n, &members)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcn_multigraph::diameter;
+
+    #[test]
+    fn expander_is_connected_and_near_regular() {
+        let m = expander(64, 4, 42);
+        assert!(m.graph().is_connected());
+        // Each permutation cycle contributes exactly 2 to every degree.
+        for u in 0..64 {
+            assert_eq!(m.graph().degree(u), 4, "node {u}");
+        }
+        assert_eq!(m.graph().simple_edge_count(), 2 * 64);
+    }
+
+    #[test]
+    fn expander_diameter_is_logarithmic() {
+        let m = expander(256, 4, 7);
+        // Expect Θ(lg n); allow generous slack.
+        assert!(diameter(m.graph()) <= 16, "{}", diameter(m.graph()));
+    }
+
+    #[test]
+    fn expander_is_deterministic_per_seed() {
+        let a = expander(32, 4, 1);
+        let b = expander(32, 4, 1);
+        assert_eq!(a.graph(), b.graph());
+        let c = expander(32, 4, 2);
+        assert_ne!(a.graph(), c.graph());
+    }
+
+    #[test]
+    fn multibutterfly_structure() {
+        let m = multibutterfly(3, 2, 9);
+        assert_eq!(m.processors(), 4 * 8);
+        assert!(m.graph().is_connected());
+        // Every non-final-level node emits 2d = 4 forward stubs.
+        let g = m.graph();
+        let total: u64 = g.simple_edge_count();
+        assert_eq!(total, (3 * 8 * 4) as u64);
+    }
+
+    #[test]
+    fn multibutterfly_levels_respect_blocks() {
+        let m = multibutterfly(3, 2, 5);
+        let rows = 8usize;
+        // Edges only go between adjacent levels, within the same top-bit
+        // block.
+        for e in m.graph().edges() {
+            let (lu, ru) = ((e.u as usize) / rows, (e.u as usize) % rows);
+            let (lv, rv) = ((e.v as usize) / rows, (e.v as usize) % rows);
+            assert_eq!(lu.abs_diff(lv), 1, "edge {e:?}");
+            let level = lu.min(lv);
+            if level > 0 {
+                // Same block: top `level` bits of the rows agree.
+                assert_eq!(ru >> (3 - level), rv >> (3 - level), "edge {e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn multibutterfly_diameter_logarithmic() {
+        let m = multibutterfly(4, 2, 11);
+        assert!(diameter(m.graph()) <= 12);
+    }
+}

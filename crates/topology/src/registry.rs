@@ -1,0 +1,167 @@
+//! Size-targeted instance construction for sweeps.
+//!
+//! The Table 4 experiment sweeps every family over growing sizes. Families
+//! have different natural size grids (powers of two, `side^k`, `(g+1)·2^g`,
+//! ...), so [`Family::build_near`] picks the legal instance closest to a
+//! requested processor count.
+
+use crate::family::Family;
+use crate::machine::Machine;
+use crate::{hierarchical, hypercubic, linear, mesh, random_nets, trees};
+
+impl Family {
+    /// Build an instance of this family whose processor count is as close
+    /// as possible to `target`. `seed` feeds the randomized families
+    /// (expander, multibutterfly); deterministic families ignore it.
+    pub fn build_near(&self, target: usize, seed: u64) -> Machine {
+        use Family::*;
+        let target = target.max(4);
+        match self {
+            LinearArray => linear::linear_array(target),
+            Ring => linear::ring(target.max(3)),
+            GlobalBus => linear::global_bus(target),
+            Tree => trees::tree(depth_near(target)),
+            WeakPpn => trees::weak_ppn(depth_near(target * 2 / 3)),
+            XTree => trees::xtree(depth_near(target)),
+            Mesh(k) => mesh::mesh(*k, side_near(target, *k, 2)),
+            Torus(k) => mesh::torus(*k, side_near(target, *k, 3)),
+            XGrid(k) => mesh::xgrid(*k, side_near(target, *k, 2)),
+            MeshOfTrees(k) => {
+                // n ≈ (1 + k) · side^k.
+                let base = (target / (1 + *k as usize)).max(2);
+                hierarchical::mesh_of_trees(*k, pow2_side_near(base, *k))
+            }
+            Multigrid(k) => {
+                // n ≈ side^k / (1 - 2^{-k}).
+                let shrink = 1.0 - 0.5f64.powi(*k as i32);
+                let base = ((target as f64) * shrink) as usize;
+                hierarchical::multigrid(*k, pow2_side_near(base.max(2), *k))
+            }
+            Pyramid(k) => {
+                let shrink = 1.0 - 0.5f64.powi(*k as i32);
+                let base = ((target as f64) * shrink) as usize;
+                hierarchical::pyramid(*k, pow2_side_near(base.max(2), *k))
+            }
+            Butterfly => hypercubic::butterfly(butterfly_dim_near(target)),
+            Ccc => hypercubic::cube_connected_cycles(ccc_dim_near(target)),
+            ShuffleExchange => hypercubic::shuffle_exchange(lg_near(target).max(2)),
+            DeBruijn => hypercubic::de_bruijn(lg_near(target).max(2)),
+            Multibutterfly => {
+                random_nets::multibutterfly(butterfly_dim_near(target).max(2), 2, seed)
+            }
+            Expander => random_nets::expander(target, 4, seed),
+            WeakHypercube => hypercubic::weak_hypercube(lg_near(target).max(1)),
+        }
+    }
+}
+
+/// Tree depth with `2^{d+1} - 1` closest to `target`.
+fn depth_near(target: usize) -> u32 {
+    let mut best = (1u32, usize::MAX);
+    for d in 1..=24 {
+        let n = (1usize << (d + 1)) - 1;
+        let err = n.abs_diff(target);
+        if err < best.1 {
+            best = (d, err);
+        }
+    }
+    best.0
+}
+
+/// Side with `side^k` closest to `target` (at least `min_side`).
+fn side_near(target: usize, k: u8, min_side: usize) -> usize {
+    let s = (target as f64).powf(1.0 / k as f64).round() as usize;
+    s.max(min_side)
+}
+
+/// Power-of-two side with `side^k` closest to `target` on a log scale (the
+/// size grids of hierarchical machines are geometric, so relative error is
+/// the right metric).
+fn pow2_side_near(target: usize, k: u8) -> usize {
+    let ideal = (target as f64).powf(1.0 / k as f64);
+    let lo = (ideal.log2().floor() as u32).max(1);
+    let cands = [1usize << lo, 1usize << (lo + 1)];
+    let pick = |s: usize| ((s.pow(k as u32) as f64).ln() - (target as f64).ln()).abs();
+    if pick(cands[0]) <= pick(cands[1]) {
+        cands[0]
+    } else {
+        cands[1]
+    }
+}
+
+/// `g` with `(g+1)·2^g` closest to `target`.
+fn butterfly_dim_near(target: usize) -> u32 {
+    let mut best = (1u32, usize::MAX);
+    for g in 1..=22 {
+        let n = (g as usize + 1) << g;
+        let err = n.abs_diff(target);
+        if err < best.1 {
+            best = (g, err);
+        }
+    }
+    best.0
+}
+
+/// `g` with `g·2^g` closest to `target` (CCC needs `g >= 2`).
+fn ccc_dim_near(target: usize) -> u32 {
+    let mut best = (2u32, usize::MAX);
+    for g in 2..=22 {
+        let n = (g as usize) << g;
+        let err = n.abs_diff(target);
+        if err < best.1 {
+            best = (g, err);
+        }
+    }
+    best.0
+}
+
+/// `g` with `2^g` closest to `target`.
+fn lg_near(target: usize) -> u32 {
+    let lo = (target.max(2) as f64).log2().floor() as u32;
+    if target.abs_diff(1 << lo) <= target.abs_diff(1 << (lo + 1)) {
+        lo
+    } else {
+        lo + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_near_hits_within_factor_two() {
+        for fam in Family::all_with_dims(&[1, 2, 3]) {
+            for target in [64usize, 256, 1024] {
+                let m = fam.build_near(target, 42);
+                let n = m.processors();
+                // Hierarchical families have coarse geometric size grids
+                // (e.g. 3-d mesh-of-trees sizes jump 20 -> 208), so the
+                // closest legal instance can be ~4x off a small target.
+                assert!(
+                    n >= target / 4 && n <= target * 4,
+                    "{fam}: target {target} got {n}"
+                );
+                assert!(m.graph().is_connected(), "{fam} disconnected");
+            }
+        }
+    }
+
+    #[test]
+    fn helper_grids() {
+        assert_eq!(depth_near(31), 4);
+        assert_eq!(side_near(64, 2, 2), 8);
+        assert_eq!(side_near(64, 3, 2), 4);
+        assert_eq!(pow2_side_near(60, 2), 8);
+        assert_eq!(butterfly_dim_near(4 * 8), 3);
+        assert_eq!(ccc_dim_near(3 * 8), 3);
+        assert_eq!(lg_near(1000), 10);
+    }
+
+    #[test]
+    fn dimensional_families_keep_dimension() {
+        let m = Family::Mesh(3).build_near(512, 0);
+        assert_eq!(m.family(), Family::Mesh(3));
+        assert_eq!(m.processors(), 8 * 8 * 8);
+    }
+}

@@ -1,0 +1,231 @@
+//! Tree-shaped machines: complete binary tree, weak parallel-prefix network,
+//! and the X-Tree.
+//!
+//! All use heap (level-order) numbering for the tree part: the root is 0 and
+//! node `i` has children `2i+1`, `2i+2`; node `i` sits at level
+//! `⌊lg(i+1)⌋`. Canonical cuts isolate the root's left subtree — the cut
+//! that certifies β = Θ(1) for the tree and β = Θ(lg n) for the X-Tree.
+
+use fcn_multigraph::{Cut, MultigraphBuilder, NodeId};
+
+use crate::family::Family;
+use crate::machine::{Machine, SendCapacity};
+
+/// Number of nodes of a complete binary tree of the given depth (depth 0 =
+/// a single root).
+pub fn tree_nodes(depth: u32) -> usize {
+    (1usize << (depth + 1)) - 1
+}
+
+/// Vertex ids of the subtree rooted at `r` in heap numbering, within a tree
+/// of `n` nodes.
+fn subtree_members(r: NodeId, n: usize) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut stack = vec![r];
+    while let Some(u) = stack.pop() {
+        if (u as usize) < n {
+            out.push(u);
+            stack.push(2 * u + 1);
+            stack.push(2 * u + 2);
+        }
+    }
+    out
+}
+
+/// Complete binary tree of the given depth (`2^{depth+1} - 1` processors).
+///
+/// β = Θ(1) (the root's subtree edges bottleneck), λ = Θ(lg n).
+pub fn tree(depth: u32) -> Machine {
+    assert!(depth >= 1, "tree depth must be at least 1");
+    let n = tree_nodes(depth);
+    let mut b = MultigraphBuilder::new(n);
+    for u in 0..n as NodeId {
+        for c in [2 * u + 1, 2 * u + 2] {
+            if (c as usize) < n {
+                b.add_edge(u, c);
+            }
+        }
+    }
+    Machine::new(
+        Family::Tree,
+        format!("tree(depth={depth})"),
+        b.build(),
+        n,
+        SendCapacity::Unlimited,
+        vec![Cut::from_members(n, &subtree_members(1, n))],
+    )
+}
+
+/// Weak parallel-prefix network: an up-tree and a down-tree sharing the leaf
+/// row. Leaves compute; internal nodes combine/broadcast. All nodes are
+/// processors (the paper counts machine size in nodes).
+///
+/// β = Θ(1), λ = Θ(lg n): functionally a tree with doubled root capacity.
+pub fn weak_ppn(depth: u32) -> Machine {
+    assert!(depth >= 1, "weak PPN depth must be at least 1");
+    let t = tree_nodes(depth); // up-tree nodes, heap-numbered 0..t
+    let internal = t - (1 << depth); // nodes above the leaf row
+    let n = t + internal; // down-tree shares the leaf row
+    let mut b = MultigraphBuilder::new(n);
+    // Up tree: heap numbering on 0..t.
+    for u in 0..t as NodeId {
+        for c in [2 * u + 1, 2 * u + 2] {
+            if (c as usize) < t {
+                b.add_edge(u, c);
+            }
+        }
+    }
+    // Down tree: internal node `i` (heap id i < internal) is vertex t + i;
+    // its children are down-internal vertices or, at the last internal
+    // level, the shared leaves (heap ids in [internal, t)).
+    let down = |i: NodeId| -> NodeId {
+        if (i as usize) < internal {
+            t as NodeId + i
+        } else {
+            i // shared leaf
+        }
+    };
+    for i in 0..internal as NodeId {
+        for c in [2 * i + 1, 2 * i + 2] {
+            if (c as usize) < t {
+                b.add_edge(down(i), down(c));
+            }
+        }
+    }
+    let mut cut_members = subtree_members(1, t);
+    cut_members.extend(
+        subtree_members(1, internal as NodeId as usize)
+            .into_iter()
+            .map(|i| t as NodeId + i),
+    );
+    Machine::new(
+        Family::WeakPpn,
+        format!("weak_ppn(depth={depth})"),
+        b.build(),
+        n,
+        SendCapacity::Unlimited,
+        vec![Cut::from_members(n, &cut_members)],
+    )
+}
+
+/// X-Tree: complete binary tree plus edges between horizontally adjacent
+/// nodes at each level.
+///
+/// β = Θ(lg n) (a half/half cut crosses O(1) edges per level), λ = Θ(lg n).
+pub fn xtree(depth: u32) -> Machine {
+    assert!(depth >= 1, "x-tree depth must be at least 1");
+    let n = tree_nodes(depth);
+    let mut b = MultigraphBuilder::new(n);
+    for u in 0..n as NodeId {
+        for c in [2 * u + 1, 2 * u + 2] {
+            if (c as usize) < n {
+                b.add_edge(u, c);
+            }
+        }
+    }
+    // Level links: level ℓ spans ids [2^ℓ - 1, 2^{ℓ+1} - 2].
+    for l in 1..=depth {
+        let lo = (1u32 << l) - 1;
+        let hi = (1u32 << (l + 1)) - 2;
+        for u in lo..hi {
+            b.add_edge(u, u + 1);
+        }
+    }
+    Machine::new(
+        Family::XTree,
+        format!("xtree(depth={depth})"),
+        b.build(),
+        n,
+        SendCapacity::Unlimited,
+        vec![Cut::from_members(n, &subtree_members(1, n))],
+    )
+    .with_route_policy(crate::machine::RoutePolicy::XTreeLevels { depth })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcn_multigraph::diameter;
+
+    #[test]
+    fn tree_counts() {
+        let m = tree(4);
+        assert_eq!(m.processors(), 31);
+        assert_eq!(m.graph().simple_edge_count(), 30);
+        assert_eq!(diameter(m.graph()), 8);
+        assert!(m.graph().is_connected());
+    }
+
+    #[test]
+    fn tree_canonical_cut_capacity_one() {
+        let m = tree(5);
+        assert_eq!(m.canonical_cuts()[0].capacity(m.graph()), 1);
+        // ... and it's roughly balanced: left subtree has (n-1)/2 nodes.
+        let members = m.canonical_cuts()[0]
+            .side
+            .iter()
+            .filter(|&&b| b)
+            .count();
+        assert_eq!(members, (m.processors() - 1) / 2);
+    }
+
+    #[test]
+    fn xtree_adds_level_links() {
+        let m = xtree(3);
+        // 14 tree edges + (1 + 3 + 7) level edges.
+        assert_eq!(m.graph().simple_edge_count(), 14 + 11);
+        assert!(m.graph().has_edge(1, 2));
+        assert!(m.graph().has_edge(3, 4));
+        assert!(m.graph().has_edge(4, 5));
+        assert!(!m.graph().has_edge(6, 7));
+        assert!(m.graph().max_degree() <= 5);
+    }
+
+    #[test]
+    fn xtree_canonical_cut_scales_with_depth() {
+        // The left-subtree cut of an X-Tree cuts ~2 edges per level plus the
+        // root link: capacity Θ(depth).
+        for depth in 2..=6 {
+            let m = xtree(depth);
+            let cap = m.canonical_cuts()[0].capacity(m.graph());
+            assert!(
+                (depth as u64) <= cap && cap <= 3 * depth as u64 + 2,
+                "depth {depth}: cap {cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn weak_ppn_shares_leaf_row() {
+        let depth = 3;
+        let m = weak_ppn(depth);
+        let t = tree_nodes(depth); // 15
+        assert_eq!(m.processors(), t + 7);
+        assert!(m.graph().is_connected());
+        // Leaves (ids 7..15) have degree 2: one up-parent, one down-parent.
+        for leaf in 7..15 {
+            assert_eq!(m.graph().degree(leaf), 2, "leaf {leaf}");
+        }
+        // Both roots have degree 2.
+        assert_eq!(m.graph().degree(0), 2);
+        assert_eq!(m.graph().degree(t as NodeId), 2);
+    }
+
+    #[test]
+    fn weak_ppn_cut_separates_left_halves() {
+        let m = weak_ppn(4);
+        let cap = m.canonical_cuts()[0].capacity(m.graph());
+        // Left subtrees of both trees: 2 edges cross (one per root).
+        assert_eq!(cap, 2);
+    }
+
+    #[test]
+    fn diameters_are_logarithmic() {
+        for depth in [3u32, 4, 5] {
+            let m = xtree(depth);
+            assert!(diameter(m.graph()) <= 2 * depth);
+            let t = tree(depth);
+            assert_eq!(diameter(t.graph()), 2 * depth);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-style invariants across every machine family and a grid of
+//! sizes: connectivity, degree bounds, processor-prefix conventions,
+//! canonical-cut sanity, and determinism.
+
+use fcn_multigraph::diameter;
+use fcn_topology::{Family, Machine, RoutePolicy, Topology};
+
+fn all_machines(target: usize) -> Vec<Machine> {
+    Family::all_with_dims(&[1, 2, 3])
+        .into_iter()
+        .map(|f| f.build_near(target, 0xfa))
+        .collect()
+}
+
+#[test]
+fn fixed_degree_families_have_bounded_degree() {
+    for m in all_machines(200) {
+        if m.family().fixed_degree() {
+            let deg = m.graph().max_degree();
+            // The largest constant degree in the zoo is the 3-d X-Grid
+            // (3^3 - 1 = 26).
+            assert!(deg <= 27, "{}: degree {deg}", m.name());
+        }
+    }
+}
+
+#[test]
+fn degree_does_not_grow_with_size_for_fixed_degree_families() {
+    for fam in Family::all_with_dims(&[1, 2, 3]) {
+        if !fam.fixed_degree() {
+            continue;
+        }
+        let d1 = fam.build_near(64, 1).graph().max_degree();
+        let d2 = fam.build_near(1024, 1).graph().max_degree();
+        // Tiny instances may not contain a max-degree vertex yet (e.g. a
+        // side-2 pyramid has no fully-interior node), so allow saturation
+        // up to the universal constant, but never unbounded growth.
+        assert!(d2 <= 27, "{fam}: degree {d2}");
+        assert!(d2 <= 2 * d1, "{fam}: degree grew {d1} -> {d2}");
+    }
+}
+
+#[test]
+fn processors_form_a_prefix_and_are_connected_in_graph() {
+    for m in all_machines(150) {
+        assert!(m.processors() <= m.node_count(), "{}", m.name());
+        assert!(m.graph().is_connected(), "{}", m.name());
+    }
+}
+
+#[test]
+fn canonical_cuts_are_nontrivial_and_within_bounds() {
+    for m in all_machines(150) {
+        for (i, cut) in m.canonical_cuts().iter().enumerate() {
+            assert!(cut.is_nontrivial(), "{} cut {i}", m.name());
+            assert_eq!(cut.side.len(), m.node_count(), "{} cut {i}", m.name());
+            let cap = cut.capacity(m.graph());
+            assert!(cap >= 1, "{} cut {i}", m.name());
+            assert!(
+                cap <= m.graph().simple_edge_count(),
+                "{} cut {i}",
+                m.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn construction_is_deterministic() {
+    for fam in Family::all_with_dims(&[2]) {
+        let a = fam.build_near(120, 9);
+        let b = fam.build_near(120, 9);
+        assert_eq!(a.graph(), b.graph(), "{fam}");
+        assert_eq!(a.processors(), b.processors(), "{fam}");
+    }
+}
+
+#[test]
+fn diameters_track_lambda_direction() {
+    // Machines with λ = Θ(lg n) must have much smaller diameters than
+    // same-size machines with λ = Θ(n).
+    let array = Machine::linear_array(256);
+    let tree = Machine::tree(7); // 255 nodes
+    let d_array = diameter(array.graph());
+    let d_tree = diameter(tree.graph());
+    assert!(d_tree * 10 < d_array, "{d_tree} vs {d_array}");
+}
+
+#[test]
+fn restricted_policies_restrict_to_processors() {
+    for fam in [Family::Pyramid(2), Family::Multigrid(2), Family::Pyramid(3)] {
+        let m = fam.build_near(256, 3);
+        match m.route_policy() {
+            RoutePolicy::RestrictToPrefix(p) => {
+                assert_eq!(p, m.processors(), "{fam}");
+                // The prefix must itself be connected (it's the base mesh).
+                let ids: Vec<u32> = (0..p as u32).collect();
+                let (sub, _) = m.graph().induced(&ids);
+                assert!(sub.is_connected(), "{fam} base disconnected");
+            }
+            other => panic!("{fam}: unexpected policy {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn bit_machines_declare_bit_policies() {
+    assert!(matches!(
+        Machine::de_bruijn(5).route_policy(),
+        RoutePolicy::DeBruijnBits { g: 5 }
+    ));
+    assert!(matches!(
+        Machine::shuffle_exchange(5).route_policy(),
+        RoutePolicy::ShuffleExchangeBits { g: 5 }
+    ));
+    assert!(matches!(
+        Machine::mesh(2, 4).route_policy(),
+        RoutePolicy::ShortestPath
+    ));
+}
+
+#[test]
+fn send_capacities_match_family_semantics() {
+    let bus = Machine::global_bus(10);
+    assert_eq!(bus.send_capacity(10), 1); // hub
+    assert_eq!(bus.send_capacity(0), u32::MAX);
+    let whc = Machine::weak_hypercube(4);
+    for u in 0..16 {
+        assert_eq!(whc.send_capacity(u), 1);
+    }
+    let mesh = Machine::mesh(2, 4);
+    assert!(!mesh.has_node_capacities());
+}
+
+#[test]
+fn family_display_and_topology_trait_agree() {
+    for m in all_machines(100) {
+        assert_eq!(Topology::family(&m), m.family());
+        assert_eq!(Topology::processors(&m), m.processors());
+        assert!(!m.family().id().is_empty());
+    }
+}

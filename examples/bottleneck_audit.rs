@@ -1,0 +1,44 @@
+//! Audit the bottleneck-freeness premise for every machine family.
+//!
+//! The paper asserts without proof that the classical machines are
+//! bottleneck-free (quasi-symmetric traffic is never more than a constant
+//! factor faster than symmetric traffic). This example measures it.
+//!
+//! Run: `cargo run --release --example bottleneck_audit [-- <target size>]`
+
+use fcn_emu::bandwidth::quick_audit;
+use fcn_emu::prelude::*;
+
+fn main() {
+    let target: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128);
+
+    println!("bottleneck-freeness audit at ~{target} processors\n");
+    println!(
+        "{:<18} {:>6} {:>10} {:>12}  distributions (label: rate)",
+        "family", "n", "β̂ (sym)", "worst ratio"
+    );
+    for family in Family::all_with_dims(&[1, 2, 3]) {
+        let machine = family.build_near(target, 7);
+        let audit = quick_audit(&machine, 11);
+        let labels: Vec<String> = audit
+            .quasi_rates
+            .iter()
+            .map(|(l, r)| format!("{l}: {r:.2}"))
+            .collect();
+        println!(
+            "{:<18} {:>6} {:>10.2} {:>12.2}  {}",
+            family.id(),
+            machine.processors(),
+            audit.symmetric_rate,
+            audit.worst_ratio,
+            labels.join(", ")
+        );
+    }
+    println!(
+        "\na machine is bottleneck-free when the worst ratio stays below a \
+         constant; the Efficient Emulation Theorem assumes this of hosts."
+    );
+}

@@ -1,0 +1,96 @@
+//! Bring your own topology: build a custom machine from an edge list, run
+//! the whole analysis pipeline on it, and compare it against the closest
+//! paper family.
+//!
+//! The example constructs a "bridged double mesh" — two 2-d meshes joined
+//! by a handful of bridge links — a classic bottlenecked design whose
+//! bandwidth is capped by the bridge, and shows the flux bound finding the
+//! bridge automatically.
+//!
+//! Run: `cargo run --release --example custom_topology`
+
+use fcn_emu::bandwidth::{flux_upper_bound, quick_audit, BandwidthEstimator};
+use fcn_emu::multigraph::{from_edge_list, to_edge_list, Cut, MultigraphBuilder, NodeId};
+use fcn_emu::prelude::*;
+use fcn_emu::topology::SendCapacity;
+
+fn main() {
+    // Two 8x8 meshes joined by a single bridge link.
+    let side = 8usize;
+    let n = 2 * side * side;
+    let mut b = MultigraphBuilder::new(n);
+    for half in 0..2usize {
+        let base = (half * side * side) as NodeId;
+        for r in 0..side {
+            for c in 0..side {
+                let id = base + (r * side + c) as NodeId;
+                if c + 1 < side {
+                    b.add_edge(id, id + 1);
+                }
+                if r + 1 < side {
+                    b.add_edge(id, id + side as NodeId);
+                }
+            }
+        }
+    }
+    // One bridge: a corner of mesh A to a corner of mesh B.
+    let a = |r: usize, c: usize| (r * side + c) as NodeId;
+    let bb = |r: usize, c: usize| (side * side + r * side + c) as NodeId;
+    b.add_edge(a(0, side - 1), bb(0, 0));
+    let graph = b.build();
+
+    // Round-trip through the text format, as a user with a file would.
+    let text = to_edge_list(&graph);
+    let graph = from_edge_list(&text).expect("own format parses");
+    println!(
+        "custom machine: {} nodes, {} edges (two meshes + 1 bridge)\n",
+        graph.node_count(),
+        graph.simple_edge_count()
+    );
+
+    let machine = Machine::custom(
+        Family::Mesh(2), // closest analytic class, for reporting only
+        "bridged_double_mesh".into(),
+        graph,
+        n,
+        SendCapacity::Unlimited,
+        vec![Cut::prefix(n, n / 2)],
+    );
+
+    // Measured bandwidth vs a single mesh of the same total size.
+    let est = BandwidthEstimator::default();
+    let custom_beta = est.estimate_symmetric(&machine).rate;
+    let reference = Machine::mesh(2, 11); // 121 ≈ 128 processors
+    let ref_beta = est.estimate_symmetric(&reference).rate;
+    println!("measured β̂(custom)    = {custom_beta:.2}");
+    println!("measured β̂(mesh 11x11)= {ref_beta:.2}   (same size class, no bridge)");
+
+    // The flux bound finds the bridge.
+    let flux = flux_upper_bound(&machine, &machine.symmetric_traffic(), 1, 6, 3);
+    println!(
+        "\nflux bound             = {:.2} via {}",
+        flux.rate_bound, flux.witness
+    );
+    if let Some(stats) = flux.cut_stats {
+        println!(
+            "witness cut            : capacity {} between {} and {} nodes",
+            stats.capacity, stats.size_s, stats.size_t
+        );
+    }
+
+    // Bottleneck-freeness: sub-population traffic inside one mesh runs far
+    // faster than cross-bridge symmetric traffic, and the gap widens with
+    // size (mesh throughput √n vs bridge capacity 1).
+    let audit = quick_audit(&machine, 5);
+    println!(
+        "\nbottleneck audit: symmetric {:.2}, worst quasi-symmetric ratio {:.2} \
+         (well-formed machines measure ≈ 1-1.5 here)",
+        audit.symmetric_rate, audit.worst_ratio,
+    );
+    println!(
+        "\nmoral: the Efficient Emulation Theorem's host premise is doing real \
+         work — a bridged host's symmetric β understates what sub-populations \
+         can do, the audit ratio grows with size, and at scale such hosts \
+         violate bottleneck-freeness and escape the theorem's guarantee."
+    );
+}

@@ -1,0 +1,54 @@
+//! The full pipeline on the introduction's example: emulating a de Bruijn
+//! guest on 2-d mesh hosts of growing size, comparing the measured
+//! slowdown of an actual (direct) emulation against the theorem's lower
+//! bound, and locating the efficiency crossover.
+//!
+//! Run: `cargo run --release --example debruijn_on_mesh`
+
+use fcn_emu::core::{direct_emulation, fig1_data, EmulationConfig};
+use fcn_emu::prelude::*;
+
+fn main() {
+    let guest = Machine::de_bruijn(9); // n = 512
+    let n = guest.processors() as f64;
+    let bound = slowdown_lower_bound(&guest.family(), &Family::Mesh(2));
+    let cfg = EmulationConfig::default();
+
+    println!(
+        "guest {} (n = {}), hosts: 2-d meshes\n",
+        guest.name(),
+        guest.processors()
+    );
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>14} {:>12}",
+        "host m", "load", "comm bound", "total bound", "measured S", "meas/bound"
+    );
+    for side in [2usize, 3, 4, 6, 8, 12, 16] {
+        let host = Machine::mesh(2, side);
+        let m = host.processors() as f64;
+        let report = direct_emulation(&guest, &host, 8, &cfg);
+        let total = bound.eval(n, m);
+        println!(
+            "{:>10} {:>10.1} {:>12.1} {:>12.1} {:>14.1} {:>12.2}",
+            host.processors(),
+            bound.load(n, m),
+            bound.communication(n, m),
+            total,
+            report.slowdown(),
+            report.slowdown() / total
+        );
+    }
+
+    // Where is the efficiency crossover for this guest size?
+    let d = fig1_data(&Family::DeBruijn, &Family::Mesh(2), n, 16);
+    println!(
+        "\ncrossover: m* ≈ {:.1} — hosts larger than this waste work \
+         (communication-bound); lg²n = {:.1}",
+        d.crossover_m,
+        n.log2().powi(2)
+    );
+    println!(
+        "minimum achievable slowdown for an efficient emulation: {:.1}",
+        d.crossover_slowdown
+    );
+}

@@ -1,0 +1,92 @@
+//! Interactive explorer: pick any guest/host family pair and sizes from the
+//! command line; prints the analytic bounds, measured bandwidths, premise
+//! audit, and a measured direct emulation.
+//!
+//! Run: `cargo run --release --example emulation_explorer -- <guest> <host> [n] [m]`
+//! e.g. `cargo run --release --example emulation_explorer -- butterfly mesh2 512 64`
+//!
+//! Families: linear_array ring global_bus tree weak_ppn xtree mesh{1,2,3}
+//! torus{2,3} xgrid{1,2,3} mesh_of_trees{1,2,3} multigrid{1,2,3}
+//! pyramid{1,2,3} butterfly ccc shuffle_exchange de_bruijn multibutterfly
+//! expander weak_hypercube
+
+use fcn_emu::core::{check_premises, direct_emulation, EmulationConfig};
+use fcn_emu::prelude::*;
+
+fn parse_family(s: &str) -> Option<Family> {
+    Family::all_with_dims(&[1, 2, 3])
+        .into_iter()
+        .find(|f| f.id() == s)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let guest_id = args.first().map(String::as_str).unwrap_or("de_bruijn");
+    let host_id = args.get(1).map(String::as_str).unwrap_or("mesh2");
+    let n_target: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(256);
+    let m_target: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(16);
+
+    let Some(guest_family) = parse_family(guest_id) else {
+        eprintln!("unknown guest family {guest_id:?}");
+        std::process::exit(2);
+    };
+    let Some(host_family) = parse_family(host_id) else {
+        eprintln!("unknown host family {host_id:?}");
+        std::process::exit(2);
+    };
+
+    let guest = guest_family.build_near(n_target, 0xa);
+    let host = host_family.build_near(m_target, 0xb);
+    let (n, m) = (guest.processors() as f64, host.processors() as f64);
+    println!("guest {} (n = {n}), host {} (m = {m})", guest.name(), host.name());
+
+    // Analytic side.
+    let bound = slowdown_lower_bound(&guest_family, &host_family);
+    println!("\nTheorem: S ≥ {bound}");
+    println!(
+        "at these sizes: load ≥ {:.2}, communication ≥ {:.2}",
+        bound.load(n, m),
+        bound.communication(n, m)
+    );
+    let cap = max_host_size(&guest_family, &host_family);
+    println!("max efficient host size: {}", cap.to_cell());
+
+    // Premise audit.
+    let steps = (3.0 * guest.lambda_at_size()).ceil() as u64;
+    let premises = check_premises(&guest, &host, steps, 0.5, 4.0, 0xc);
+    println!(
+        "\npremises (T = {steps} guest steps): fixed-degree = {}, time-ok = {}, \
+         bottleneck-free = {} (worst ratio {:.2})",
+        premises.guest_fixed_degree,
+        premises.guest_time_ok,
+        premises.host_bottleneck_free,
+        premises.bottleneck_audit.worst_ratio
+    );
+
+    // Measured bandwidths.
+    let est = BandwidthEstimator::default();
+    let bg = est.estimate_symmetric(&guest);
+    let bh = est.estimate_symmetric(&host);
+    println!(
+        "\nmeasured β̂(G) = {:.2}, β̂(H) = {:.2}, ratio = {:.2}",
+        bg.rate,
+        bh.rate,
+        bg.rate / bh.rate
+    );
+
+    // Measured emulation.
+    if guest.processors() >= host.processors() {
+        let report = direct_emulation(&guest, &host, steps.min(8), &EmulationConfig::default());
+        println!(
+            "\ndirect emulation: slowdown {:.1} (compute {:.1} + comm {:.1} per step), \
+             load {}, vs bound {:.1}",
+            report.slowdown(),
+            report.compute_ticks as f64 / report.guest_steps as f64,
+            report.communication_slowdown(),
+            report.max_load,
+            bound.eval(n, m)
+        );
+    } else {
+        println!("\n(host larger than guest: skipping direct emulation)");
+    }
+}

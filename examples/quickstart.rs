@@ -1,0 +1,73 @@
+//! Quickstart: the paper's introduction example, end to end.
+//!
+//! An n-processor de Bruijn graph has β = Θ(n/lg n); an m-processor 2-d
+//! mesh has β = Θ(√m). The Efficient Emulation Theorem gives slowdown
+//! S ≥ Ω(β(G)/β(H)), and matching it against the load bound n/m shows only
+//! meshes of size O(lg² n) can efficiently emulate the de Bruijn graph.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use fcn_emu::prelude::*;
+
+fn main() {
+    // Build concrete machines.
+    let guest = Machine::de_bruijn(10); // n = 1024
+    let host = Machine::mesh(2, 8); // m = 64
+    let (n, m) = (guest.processors() as f64, host.processors() as f64);
+
+    println!("guest: {} (n = {n})", guest.name());
+    println!("host:  {} (m = {m})", host.name());
+
+    // Analytic β and λ from Table 4.
+    println!(
+        "\nβ(G) = {}  λ(G) = {}",
+        guest.beta_analytic(),
+        guest.lambda_analytic()
+    );
+    println!(
+        "β(H) = {}  λ(H) = {}",
+        host.beta_analytic(),
+        host.lambda_analytic()
+    );
+
+    // The Efficient Emulation Theorem.
+    let bound = slowdown_lower_bound(&guest.family(), &host.family());
+    println!("\nEfficient Emulation Theorem: S ≥ {bound}");
+    println!(
+        "at (n, m) = ({n}, {m}): communication ≥ {:.1}, load ≥ {:.1}, total ≥ {:.1}",
+        bound.communication(n, m),
+        bound.load(n, m),
+        bound.eval(n, m)
+    );
+
+    // Maximum efficient host size.
+    let cap = max_host_size(&guest.family(), &host.family());
+    println!(
+        "\nmax efficient 2-d mesh host for a de Bruijn guest: |H| = {}",
+        cap.to_cell()
+    );
+    let m_star = numeric_host_size(&guest.family(), &host.family(), n);
+    println!("numeric crossover at n = {n}: m* ≈ {m_star:.1} (lg²n = {:.1})", {
+        let lg = n.log2();
+        lg * lg
+    });
+
+    // Measure β operationally on the router.
+    let estimator = BandwidthEstimator::default();
+    let guest_beta = estimator.estimate_symmetric(&guest);
+    let host_beta = estimator.estimate_symmetric(&host);
+    println!(
+        "\nmeasured β̂(G) = {:.2} (analytic Θ gives {:.2})",
+        guest_beta.rate,
+        guest.beta_at_size()
+    );
+    println!(
+        "measured β̂(H) = {:.2} (analytic Θ gives {:.2})",
+        host_beta.rate,
+        host.beta_at_size()
+    );
+    println!(
+        "measured slowdown floor β̂(G)/β̂(H) = {:.2}",
+        guest_beta.rate / host_beta.rate
+    );
+}

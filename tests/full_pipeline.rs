@@ -1,0 +1,109 @@
+//! The complete measured pipeline, end to end: measure β̂ for a guest and a
+//! host family sweep on the router, derive the *empirical* maximum host
+//! size, and check it lands where the Efficient Emulation Theorem's
+//! symbolic solution says it should.
+
+use fcn_emu::bandwidth::BandwidthEstimator;
+use fcn_emu::core::{empirical_host_size, max_host_size, HostSizeBound};
+use fcn_emu::prelude::*;
+use fcn_emu::routing::{saturation_throughput, SteadyConfig};
+
+fn estimator() -> BandwidthEstimator {
+    BandwidthEstimator {
+        multipliers: vec![2, 4],
+        trials: 2,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn measured_crossover_tracks_symbolic_for_debruijn_on_mesh() {
+    // Measure β̂ for 2-d mesh hosts at several sizes...
+    let est = estimator();
+    let host_samples: Vec<(f64, f64)> = [4usize, 6, 8, 12, 16]
+        .iter()
+        .map(|&side| {
+            let h = Machine::mesh(2, side);
+            let b = est.estimate_symmetric(&h);
+            (h.processors() as f64, b.rate)
+        })
+        .collect();
+    // ... and β̂ for a de Bruijn guest.
+    let guest = Machine::de_bruijn(9); // n = 512
+    let guest_beta = est.estimate_symmetric(&guest).rate;
+
+    let m_empirical =
+        empirical_host_size(guest_beta, guest.processors() as f64, &host_samples);
+    // Symbolic: m* = Θ(lg² n) = 81 at n = 512 (unit constants). Constants
+    // differ, so compare within an order of magnitude and require the
+    // empirical crossover to be far below full size.
+    let symbolic = match max_host_size(&Family::DeBruijn, &Family::Mesh(2)) {
+        HostSizeBound::Constrained(a) => a.eval(512.0),
+        HostSizeBound::FullSize => panic!("expected a cap"),
+    };
+    assert!(
+        m_empirical > 0.1 * symbolic && m_empirical < 10.0 * symbolic,
+        "empirical {m_empirical} vs symbolic {symbolic}"
+    );
+    assert!(m_empirical < 512.0 * 0.9);
+}
+
+#[test]
+fn batch_and_steady_state_agree_within_constants() {
+    for machine in [Machine::mesh(2, 8), Machine::tree(5), Machine::de_bruijn(6)] {
+        let t = machine.symmetric_traffic();
+        let batch = estimator().estimate(&machine, &t).rate;
+        let (steady, _) = saturation_throughput(
+            &machine,
+            &t,
+            SteadyConfig {
+                warmup_ticks: 64,
+                measure_ticks: 256,
+                ..Default::default()
+            },
+        );
+        let ratio = steady / batch;
+        assert!(
+            (0.3..=3.5).contains(&ratio),
+            "{}: batch {batch} steady {steady}",
+            machine.name()
+        );
+    }
+}
+
+#[test]
+fn theorem6_certificates_close_for_every_family_class() {
+    use fcn_emu::bandwidth::theorem6_sandwich;
+    // One representative per β class.
+    for machine in [
+        Machine::linear_array(48),  // Θ(1)
+        Machine::xtree(5),          // Θ(lg n)
+        Machine::mesh(2, 7),        // Θ(sqrt n)
+        Machine::de_bruijn(6),      // Θ(n / lg n)
+    ] {
+        let c = theorem6_sandwich(&machine, 8, 13);
+        assert!(c.is_consistent(4.0), "{}: {c:?}", machine.name());
+        assert!(
+            c.sandwich_ratio() < 24.0,
+            "{}: ratio {}",
+            machine.name(),
+            c.sandwich_ratio()
+        );
+    }
+}
+
+#[test]
+fn statements_and_tables_agree() {
+    use fcn_emu::core::{generate_table, table3_spec, theorem5};
+    let t5 = theorem5();
+    let table = generate_table(table3_spec(&[2]), &[1 << 16]);
+    for (guest, host, cell) in t5.conclusions() {
+        if let Some(found) = table
+            .cells
+            .iter()
+            .find(|c| c.guest == guest.id() && c.host == host.id())
+        {
+            assert_eq!(found.bound, cell, "{guest} on {host}");
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Integration checks for the Tables 1–3 generation pipeline: symbolic vs
+//! numeric agreement across the whole grid, and cross-table consistency.
+
+use fcn_emu::core::{
+    generate_table, max_host_size, numeric_host_size, table1_spec, table2_spec, table3_spec,
+    HostSizeBound,
+};
+use fcn_emu::prelude::*;
+
+#[test]
+fn symbolic_and_numeric_agree_across_all_cells() {
+    // For every (guest, host) pair of every table, evaluating the symbolic
+    // class at n must track the numeric crossover within a constant factor.
+    let n = (1u64 << 22) as f64;
+    for spec in [
+        table1_spec(&[2, 3]),
+        table2_spec(&[2, 3]),
+        table3_spec(&[2, 3]),
+    ] {
+        for guest in &spec.guests {
+            for host in &spec.hosts {
+                let sym = max_host_size(guest, host).as_asym().eval(n);
+                let num = numeric_host_size(guest, host, n).min(n);
+                let ratio = num / sym;
+                assert!(
+                    (0.2..=5.0).contains(&ratio),
+                    "{guest} on {host}: numeric {num} vs symbolic {sym}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn host_size_is_monotone_in_host_strength() {
+    // Stronger hosts admit larger sizes: linear array <= xtree <= mesh2 for
+    // a butterfly-class guest.
+    let n = (1u64 << 20) as f64;
+    let weak = numeric_host_size(&Family::Butterfly, &Family::LinearArray, n);
+    let mid = numeric_host_size(&Family::Butterfly, &Family::XTree, n);
+    let strong = numeric_host_size(&Family::Butterfly, &Family::Mesh(2), n);
+    assert!(weak <= mid && mid <= strong, "{weak} {mid} {strong}");
+}
+
+#[test]
+fn tables_1_and_2_cells_coincide_per_dimension() {
+    let sizes = [1u64 << 16];
+    let t1 = generate_table(table1_spec(&[2]), &sizes);
+    let t2 = generate_table(table2_spec(&[2]), &sizes);
+    // mesh2 (t1) and mesh_of_trees2/multigrid2/pyramid2 (t2) share β, so
+    // all their rows against every host agree.
+    for host in &t1.spec.hosts {
+        let c1 = t1
+            .cells
+            .iter()
+            .find(|c| c.guest == "mesh2" && c.host == host.id())
+            .unwrap();
+        for g2 in ["mesh_of_trees2", "multigrid2", "pyramid2"] {
+            let c2 = t2
+                .cells
+                .iter()
+                .find(|c| c.guest == g2 && c.host == host.id())
+                .unwrap();
+            assert_eq!(c1.bound, c2.bound, "host {host}");
+        }
+    }
+}
+
+#[test]
+fn table3_guests_all_share_cells() {
+    // All butterfly-class guests have identical rows.
+    let t = generate_table(table3_spec(&[2]), &[1 << 18]);
+    let hosts: Vec<String> = t.spec.hosts.iter().map(|h| h.id()).collect();
+    for host in &hosts {
+        let bounds: Vec<&str> = t
+            .cells
+            .iter()
+            .filter(|c| &c.host == host)
+            .map(|c| c.bound.as_str())
+            .collect();
+        assert!(
+            bounds.windows(2).all(|w| w[0] == w[1]),
+            "host {host}: {bounds:?}"
+        );
+    }
+}
+
+#[test]
+fn guest_dimension_strictly_widens_host_caps() {
+    // Higher-dimensional mesh guests are harder: their max host shrinks.
+    let n = (1u64 << 24) as f64;
+    let h2 = numeric_host_size(&Family::Mesh(2), &Family::LinearArray, n);
+    let h3 = numeric_host_size(&Family::Mesh(3), &Family::LinearArray, n);
+    assert!(h3 < h2, "{h3} !< {h2}");
+}
+
+#[test]
+fn full_size_cells_render_as_linear() {
+    assert_eq!(
+        max_host_size(&Family::Mesh(2), &Family::Mesh(3)),
+        HostSizeBound::FullSize
+    );
+    assert_eq!(
+        max_host_size(&Family::Mesh(2), &Family::Mesh(3)).to_cell(),
+        "O(n)"
+    );
+}
+
+#[test]
+fn numeric_crossover_respects_guest_size_cap() {
+    // For same-class pairs the numeric solver lands at ~n (full size).
+    let n = 4096.0;
+    let m = numeric_host_size(&Family::Butterfly, &Family::DeBruijn, n);
+    assert!(m >= n * 0.5, "m {m}");
+}

@@ -1,0 +1,120 @@
+//! End-to-end Table 4 shape checks: the measured bandwidth of each machine
+//! family, swept over sizes, must classify into the paper's Θ-class — and
+//! the measured diameter into the λ class.
+//!
+//! These are the cheap representatives; the full sweep lives in
+//! `cargo run -p fcn-bench --bin table4`.
+
+use fcn_emu::asymptotics::Rational;
+use fcn_emu::bandwidth::{sweep_family, BandwidthEstimator};
+use fcn_emu::prelude::*;
+
+fn estimator() -> BandwidthEstimator {
+    BandwidthEstimator {
+        multipliers: vec![2, 4],
+        trials: 2,
+        ..Default::default()
+    }
+}
+
+const TARGETS: [usize; 4] = [64, 128, 256, 512];
+
+#[test]
+fn linear_array_is_constant_beta_linear_lambda() {
+    let sweep = sweep_family(Family::LinearArray, &TARGETS, &estimator(), 1);
+    assert!(sweep.beta_class.is_constant(), "{:?}", sweep.beta_class);
+    assert_eq!(sweep.lambda_class.pow_n, Rational::ONE);
+}
+
+#[test]
+fn tree_is_constant_beta_log_lambda() {
+    let sweep = sweep_family(Family::Tree, &TARGETS, &estimator(), 2);
+    assert!(sweep.beta_class.is_constant(), "{:?}", sweep.beta_class);
+    assert!(sweep.lambda_class.pow_n.is_zero());
+    assert!(sweep.lambda_class.pow_lg.is_positive());
+}
+
+#[test]
+fn mesh2_is_sqrt_beta() {
+    let sweep = sweep_family(Family::Mesh(2), &TARGETS, &estimator(), 3);
+    assert_eq!(sweep.beta_class.pow_n, Rational::new(1, 2), "{:?}", sweep.beta_class);
+    assert_eq!(sweep.lambda_class.pow_n, Rational::new(1, 2));
+}
+
+#[test]
+fn de_bruijn_is_near_linear_beta_log_lambda() {
+    let sweep = sweep_family(Family::DeBruijn, &TARGETS, &estimator(), 4);
+    // n/lg n: the classifier may return n^1·lg^-1 or a nearby high class;
+    // require pow_n >= 3/4 to separate it from the mesh classes.
+    assert!(
+        sweep.beta_class.pow_n >= Rational::new(3, 4),
+        "{:?}",
+        sweep.beta_class
+    );
+    assert!(sweep.lambda_class.pow_n.is_zero());
+    assert!(sweep.lambda_class.pow_lg.is_positive());
+}
+
+#[test]
+fn bus_is_constant_beta_constant_lambda() {
+    let sweep = sweep_family(Family::GlobalBus, &TARGETS, &estimator(), 5);
+    assert!(sweep.beta_class.is_constant(), "{:?}", sweep.beta_class);
+    // Diameter 2 at every size.
+    for row in &sweep.rows {
+        assert_eq!(row.diameter, 2);
+    }
+}
+
+#[test]
+fn xtree_beta_grows_slowly() {
+    // Θ(lg n) is not separable from Θ(1)+noise or Θ(n^{1/4}) over this
+    // cheap test range (the full-range separation runs in the table4
+    // bench), so assert the raw shape instead: the rate grows, but far
+    // slower than any mesh class.
+    let sweep = sweep_family(Family::XTree, &TARGETS, &estimator(), 6);
+    let lo = sweep.rows.first().unwrap();
+    let hi = sweep.rows.last().unwrap();
+    let ratio = hi.measured / lo.measured;
+    // lg ratio over [63, 511] is 1.5; sqrt-n ratio would be 2.85.
+    assert!(
+        (1.1..=2.4).contains(&ratio),
+        "xtree rate ratio {ratio} (rates {} -> {})",
+        lo.measured,
+        hi.measured
+    );
+    // And it clearly beats the plain tree (β = Θ(1)) at the same size.
+    let tree = sweep_family(Family::Tree, &TARGETS, &estimator(), 6);
+    assert!(
+        hi.measured > 1.5 * tree.rows.last().unwrap().measured,
+        "xtree {} vs tree {}",
+        hi.measured,
+        tree.rows.last().unwrap().measured
+    );
+}
+
+#[test]
+fn measured_never_exceeds_flux_bound() {
+    for family in [Family::Mesh(2), Family::Tree, Family::DeBruijn, Family::XTree] {
+        let sweep = sweep_family(family, &[64, 256], &estimator(), 7);
+        for row in &sweep.rows {
+            assert!(
+                row.measured <= row.flux_bound + 1e-9,
+                "{}: measured {} > flux {}",
+                row.machine,
+                row.measured,
+                row.flux_bound
+            );
+        }
+    }
+}
+
+#[test]
+fn mesh3_beats_mesh2_bandwidth_at_equal_size() {
+    let est = estimator();
+    let m2 = est.estimate_symmetric(&Machine::mesh(2, 16)).rate; // 256
+    let m3 = est.estimate_symmetric(&Machine::mesh(3, 6)).rate; // 216
+    assert!(
+        m3 > m2 * 0.9,
+        "mesh3 {m3} should be at least comparable to mesh2 {m2}"
+    );
+}

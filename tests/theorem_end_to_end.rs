@@ -1,0 +1,97 @@
+//! End-to-end validation of the Efficient Emulation Theorem: for a matrix
+//! of guest/host pairs, the *measured* slowdown of an actual emulation must
+//! respect the theorem's lower bound, and the premises must be auditable.
+
+use fcn_emu::core::{
+    check_premises, direct_emulation, slowdown_lower_bound, EmulationConfig,
+};
+use fcn_emu::prelude::*;
+
+fn cfg() -> EmulationConfig {
+    EmulationConfig {
+        sample_steps: 2,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn measured_slowdown_dominates_bound_across_pairs() {
+    let pairs: Vec<(Machine, Machine)> = vec![
+        (Machine::de_bruijn(6), Machine::mesh(2, 3)),
+        (Machine::de_bruijn(6), Machine::linear_array(8)),
+        (Machine::butterfly(4), Machine::mesh(2, 4)),
+        (Machine::mesh(2, 8), Machine::linear_array(8)),
+        (Machine::mesh(2, 8), Machine::tree(3)),
+        (Machine::shuffle_exchange(6), Machine::xtree(3)),
+    ];
+    for (guest, host) in pairs {
+        let bound = slowdown_lower_bound(&guest.family(), &host.family());
+        let report = direct_emulation(&guest, &host, 6, &cfg());
+        let predicted = bound.eval(guest.processors() as f64, host.processors() as f64);
+        assert!(
+            report.slowdown() >= 0.5 * predicted,
+            "{} on {}: measured {} < bound {}",
+            guest.name(),
+            host.name(),
+            report.slowdown(),
+            predicted
+        );
+    }
+}
+
+#[test]
+fn load_bound_alone_is_respected_exactly() {
+    // Compute time alone forces S >= ceil(n/m).
+    let guest = Machine::mesh(2, 8);
+    let host = Machine::mesh(2, 4);
+    let report = direct_emulation(&guest, &host, 5, &cfg());
+    assert!(report.slowdown() >= (64.0 / 16.0));
+    assert_eq!(report.max_load, 4);
+}
+
+#[test]
+fn premises_audit_full_matrix() {
+    // Premise auditing runs for every host family at small size and the
+    // classical machines all pass bottleneck-freeness with constant 4.
+    let guest = Machine::de_bruijn(5);
+    for host_family in [
+        Family::LinearArray,
+        Family::Tree,
+        Family::XTree,
+        Family::Mesh(2),
+        Family::Butterfly,
+    ] {
+        let host = host_family.build_near(64, 5);
+        let report = check_premises(&guest, &host, 16, 0.5, 4.0, 9);
+        assert!(report.all_ok(), "{host_family}: {report:?}");
+    }
+}
+
+#[test]
+fn communication_dominates_when_host_is_weak() {
+    // A big de Bruijn on a tiny linear array: communication slowdown must
+    // exceed the load slowdown because β(G)/β(H) >> n/m fails... actually
+    // for the linear array host β_H = Θ(1) so comm ~ n/lg n vs load n/m:
+    // with m = 16 > lg n the communication bound dominates.
+    let guest = Machine::de_bruijn(7); // n = 128, n/lg n ≈ 18
+    let host = Machine::linear_array(16); // load = 8
+    let bound = slowdown_lower_bound(&guest.family(), &host.family());
+    let (n, m) = (128.0, 16.0);
+    assert!(bound.communication(n, m) > bound.load(n, m));
+    let report = direct_emulation(&guest, &host, 6, &cfg());
+    assert!(report.communication_slowdown() > report.max_load as f64);
+}
+
+#[test]
+fn equal_machines_emulate_with_constant_slowdown() {
+    for machine in [Machine::mesh(2, 6), Machine::de_bruijn(6)] {
+        let report = direct_emulation(&machine, &machine, 6, &cfg());
+        assert_eq!(report.max_load, 1);
+        assert!(
+            report.slowdown() <= 12.0,
+            "{}: slowdown {}",
+            machine.name(),
+            report.slowdown()
+        );
+    }
+}
