@@ -255,10 +255,7 @@ mod tests {
         let de_bruijn_beta = Asym::n() / Asym::lg();
         assert_eq!(de_bruijn_beta.to_string(), "Θ(n * lg^-1 n)");
         assert_eq!(Asym::lg_pow(2, 1).to_string(), "Θ(lg^2 n)");
-        assert_eq!(
-            (Asym::lg() * Asym::lglg()).to_string(),
-            "Θ(lg n * lg lg n)"
-        );
+        assert_eq!((Asym::lg() * Asym::lglg()).to_string(), "Θ(lg n * lg lg n)");
     }
 
     #[test]

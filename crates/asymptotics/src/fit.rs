@@ -160,8 +160,7 @@ pub fn classify_growth(samples: &[(f64, f64)], candidates: &[Asym]) -> (Asym, f6
             .map(|&(n, y)| y.log2() - cand.eval(n).log2())
             .collect();
         let mean = resids.iter().sum::<f64>() / resids.len() as f64;
-        let var = resids.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>()
-            / resids.len() as f64;
+        let var = resids.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / resids.len() as f64;
         let rms = var.sqrt();
         if best.as_ref().is_none_or(|(_, b)| rms < *b) {
             best = Some((cand.with_coeff(mean.exp2().max(f64::MIN_POSITIVE)), rms));

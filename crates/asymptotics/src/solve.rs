@@ -96,12 +96,7 @@ pub enum SolveError {
 ///     .unwrap();
 /// assert!(m.same_class(&Asym::lg_pow(2, 1)));
 /// ```
-pub fn solve_power_log(
-    e: Rational,
-    d: Rational,
-    g: Rational,
-    x: Asym,
-) -> Result<Asym, SolveError> {
+pub fn solve_power_log(e: Rational, d: Rational, g: Rational, x: Asym) -> Result<Asym, SolveError> {
     if e.is_negative() {
         return Err(SolveError::NotMonotone);
     }
@@ -209,25 +204,14 @@ mod tests {
     #[test]
     fn symbolic_butterfly_on_butterfly_full_size() {
         // host Butterfly-class: m/β_H(m) = lg m; guest same: X = lg n ⇒ m = n.
-        let m = solve_power_log(
-            Rational::ZERO,
-            Rational::ONE,
-            Rational::ZERO,
-            Asym::lg(),
-        )
-        .unwrap();
+        let m = solve_power_log(Rational::ZERO, Rational::ONE, Rational::ZERO, Asym::lg()).unwrap();
         assert!(m.same_class(&Asym::n()));
     }
 
     #[test]
     fn degenerate_cases_rejected() {
         assert_eq!(
-            solve_power_log(
-                Rational::int(-1),
-                Rational::ZERO,
-                Rational::ZERO,
-                Asym::n()
-            ),
+            solve_power_log(Rational::int(-1), Rational::ZERO, Rational::ZERO, Asym::n()),
             Err(SolveError::NotMonotone)
         );
         assert_eq!(

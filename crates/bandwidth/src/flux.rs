@@ -109,8 +109,8 @@ pub fn flux_upper_bound(
                 .map(|u| machine.send_capacity(u as u32) as u64)
                 .map(|c| if c == u32::MAX as u64 { 0 } else { c })
                 .sum::<u64>() as f64;
-            let uncapped = (0..machine.node_count())
-                .any(|u| machine.send_capacity(u as u32) == u32::MAX);
+            let uncapped =
+                (0..machine.node_count()).any(|u| machine.send_capacity(u as u32) == u32::MAX);
             if !uncapped && slots > 0.0 {
                 consider(FluxBound {
                     rate_bound: slots / avg_d,
@@ -132,7 +132,10 @@ pub fn flux_upper_bound(
         let caps: Vec<u64> = (0..machine.node_count())
             .map(|u| machine.send_capacity(u as u32) as u64)
             .collect();
-        let finite: Vec<usize> = caps.iter().enumerate().filter(|(_, &c)| c < u32::MAX as u64)
+        let finite: Vec<usize> = caps
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c < u32::MAX as u64)
             .map(|(u, _)| u)
             .collect();
         let all_processors_capped = (0..machine.processors()).all(|u| caps[u] < u32::MAX as u64);
@@ -239,8 +242,14 @@ mod tests {
         for m in [Machine::mesh(2, 8), Machine::de_bruijn(4), Machine::tree(4)] {
             let t = m.symmetric_traffic();
             let fb = flux_upper_bound(&m, &t, 3, 4, 2);
-            let s = measure_rate(&m, &t, 8 * t.n(), Strategy::ShortestPath,
-                RouterConfig::default(), 17);
+            let s = measure_rate(
+                &m,
+                &t,
+                8 * t.n(),
+                Strategy::ShortestPath,
+                RouterConfig::default(),
+                17,
+            );
             assert!(s.completed);
             assert!(
                 s.rate <= fb.rate_bound * 1.0 + 1e-9,

@@ -1,16 +1,33 @@
 //! Operational bandwidth estimation: the measured side of `β`.
 //!
-//! Runs independent saturation sweeps (different seeds) in parallel threads
-//! and combines them into a [`BandwidthEstimate`]. The paper's `β` is the
-//! `m → ∞` expected rate; at finite size we report the best plateau across
-//! trials together with the per-trial samples so downstream fitting can see
-//! the spread.
+//! Fans the full `trials × multipliers` grid out over a deterministic
+//! [`fcn_exec::Pool`] and combines the cells into a [`BandwidthEstimate`].
+//! The paper's `β` is the `m → ∞` expected rate; at finite size we report
+//! the best plateau across trials together with the per-cell samples so
+//! downstream fitting can see the spread.
+//!
+//! ## Determinism
+//!
+//! Every grid cell derives its seeds purely from its indices: cell
+//! `(trial, multiplier i)` draws demands with
+//! `job_seed(seed, trial · M + i)` and plans routes with
+//! `job_seed(seed ⊕ PLAN_STREAM, trial)`. No cell reads another cell's RNG,
+//! so the estimate is bit-identical for any worker count (`jobs = 1` and
+//! `jobs = 16` agree exactly — see `tests/determinism.rs`).
+//!
+//! Sharing one *plan* seed across a trial's multipliers is also what makes
+//! the [`PlanCache`] effective: the growing batches of a trial reuse the
+//! same BFS trees, so the cache serves every tree after the smallest batch
+//! has populated it.
 
+use fcn_exec::{job_seed, Pool};
 use fcn_multigraph::Traffic;
-use fcn_routing::{saturation_sweep, RateSample, RouterConfig, Strategy};
+use fcn_routing::{measure_rate_with, PlanCache, RateSample, RouterConfig, Strategy};
 use fcn_topology::Machine;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+
+/// Domain separator for the plan-seed stream (vs the demand-seed stream).
+const PLAN_STREAM: u64 = 0x9_1a7e_5eed;
 
 /// Configuration for operational bandwidth estimation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -21,10 +38,14 @@ pub struct BandwidthEstimator {
     pub strategy: Strategy,
     /// Router configuration (discipline, tick budget).
     pub router: RouterConfig,
-    /// Independent trials (different seeds), run in parallel threads.
+    /// Independent trials (different seeds).
     pub trials: usize,
-    /// Base seed; trial `i` uses `seed + 1000·i`.
+    /// Base seed; grid cells derive their seeds from it by index.
     pub seed: u64,
+    /// Worker threads for the `trials × multipliers` grid: `1` is
+    /// sequential (the default), `0` means one per hardware thread. The
+    /// estimate is bit-identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for BandwidthEstimator {
@@ -35,6 +56,7 @@ impl Default for BandwidthEstimator {
             router: RouterConfig::default(),
             trials: 3,
             seed: 0xbead,
+            jobs: 1,
         }
     }
 }
@@ -46,7 +68,7 @@ pub struct BandwidthEstimate {
     pub rate: f64,
     /// Mean of per-trial plateau rates (spread indicator).
     pub mean_rate: f64,
-    /// All samples from all trials.
+    /// All samples from all trials (trial-major, multiplier-minor order).
     pub samples: Vec<RateSample>,
     /// Number of trials whose sweeps all completed.
     pub complete_trials: usize,
@@ -56,39 +78,36 @@ impl BandwidthEstimator {
     /// Estimate the delivery rate of `machine` under `traffic`.
     pub fn estimate(&self, machine: &Machine, traffic: &Traffic) -> BandwidthEstimate {
         assert!(self.trials >= 1 && !self.multipliers.is_empty());
-        let results: Mutex<Vec<(usize, Vec<RateSample>)>> = Mutex::new(Vec::new());
-        crossbeam::thread::scope(|scope| {
-            for trial in 0..self.trials {
-                let results = &results;
-                let seed = self.seed.wrapping_add(1000 * trial as u64);
-                scope.spawn(move |_| {
-                    let samples = saturation_sweep(
-                        machine,
-                        traffic,
-                        &self.multipliers,
-                        self.strategy,
-                        self.router,
-                        seed,
-                    );
-                    results.lock().push((trial, samples));
-                });
-            }
-        })
-        .expect("bandwidth estimation thread panicked");
+        let n = traffic.n();
+        let m_len = self.multipliers.len();
+        let cells = self.trials * m_len;
+        let pool = Pool::new(self.jobs);
+        let cache = PlanCache::default();
+        let samples: Vec<RateSample> = pool.run(cells, |cell| {
+            let trial = cell / m_len;
+            let mi = cell % m_len;
+            let messages = (self.multipliers[mi] * n).max(1);
+            measure_rate_with(
+                machine,
+                traffic,
+                messages,
+                self.strategy,
+                self.router,
+                job_seed(self.seed, cell as u64),
+                job_seed(self.seed ^ PLAN_STREAM, trial as u64),
+                Some(&cache),
+            )
+        });
 
-        let mut by_trial = results.into_inner();
-        by_trial.sort_by_key(|(t, _)| *t);
-        let mut all = Vec::new();
         let mut plateaus = Vec::new();
         let mut complete_trials = 0;
-        for (_, samples) in by_trial {
-            if samples.iter().all(|s| s.completed) {
+        for trial in samples.chunks(m_len) {
+            if trial.iter().all(|s| s.completed) {
                 complete_trials += 1;
             }
-            if let Some(p) = fcn_routing::plateau_rate(&samples) {
+            if let Some(p) = fcn_routing::plateau_rate(trial) {
                 plateaus.push(p);
             }
-            all.extend(samples);
         }
         assert!(
             !plateaus.is_empty(),
@@ -99,7 +118,7 @@ impl BandwidthEstimator {
         BandwidthEstimate {
             rate,
             mean_rate,
-            samples: all,
+            samples,
             complete_trials,
         }
     }
@@ -107,6 +126,12 @@ impl BandwidthEstimator {
     /// Estimate under the machine's own symmetric traffic — `β̂(M)`.
     pub fn estimate_symmetric(&self, machine: &Machine) -> BandwidthEstimate {
         self.estimate(machine, &machine.symmetric_traffic())
+    }
+
+    /// This estimator with a different worker count (builder-style).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
     }
 }
 
@@ -148,6 +173,18 @@ mod tests {
         let b = quick().estimate_symmetric(&m);
         assert_eq!(a.rate, b.rate);
         assert_eq!(a.samples.len(), b.samples.len());
+    }
+
+    #[test]
+    fn parallel_estimate_matches_sequential() {
+        let m = Machine::mesh(2, 8);
+        let seq = quick().estimate_symmetric(&m);
+        for jobs in [2, 4, 0] {
+            let par = quick().with_jobs(jobs).estimate_symmetric(&m);
+            assert_eq!(par.rate, seq.rate, "jobs={jobs}");
+            assert_eq!(par.samples, seq.samples, "jobs={jobs}");
+            assert_eq!(par.complete_trials, seq.complete_trials);
+        }
     }
 
     #[test]

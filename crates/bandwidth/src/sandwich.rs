@@ -9,6 +9,7 @@
 
 use fcn_asymptotics::fit::{classify_growth, classify_growth_offset, table4_candidates};
 use fcn_asymptotics::{fit_power_log, Asym, PowerLogFit};
+use fcn_exec::{job_seed, Pool};
 use fcn_multigraph::Traffic;
 use fcn_topology::{Family, Machine};
 use serde::{Deserialize, Serialize};
@@ -36,11 +37,7 @@ pub struct BandwidthSandwich {
 }
 
 /// Measure one machine completely.
-pub fn sandwich(
-    machine: &Machine,
-    estimator: &BandwidthEstimator,
-    seed: u64,
-) -> BandwidthSandwich {
+pub fn sandwich(machine: &Machine, estimator: &BandwidthEstimator, seed: u64) -> BandwidthSandwich {
     let traffic: Traffic = machine.symmetric_traffic();
     let est: BandwidthEstimate = estimator.estimate(machine, &traffic);
     let flux: FluxBound = flux_upper_bound(machine, &traffic, seed, 4, 2);
@@ -107,25 +104,18 @@ pub fn sweep_family(
         }
         machines.push((i, machine));
     }
-    // ... then measure the sizes in parallel: each sandwich is independent
-    // and the largest sizes dominate the wall clock.
-    let results: parking_lot::Mutex<Vec<(usize, BandwidthSandwich)>> =
-        parking_lot::Mutex::new(Vec::new());
-    crossbeam::thread::scope(|scope| {
-        for (i, machine) in &machines {
-            let results = &results;
-            scope.spawn(move |_| {
-                let row = sandwich(machine, estimator, seed.wrapping_add(100 + *i as u64));
-                results.lock().push((*i, row));
-            });
-        }
-    })
-    .expect("sweep thread panicked");
-    let mut rows: Vec<BandwidthSandwich> = {
-        let mut v = results.into_inner();
-        v.sort_by_key(|(i, _)| *i);
-        v.into_iter().map(|(_, r)| r).collect()
-    };
+    // ... then measure the `(family, size)` cells in parallel: each
+    // sandwich is independent and the largest sizes dominate the wall
+    // clock. The *outer* pool takes the estimator's worker budget; the
+    // inner estimates run sequentially so parallelism never nests (seeds
+    // are index-pure either way, so this only shapes the thread tree, not
+    // the numbers).
+    let pool = Pool::new(estimator.jobs);
+    let inner = estimator.clone().with_jobs(1);
+    let mut rows: Vec<BandwidthSandwich> = pool.run(machines.len(), |k| {
+        let (i, machine) = &machines[k];
+        sandwich(machine, &inner, job_seed(seed ^ 0x5eed_5a9d, *i as u64))
+    });
     rows.sort_by_key(|r| r.n);
     assert!(rows.len() >= 2, "need at least two distinct sizes to fit");
     let beta_samples: Vec<(f64, f64)> = rows
@@ -146,8 +136,7 @@ pub fn sweep_family(
         .collect();
     let candidates = table4_candidates();
     let (beta_class, beta_class_residual) = classify_growth(&beta_samples, &candidates);
-    let (flux_class, flux_class_residual) =
-        classify_growth_offset(&flux_samples, &candidates);
+    let (flux_class, flux_class_residual) = classify_growth_offset(&flux_samples, &candidates);
     let (lambda_class, lambda_class_residual) =
         classify_growth_offset(&lambda_samples, &candidates);
     FamilySweep {
@@ -179,11 +168,7 @@ mod tests {
     #[test]
     fn sandwich_orders_hold() {
         // measured <= flux bound (soundness of both sides).
-        for m in [
-            Machine::mesh(2, 8),
-            Machine::tree(5),
-            Machine::butterfly(3),
-        ] {
+        for m in [Machine::mesh(2, 8), Machine::tree(5), Machine::butterfly(3)] {
             let s = sandwich(&m, &quick(), 3);
             assert!(
                 s.measured <= s.flux_bound + 1e-9,
@@ -202,7 +187,12 @@ mod tests {
         let sweep = sweep_family(Family::Mesh(2), &[64, 144, 256, 576, 1024], &quick(), 9);
         assert!(sweep.rows.len() >= 4);
         // β ~ n^{1/2} and λ ~ n^{1/2} are the winning Table 4 classes.
-        assert_eq!(sweep.beta_class.pow_n, Rational::new(1, 2), "{:?}", sweep.beta_class);
+        assert_eq!(
+            sweep.beta_class.pow_n,
+            Rational::new(1, 2),
+            "{:?}",
+            sweep.beta_class
+        );
         assert!(sweep.beta_class.pow_lg.is_zero());
         assert_eq!(sweep.lambda_class.pow_n, Rational::new(1, 2));
     }

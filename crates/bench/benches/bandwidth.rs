@@ -13,7 +13,11 @@ fn bench_operational(c: &mut Criterion) {
         trials: 2,
         ..Default::default()
     };
-    for m in [Machine::mesh(2, 8), Machine::de_bruijn(6), Machine::xtree(5)] {
+    for m in [
+        Machine::mesh(2, 8),
+        Machine::de_bruijn(6),
+        Machine::xtree(5),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(m.name()), &m, |b, m| {
             b.iter(|| est.estimate_symmetric(m).rate)
         });

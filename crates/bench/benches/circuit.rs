@@ -18,7 +18,11 @@ fn bench_circuit_build(c: &mut Criterion) {
 fn bench_lemma9(c: &mut Criterion) {
     let mut group = c.benchmark_group("lemma9_witness");
     group.sample_size(10);
-    for m in [Machine::ring(16), Machine::mesh(2, 5), Machine::de_bruijn(4)] {
+    for m in [
+        Machine::ring(16),
+        Machine::mesh(2, 5),
+        Machine::de_bruijn(4),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(m.name()), &m, |b, m| {
             b.iter(|| build_witness(m.graph(), Lemma9Config::default()).gamma_edges)
         });

@@ -29,7 +29,11 @@ fn bench_full_table(c: &mut Criterion) {
     let mut group = c.benchmark_group("generate_table3");
     group.sample_size(10);
     group.bench_function("dims_1_2_3", |b| {
-        b.iter(|| generate_table(table3_spec(&[1, 2, 3]), &[1 << 16, 1 << 20]).cells.len())
+        b.iter(|| {
+            generate_table(table3_spec(&[1, 2, 3]), &[1 << 16, 1 << 20])
+                .cells
+                .len()
+        })
     });
     group.finish();
 }

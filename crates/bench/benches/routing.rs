@@ -2,7 +2,9 @@
 //! batch routing throughput per machine family and per queue discipline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fcn_routing::{route_batch, PathOracle, QueueDiscipline, RouterConfig, Strategy};
+use fcn_routing::{
+    measure_rate_with, route_batch, PathOracle, PlanCache, QueueDiscipline, RouterConfig, Strategy,
+};
 use fcn_topology::Machine;
 
 fn machines() -> Vec<Machine> {
@@ -95,5 +97,50 @@ fn bench_path_oracle(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_route_batch, bench_disciplines, bench_path_oracle);
+/// The estimator's inner loop: one trial = growing batches (2n, 4n, 8n
+/// messages) that share one plan seed. With a [`PlanCache`] the later
+/// batches reuse the BFS trees built by the earlier ones; without it every
+/// batch replans from scratch. The gap is the cache's wall-clock win.
+/// (Uses a mesh: its routing is BFS-backed. Arithmetic policies like
+/// de Bruijn bit-correction compute no trees and ignore the cache.)
+fn bench_plan_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_cache_sweep");
+    group.sample_size(10);
+    let m = Machine::mesh(2, 64);
+    let traffic = m.symmetric_traffic();
+    let n = traffic.n();
+    let sweep = |cache: Option<&PlanCache>| {
+        let mut ticks = 0;
+        for (cell, mult) in [2usize, 4, 8].iter().enumerate() {
+            let s = measure_rate_with(
+                &m,
+                &traffic,
+                mult * n,
+                Strategy::ShortestPath,
+                RouterConfig::default(),
+                fcn_exec::job_seed(11, cell as u64),
+                17, // shared per-trial plan seed, as in BandwidthEstimator
+                cache,
+            );
+            ticks += s.ticks;
+        }
+        ticks
+    };
+    group.bench_function("uncached", |b| b.iter(|| sweep(None)));
+    group.bench_function("cached", |b| {
+        b.iter(|| {
+            let cache = PlanCache::default();
+            sweep(Some(&cache))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_route_batch,
+    bench_disciplines,
+    bench_path_oracle,
+    bench_plan_cache
+);
 criterion_main!(benches);

@@ -6,7 +6,7 @@
 //! symmetric delivery rate — the empirical bottleneck constant.
 
 use fcn_bandwidth::{audit_bottleneck_freeness, BandwidthEstimator};
-use fcn_bench::{banner, fmt, write_records, Scale};
+use fcn_bench::{banner, fmt, write_records, RunOpts, Scale};
 use fcn_topology::Family;
 use serde::Serialize;
 
@@ -20,7 +20,8 @@ struct Row {
 }
 
 fn main() {
-    let scale = Scale::from_args();
+    let opts = RunOpts::from_args();
+    let scale = opts.scale;
     let target = match scale {
         Scale::Quick => 128,
         Scale::Default => 256,
@@ -29,6 +30,7 @@ fn main() {
     let estimator = BandwidthEstimator {
         multipliers: scale.multipliers(),
         trials: scale.trials(),
+        jobs: opts.jobs,
         ..Default::default()
     };
 

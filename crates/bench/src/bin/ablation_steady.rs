@@ -5,10 +5,10 @@
 //! saturation — and check the two estimators agree within constants across
 //! machine families.
 
-use fcn_bench::{banner, fmt, write_records, Scale};
+use fcn_bandwidth::BandwidthEstimator;
+use fcn_bench::{banner, fmt, write_records, RunOpts, Scale};
 use fcn_routing::{saturation_throughput, SteadyConfig};
 use fcn_topology::Family;
-use fcn_bandwidth::BandwidthEstimator;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -21,11 +21,13 @@ struct Row {
 }
 
 fn main() {
-    let scale = Scale::from_args();
+    let opts = RunOpts::from_args();
+    let scale = opts.scale;
     let target = if scale == Scale::Quick { 128 } else { 256 };
     let estimator = BandwidthEstimator {
         multipliers: scale.multipliers(),
         trials: 2,
+        jobs: opts.jobs,
         ..Default::default()
     };
 

@@ -6,12 +6,13 @@
 //! bound.
 
 use fcn_bandwidth::BandwidthEstimator;
-use fcn_bench::{banner, fmt, write_records, Scale};
+use fcn_bench::{banner, fmt, write_records, RunOpts, Scale};
 use fcn_core::{empirical_host_size, fig1_data, fig1_measured, EmulationConfig};
 use fcn_topology::{Family, Machine};
 
 fn main() {
-    let scale = Scale::from_args();
+    let opts = RunOpts::from_args();
+    let scale = opts.scale;
 
     banner("Figure 1 analytic curves: de Bruijn guest on 2-d mesh hosts");
     let mut datasets = Vec::new();
@@ -45,11 +46,7 @@ fn main() {
     };
     let cfg = EmulationConfig::default();
     let rows = fig1_measured(&guest, &Family::Mesh(2), &host_sizes, 8, &cfg);
-    println!(
-        "guest {} (n = {}):",
-        guest.name(),
-        guest.processors()
-    );
+    println!("guest {} (n = {}):", guest.name(), guest.processors());
     println!(
         "  {:>6} {:>18} {:>18} {:>8}",
         "m", "measured slowdown", "predicted bound", "ratio"
@@ -71,6 +68,7 @@ fn main() {
     let est = BandwidthEstimator {
         multipliers: scale.multipliers(),
         trials: scale.trials(),
+        jobs: opts.jobs,
         ..Default::default()
     };
     let host_samples: Vec<(f64, f64)> = [4usize, 6, 8, 12, 16, 24]

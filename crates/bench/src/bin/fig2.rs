@@ -32,8 +32,17 @@ fn main() {
     banner("Figure 2: cone-construction witnesses (Lemma 9, measured)");
     println!(
         "{:<22} {:>5} {:>4} {:>4} {:>8} {:>10} {:>12} {:>10} {:>10} {:>9} {:>9}",
-        "guest", "n", "Λ", "t", "S-nodes", "cones", "γ-edges", "congest", "cap",
-        "cong/cap", "preserve"
+        "guest",
+        "n",
+        "Λ",
+        "t",
+        "S-nodes",
+        "cones",
+        "γ-edges",
+        "congest",
+        "cap",
+        "cong/cap",
+        "preserve"
     );
     for (name, w) in &series {
         println!(

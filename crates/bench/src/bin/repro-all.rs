@@ -1,8 +1,10 @@
 //! Run every table/figure/ablation regeneration in sequence.
 //!
-//! `cargo run --release -p fcn-bench --bin repro-all [-- --quick|--full]`
-//! executes the sibling binaries as subprocesses so each writes its own
-//! stdout report and `target/repro/*.jsonl` records.
+//! `cargo run --release -p fcn-bench --bin repro-all [-- --quick|--full]
+//! [--jobs N]` executes the sibling binaries as subprocesses so each writes
+//! its own stdout report and `target/repro/*.jsonl` records. All arguments
+//! (including `--jobs`) are forwarded verbatim to every binary; `--jobs`
+//! only changes the wall clock, never the records.
 
 use std::process::Command;
 

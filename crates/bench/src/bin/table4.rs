@@ -7,14 +7,16 @@
 //! writes `target/repro/table4.jsonl`.
 
 use fcn_bandwidth::{sweep_family, BandwidthEstimator, FamilySweep};
-use fcn_bench::{banner, fmt, write_records, Scale};
+use fcn_bench::{banner, fmt, write_records, RunOpts};
 use fcn_topology::Family;
 
 fn main() {
-    let scale = Scale::from_args();
+    let opts = RunOpts::from_args();
+    let scale = opts.scale;
     let estimator = BandwidthEstimator {
         multipliers: scale.multipliers(),
         trials: scale.trials(),
+        jobs: opts.jobs,
         ..Default::default()
     };
     let targets = scale.sweep_targets();

@@ -23,18 +23,64 @@ pub enum Scale {
     Full,
 }
 
-impl Scale {
-    /// Parse from `std::env::args()`.
-    pub fn from_args() -> Scale {
-        let mut scale = Scale::Default;
-        for a in std::env::args().skip(1) {
+/// Parsed command-line options shared by all regeneration binaries:
+/// `[--quick|--full] [--jobs N]`.
+///
+/// `jobs` is the worker-thread count for the measurement grids; `1` is
+/// sequential, `0` means one worker per hardware thread. Every grid cell
+/// derives its seeds from its index ([`fcn_exec::job_seed`]), so the output
+/// is bit-identical for every `jobs` value — the flag only changes the wall
+/// clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOpts {
+    pub scale: Scale,
+    pub jobs: usize,
+}
+
+impl RunOpts {
+    /// Parse from `std::env::args()`. Accepts `--jobs N` and `--jobs=N`.
+    pub fn from_args() -> RunOpts {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit argument stream (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> RunOpts {
+        let mut opts = RunOpts {
+            scale: Scale::Default,
+            jobs: 1,
+        };
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
             match a.as_str() {
-                "--quick" => scale = Scale::Quick,
-                "--full" => scale = Scale::Full,
-                other => eprintln!("ignoring unknown argument {other:?}"),
+                "--quick" => opts.scale = Scale::Quick,
+                "--full" => opts.scale = Scale::Full,
+                "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                    Some(jobs) => opts.jobs = jobs,
+                    None => eprintln!("--jobs expects a number; keeping jobs={}", opts.jobs),
+                },
+                other => {
+                    if let Some(v) = other.strip_prefix("--jobs=") {
+                        match v.parse() {
+                            Ok(jobs) => opts.jobs = jobs,
+                            Err(_) => {
+                                eprintln!("--jobs expects a number; keeping jobs={}", opts.jobs)
+                            }
+                        }
+                    } else {
+                        eprintln!("ignoring unknown argument {other:?}");
+                    }
+                }
             }
         }
-        scale
+        opts
+    }
+}
+
+impl Scale {
+    /// Parse from `std::env::args()` (understands and ignores `--jobs`, so
+    /// `repro-all` can forward one argument list to every binary).
+    pub fn from_args() -> Scale {
+        RunOpts::from_args().scale
     }
 
     /// Machine-size targets for bandwidth sweeps. The span matters more
@@ -125,9 +171,37 @@ mod tests {
     }
 
     #[test]
+    fn run_opts_parse() {
+        let o = RunOpts::parse_from(["--full", "--jobs", "4"].into_iter().map(String::from));
+        assert_eq!(
+            o,
+            RunOpts {
+                scale: Scale::Full,
+                jobs: 4
+            }
+        );
+        let o = RunOpts::parse_from(["--jobs=0", "--quick"].into_iter().map(String::from));
+        assert_eq!(
+            o,
+            RunOpts {
+                scale: Scale::Quick,
+                jobs: 0
+            }
+        );
+        let o = RunOpts::parse_from(std::iter::empty());
+        assert_eq!(
+            o,
+            RunOpts {
+                scale: Scale::Default,
+                jobs: 1
+            }
+        );
+    }
+
+    #[test]
     fn fmt_is_compact() {
         assert_eq!(fmt(0.0), "0");
-        assert_eq!(fmt(2.71828), "2.718");
+        assert_eq!(fmt(2.46813), "2.468");
         assert!(fmt(123456.0).contains('e'));
         assert!(fmt(0.0001).contains('e'));
     }

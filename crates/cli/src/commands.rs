@@ -2,11 +2,12 @@
 
 use std::io::Write;
 
-use fcn_bandwidth::{flux_upper_bound, quick_audit, theorem6_sandwich, BandwidthEstimator};
+use fcn_bandwidth::{
+    audit_bottleneck_freeness, flux_upper_bound, theorem6_sandwich, BandwidthEstimator,
+};
 use fcn_core::{
-    build_witness, direct_emulation, fig1_data, generate_table, max_host_size,
-    numeric_host_size, slowdown_lower_bound, table1_spec, table2_spec, table3_spec,
-    EmulationConfig, Lemma9Config,
+    build_witness, direct_emulation, fig1_data, generate_table, max_host_size, numeric_host_size,
+    slowdown_lower_bound, table1_spec, table2_spec, table3_spec, EmulationConfig, Lemma9Config,
 };
 use fcn_routing::{saturation_throughput, SteadyConfig};
 use fcn_topology::{Family, Machine};
@@ -23,10 +24,10 @@ pub fn usage() -> String {
 USAGE:
   fcnemu machines
   fcnemu build   <family> <size> [--seed N] [--format summary|dot|edges|json]
-  fcnemu beta    <family> <size> [--trials N] [--steady] [--seed N]
+  fcnemu beta    <family> <size> [--trials N] [--steady] [--seed N] [--jobs N]
   fcnemu bound   <guest-family> <host-family> [--n N] [--m M]
   fcnemu emulate <guest-family> <n> <host-family> <m> [--steps N]
-  fcnemu audit   <family> <size> [--seed N]
+  fcnemu audit   <family> <size> [--seed N] [--jobs N]
   fcnemu witness <family> <size> [--alpha X]
   fcnemu verify  <family> <size> [--hosts M] [--steps N]
   fcnemu table   <1|2|3> [--size N]
@@ -96,9 +97,10 @@ fn cmd_machines(out: Out) -> CmdResult {
 
 fn cmd_build(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
     let id = args.pos(0, "family")?.to_string();
-    let size: usize = args.pos(1, "size")?.parse().map_err(|_| {
-        ParseError("size must be a positive integer".into())
-    })?;
+    let size: usize = args
+        .pos(1, "size")?
+        .parse()
+        .map_err(|_| ParseError("size must be a positive integer".into()))?;
     let seed = args.flag("seed", 0u64)?;
     let format = args
         .flags
@@ -141,6 +143,9 @@ fn cmd_beta(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
         .map_err(|_| ParseError("size must be a positive integer".into()))?;
     let trials = args.flag("trials", 3usize)?;
     let seed = args.flag("seed", 0xbeadu64)?;
+    // Worker threads for the trials×multipliers grid; 0 = one per hardware
+    // thread. The estimate is bit-identical for every value.
+    let jobs = args.flag("jobs", 1usize)?;
     let steady = args.has("steady");
     Ok((|| -> CmdResult {
         let m = build(&id, size, seed)?;
@@ -148,12 +153,17 @@ fn cmd_beta(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
         let est = BandwidthEstimator {
             trials,
             seed,
+            jobs,
             ..Default::default()
         };
         let b = est.estimate(&m, &t);
         let flux = flux_upper_bound(&m, &t, seed, 4, 2);
         let _ = writeln!(out, "machine       : {} (n = {})", m.name(), m.processors());
-        let _ = writeln!(out, "measured β̂    : {:.3} (mean {:.3})", b.rate, b.mean_rate);
+        let _ = writeln!(
+            out,
+            "measured β̂    : {:.3} (mean {:.3})",
+            b.rate, b.mean_rate
+        );
         let _ = writeln!(
             out,
             "flux bound    : {:.3} [{}]",
@@ -254,9 +264,20 @@ fn cmd_audit(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
         .parse()
         .map_err(|_| ParseError("size must be a positive integer".into()))?;
     let seed = args.flag("seed", 7u64)?;
+    let jobs = args.flag("jobs", 1usize)?;
     Ok((|| -> CmdResult {
         let m = build(&id, size, seed)?;
-        let audit = quick_audit(&m, seed);
+        // Same cheap estimator as `quick_audit`, with the worker count
+        // threaded through: the audit cells run in parallel, the output is
+        // bit-identical for every `--jobs` value.
+        let est = BandwidthEstimator {
+            multipliers: vec![2, 4],
+            trials: 2,
+            seed,
+            jobs,
+            ..Default::default()
+        };
+        let audit = audit_bottleneck_freeness(&m, &est, seed);
         let _ = writeln!(out, "machine        : {}", m.name());
         let _ = writeln!(out, "symmetric rate : {:.3}", audit.symmetric_rate);
         for (label, rate) in &audit.quasi_rates {
@@ -294,10 +315,18 @@ fn cmd_witness(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
         let m = build(&id, size, 3)?;
         let w = build_witness(m.graph(), Lemma9Config { alpha, seed: 0x9e });
         let _ = writeln!(out, "guest           : {} (n = {})", m.name(), w.n);
-        let _ = writeln!(out, "Λ / t / cutoff  : {} / {} / {}", w.lambda, w.t, w.cutoff);
+        let _ = writeln!(
+            out,
+            "Λ / t / cutoff  : {} / {} / {}",
+            w.lambda, w.t, w.cutoff
+        );
         let _ = writeln!(out, "S-nodes         : {}", w.s_nodes);
         let _ = writeln!(out, "cone paths      : {}", w.cone_paths);
-        let _ = writeln!(out, "γ vertices/edges: {} / {}", w.gamma_vertices, w.gamma_edges);
+        let _ = writeln!(
+            out,
+            "γ vertices/edges: {} / {}",
+            w.gamma_vertices, w.gamma_edges
+        );
         let _ = writeln!(
             out,
             "congestion      : {} (cap {}, ratio {:.3})",
@@ -333,7 +362,12 @@ fn cmd_verify(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
             r.steps
         );
         let _ = writeln!(out, "  values communicated : {}", r.values_communicated);
-        let _ = writeln!(out, "  operations          : {} (work x{:.2})", r.operations, r.work_ratio());
+        let _ = writeln!(
+            out,
+            "  operations          : {} (work x{:.2})",
+            r.operations,
+            r.work_ratio()
+        );
         let _ = writeln!(
             out,
             "  semantics           : {}",
@@ -394,7 +428,6 @@ fn cmd_fig1(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::run;
 
     fn run_s(cmd: &str) -> (i32, String) {
@@ -443,6 +476,24 @@ mod tests {
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("measured β̂"));
         assert!(out.contains("flux bound"));
+    }
+
+    #[test]
+    fn beta_output_is_jobs_invariant() {
+        let (code, seq) = run_s("beta mesh2 64 --trials 2 --jobs 1");
+        assert_eq!(code, 0, "{seq}");
+        let (code, par) = run_s("beta mesh2 64 --trials 2 --jobs 0");
+        assert_eq!(code, 0, "{par}");
+        assert_eq!(seq, par, "--jobs must not change the output");
+    }
+
+    #[test]
+    fn audit_output_is_jobs_invariant() {
+        let (code, seq) = run_s("audit tree 31 --jobs 1");
+        assert_eq!(code, 0, "{seq}");
+        let (code, par) = run_s("audit tree 31 --jobs 4");
+        assert_eq!(code, 0, "{par}");
+        assert_eq!(seq, par, "--jobs must not change the output");
     }
 
     #[test]

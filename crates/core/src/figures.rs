@@ -127,9 +127,7 @@ mod tests {
         let d = fig1_data(&Family::DeBruijn, &Family::Mesh(2), (1u64 << 20) as f64, 32);
         assert!((d.crossover_m - 400.0).abs() < 40.0, "m* {}", d.crossover_m);
         // Slowdown at crossover = n/m* ≈ 2621.
-        assert!(
-            (d.crossover_slowdown - (1u64 << 20) as f64 / d.crossover_m).abs() < 1.0
-        );
+        assert!((d.crossover_slowdown - (1u64 << 20) as f64 / d.crossover_m).abs() < 1.0);
         assert_eq!(d.points.len(), 32);
     }
 

@@ -211,11 +211,7 @@ mod tests {
         // Pyramid(1)/Multigrid(1) are X-Tree class (β = Θ(lg m)) and gain a
         // lg factor instead.
         for (j, k) in [(2u8, 1u8), (3, 1), (3, 2)] {
-            for host in [
-                Family::Mesh(k),
-                Family::MeshOfTrees(k),
-                Family::XGrid(k),
-            ] {
+            for host in [Family::Mesh(k), Family::MeshOfTrees(k), Family::XGrid(k)] {
                 let m = constrained(&Family::Mesh(j), &host);
                 assert!(
                     m.same_class(&Asym::n_pow(k as i64, j as i64)),
@@ -259,7 +255,10 @@ mod tests {
             let m = constrained(&guest, &Family::LinearArray);
             assert!(m.same_class(&Asym::n_pow(1, 2)), "{guest}: {m}");
             let m = constrained(&guest, &Family::XTree);
-            assert!(m.same_class(&(Asym::n_pow(1, 2) * Asym::lg())), "{guest}: {m}");
+            assert!(
+                m.same_class(&(Asym::n_pow(1, 2) * Asym::lg())),
+                "{guest}: {m}"
+            );
             let m = constrained(&guest, &Family::Mesh(1));
             assert!(m.same_class(&Asym::n_pow(1, 2)), "{guest}: {m}");
         }

@@ -125,8 +125,7 @@ pub fn build_witness_in_circuit(
         cfg.alpha,
         (1.0 + cfg.alpha) * lambda as f64
     );
-    let cutoff =
-        (((1.0 + cfg.alpha / 2.0) / (1.0 + cfg.alpha)) * lambda as f64).ceil() as u32;
+    let cutoff = (((1.0 + cfg.alpha / 2.0) / (1.0 + cfg.alpha)) * lambda as f64).ceil() as u32;
     let cutoff = cutoff.clamp(1, lambda);
     let l_min = cutoff;
 
@@ -134,8 +133,7 @@ pub fn build_witness_in_circuit(
     // chosen identity-predecessor and per-neighbor routing predecessors.
     // For each level i in [1, t]: pred[i][j] = (arc sources by guest vertex)
     // — we precompute, per node, a map vertex -> source index.
-    let mut pred: Vec<Vec<std::collections::HashMap<NodeId, u32>>> =
-        Vec::with_capacity(t as usize);
+    let mut pred: Vec<Vec<std::collections::HashMap<NodeId, u32>>> = Vec::with_capacity(t as usize);
     for i in 0..t {
         let nodes_above = circuit.level(i + 1).len();
         let mut maps: Vec<std::collections::HashMap<NodeId, u32>> =
@@ -179,12 +177,10 @@ pub fn build_witness_in_circuit(
     let mut congestion: HashMap<(u32, u32, u32), u64> = HashMap::new();
     let mut cone_paths = 0usize;
     let mut gamma_edges = 0u64;
-    let mut used_nodes: std::collections::HashSet<(u32, u32)> =
-        std::collections::HashSet::new();
+    let mut used_nodes: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let kn = fcn_multigraph::Traffic::symmetric(n).to_multigraph();
-    let kn_embedding =
-        Embedding::shortest_paths(&kn, g, (0..n as NodeId).collect(), &mut rng);
+    let kn_embedding = Embedding::shortest_paths(&kn, g, (0..n as NodeId).collect(), &mut rng);
     let c_g_kn = kn_embedding.stats().congestion;
     let beta_g = kn.simple_edge_count() as f64 / c_g_kn as f64;
 
@@ -270,8 +266,7 @@ pub fn build_witness(g: &Multigraph, cfg: Lemma9Config) -> Lemma9Witness {
     // multigraph into G.
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let kn = fcn_multigraph::Traffic::symmetric(n).to_multigraph();
-    let kn_embedding =
-        Embedding::shortest_paths(&kn, g, (0..n as NodeId).collect(), &mut rng);
+    let kn_embedding = Embedding::shortest_paths(&kn, g, (0..n as NodeId).collect(), &mut rng);
     let c_g_kn = kn_embedding.stats().congestion;
     let beta_g = kn.simple_edge_count() as f64 / c_g_kn as f64;
 
@@ -282,8 +277,7 @@ pub fn build_witness(g: &Multigraph, cfg: Lemma9Config) -> Lemma9Witness {
     let mut congestion: HashMap<(u32, NodeId, NodeId), u64> = HashMap::new();
     let mut cone_paths = 0usize;
     let mut gamma_edges = 0u64;
-    let mut used_nodes: std::collections::HashSet<(NodeId, u32)> =
-        std::collections::HashSet::new();
+    let mut used_nodes: std::collections::HashSet<(NodeId, u32)> = std::collections::HashSet::new();
 
     for u in 0..n as NodeId {
         let (dist, parent) = bfs_parents(g, u);
@@ -325,8 +319,7 @@ pub fn build_witness(g: &Multigraph, cfg: Lemma9Config) -> Lemma9Witness {
     }
 
     let max_congestion = congestion.values().copied().max().unwrap_or(0);
-    let congestion_cap =
-        ((n as u64) * (t as u64) * (t as u64)).max((t as u64) * c_g_kn);
+    let congestion_cap = ((n as u64) * (t as u64) * (t as u64)).max((t as u64) * c_g_kn);
     Lemma9Witness {
         n,
         lambda,
@@ -396,7 +389,11 @@ mod tests {
     #[test]
     fn bandwidth_preservation_holds() {
         // β(circuit, γ) ≥ c · t·β(G) with c = Ω(1).
-        for m in [Machine::mesh(2, 5), Machine::de_bruijn(4), Machine::ring(12)] {
+        for m in [
+            Machine::mesh(2, 5),
+            Machine::de_bruijn(4),
+            Machine::ring(12),
+        ] {
             let w = witness_for(&m);
             assert!(
                 w.preservation_ratio() > 0.05,
@@ -412,10 +409,7 @@ mod tests {
         // The lemma is asymptotic: the ratio must not decay as n grows.
         let r1 = witness_for(&Machine::mesh(2, 4)).preservation_ratio();
         let r2 = witness_for(&Machine::mesh(2, 8)).preservation_ratio();
-        assert!(
-            r2 > r1 * 0.4,
-            "preservation decays: {r1} -> {r2}"
-        );
+        assert!(r2 > r1 * 0.4, "preservation decays: {r1} -> {r2}");
     }
 
     #[test]

@@ -36,8 +36,8 @@ pub mod theorem;
 pub use circuit::{Circuit, CircuitNode};
 pub use emulate::{block_mesh_emulation, direct_emulation, EmulationConfig, EmulationReport};
 pub use exec::{
-    guest_step, initial_states, reference_run, verify_block_emulation,
-    verify_direct_emulation, VerificationReport,
+    guest_step, initial_states, reference_run, verify_block_emulation, verify_direct_emulation,
+    VerificationReport,
 };
 pub use figures::{fig1_data, fig1_measured, fig2_series, Fig1Data, Fig1Measured, Fig1Point};
 pub use hostsize::{
@@ -45,10 +45,12 @@ pub use hostsize::{
     HostSizeCell,
 };
 pub use lemma11::{collapse_preservation, Lemma11Report};
+pub use lemma9::{build_witness, build_witness_in_circuit, Lemma9Config, Lemma9Witness};
 pub use patterns::{execute_pattern, pattern_bandwidth, CommPattern, PatternExecution};
 pub use statements::{theorem2, theorem3, theorem4, theorem5, TheoremStatement};
-pub use lemma9::{build_witness, build_witness_in_circuit, Lemma9Config, Lemma9Witness};
-pub use tables::{generate_table, table1_spec, table2_spec, table3_spec, GeneratedTable, TableSpec};
+pub use tables::{
+    generate_table, table1_spec, table2_spec, table3_spec, GeneratedTable, TableSpec,
+};
 pub use theorem::{check_premises, slowdown_lower_bound, PremiseReport, SlowdownBound};
 
 /// Glob-import surface re-exported by the `fcn-emu` facade.
@@ -62,9 +64,9 @@ pub mod prelude {
         empirical_host_size, max_host_size, numeric_host_size, HostSizeBound,
     };
     pub use crate::lemma11::collapse_preservation;
+    pub use crate::lemma9::{build_witness, build_witness_in_circuit, Lemma9Config};
     pub use crate::patterns::{execute_pattern, pattern_bandwidth, CommPattern};
     pub use crate::statements::{theorem2, theorem3, theorem4, theorem5};
-    pub use crate::lemma9::{build_witness, build_witness_in_circuit, Lemma9Config};
     pub use crate::tables::{generate_table, table1_spec, table2_spec, table3_spec};
     pub use crate::theorem::{check_premises, slowdown_lower_bound, SlowdownBound};
 }

@@ -255,10 +255,7 @@ pub fn execute_pattern(
         let crossing: u64 = collapsed
             .graph
             .edges()
-            .filter(|e| {
-                e.u != e.v
-                    && cut.side[e.u as usize] != cut.side[e.v as usize]
-            })
+            .filter(|e| e.u != e.v && cut.side[e.u as usize] != cut.side[e.v as usize])
             .map(|e| e.multiplicity as u64)
             .sum();
         let cap = cut.capacity(host.graph()).max(1);

@@ -133,9 +133,8 @@ impl GeneratedTable {
         let host_ids: Vec<String> = self.spec.hosts.iter().map(|h| h.id()).collect();
         let host_w = host_ids.iter().map(String::len).max().unwrap_or(4).max(4);
         // Column widths from cell contents.
-        let cell = |gi: usize, hi: usize| -> &str {
-            &self.cells[gi * self.spec.hosts.len() + hi].bound
-        };
+        let cell =
+            |gi: usize, hi: usize| -> &str { &self.cells[gi * self.spec.hosts.len() + hi].bound };
         let col_w: Vec<usize> = guest_ids
             .iter()
             .enumerate()

@@ -119,8 +119,7 @@ pub fn check_premises(
     // "Fixed degree" at a single size is read as: degree stays bounded as
     // the family scales, which Family::fixed_degree knows; the weak
     // hypercube is admitted through its node capacity.
-    let guest_fixed_degree =
-        guest.family().fixed_degree() || guest.has_node_capacities();
+    let guest_fixed_degree = guest.family().fixed_degree() || guest.has_node_capacities();
     let lambda_threshold = guest.lambda_at_size();
     let guest_time_ok = guest_steps as f64 >= (1.0 + epsilon) * lambda_threshold;
     let bottleneck_audit = quick_audit(host, seed);
@@ -176,7 +175,11 @@ mod tests {
         let report = check_premises(&guest, &host, steps, 0.5, 4.0, 3);
         assert!(report.guest_fixed_degree);
         assert!(report.guest_time_ok);
-        assert!(report.host_bottleneck_free, "ratio {}", report.bottleneck_audit.worst_ratio);
+        assert!(
+            report.host_bottleneck_free,
+            "ratio {}",
+            report.bottleneck_audit.worst_ratio
+        );
         assert!(report.all_ok());
     }
 

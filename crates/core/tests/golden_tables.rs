@@ -1,0 +1,122 @@
+//! Golden-file tests for the symbolic table generators.
+//!
+//! Tables 1–3 are (guest × host) grids of maximum-host-size cells solved
+//! from `n/m = β_G(n)/β_H(m)`; Table 4 is the per-family (β, λ) register
+//! both sides of that equation come from. All four are *symbolic* —
+//! no measurement, no randomness — so their rendered text must never drift
+//! except through a deliberate change to the β/λ algebra or the solver.
+//! Any such change shows up here as a readable diff.
+//!
+//! To regenerate after an intentional change:
+//! `FCN_UPDATE_GOLDEN=1 cargo test -p fcn-core --test golden_tables`
+
+use std::path::PathBuf;
+
+use fcn_core::{generate_table, table1_spec, table2_spec, table3_spec};
+use fcn_topology::Family;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compare `actual` against the checked-in golden file, or rewrite the file
+/// when `FCN_UPDATE_GOLDEN` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("FCN_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with FCN_UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "golden mismatch for {name}; if the change is intentional, rerun \
+         with FCN_UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+/// The guest sizes the snapshot pins numeric crossovers at. Two sizes keep
+/// the snapshot sensitive to the numeric solver as well as the symbols.
+const SIZES: [u64; 2] = [1 << 12, 1 << 20];
+
+#[test]
+fn table1_symbolic_snapshot() {
+    let t = generate_table(table1_spec(&[1, 2, 3]), &SIZES);
+    assert_golden("table1.txt", &t.render());
+}
+
+#[test]
+fn table2_symbolic_snapshot() {
+    let t = generate_table(table2_spec(&[1, 2, 3]), &SIZES);
+    assert_golden("table2.txt", &t.render());
+}
+
+#[test]
+fn table3_symbolic_snapshot() {
+    let t = generate_table(table3_spec(&[1, 2, 3]), &SIZES);
+    assert_golden("table3.txt", &t.render());
+}
+
+#[test]
+fn table4_symbolic_snapshot() {
+    // The analytic (β, λ) register for every family — the inputs every
+    // other table is solved from.
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(s, "table4 — analytic β and λ per machine family");
+    let _ = writeln!(
+        s,
+        "{:<18} {:>16} {:>12} {:>6}",
+        "family", "beta", "lambda", "deg"
+    );
+    for f in Family::all_with_dims(&[1, 2, 3]) {
+        let _ = writeln!(
+            s,
+            "{:<18} {:>16} {:>12} {:>6}",
+            f.id(),
+            f.beta().theta_string(),
+            f.lambda().theta_string(),
+            f.fixed_degree()
+        );
+    }
+    assert_golden("table4.txt", &s);
+}
+
+#[test]
+fn numeric_crossovers_snapshot() {
+    // The numeric side of the host-size cells: m* at both pinned guest
+    // sizes for a representative set of pairs (the paper's worked examples).
+    use fcn_core::numeric_host_size;
+    use std::fmt::Write;
+    let pairs = [
+        (Family::DeBruijn, Family::Mesh(2)),
+        (Family::DeBruijn, Family::Tree),
+        (Family::Mesh(2), Family::LinearArray),
+        (Family::Mesh(3), Family::Mesh(2)),
+        (Family::XTree, Family::Tree),
+        (Family::MeshOfTrees(2), Family::XTree),
+    ];
+    let mut s = String::new();
+    let _ = writeln!(s, "numeric m* crossovers (guest -> host @ n)");
+    for (g, h) in pairs {
+        for n in SIZES {
+            let m = numeric_host_size(&g, &h, n as f64);
+            let _ = writeln!(
+                s,
+                "{:<16} -> {:<14} @ 2^{:<2} : {m:.1}",
+                g.id(),
+                h.id(),
+                n.ilog2()
+            );
+        }
+    }
+    assert_golden("crossovers.txt", &s);
+}

@@ -339,9 +339,7 @@ mod tests {
         let g = path_graph(16).scaled(5);
         let t = Traffic::symmetric(16);
         let mid = Cut::prefix(16, 8).stats(&g, &t).unwrap();
-        let single = Cut::prefix(16, 8)
-            .stats(&path_graph(16), &t)
-            .unwrap();
+        let single = Cut::prefix(16, 8).stats(&path_graph(16), &t).unwrap();
         assert!((mid.rate_bound - 5.0 * single.rate_bound).abs() < 1e-9);
     }
 

@@ -161,7 +161,13 @@ impl Embedding {
         let guest_edges: Vec<EdgeRef> = g.edges().collect();
         let paths = guest_edges
             .iter()
-            .map(|e| if e.u == e.v { vec![e.u] } else { vec![e.u, e.v] })
+            .map(|e| {
+                if e.u == e.v {
+                    vec![e.u]
+                } else {
+                    vec![e.u, e.v]
+                }
+            })
             .collect();
         Embedding {
             phi: (0..g.node_count() as NodeId).collect(),
@@ -302,8 +308,7 @@ mod tests {
         let guest = cycle(8);
         let host = path(8);
         let mut rng = StdRng::seed_from_u64(1);
-        let emb =
-            Embedding::shortest_paths(&guest, &host, (0..8).collect(), &mut rng);
+        let emb = Embedding::shortest_paths(&guest, &host, (0..8).collect(), &mut rng);
         emb.validate(&host).unwrap();
         let s = emb.stats();
         assert_eq!(s.dilation, 7);
@@ -412,7 +417,9 @@ mod tests {
         let tree_c = Embedding::shortest_paths(&kn, &host, phi.clone(), &mut rng)
             .stats()
             .congestion;
-        let val_c = Embedding::valiant(&kn, &host, phi, &mut rng).stats().congestion;
+        let val_c = Embedding::valiant(&kn, &host, phi, &mut rng)
+            .stats()
+            .congestion;
         assert!(
             (val_c as f64) < 2.5 * tree_c as f64,
             "valiant {val_c} vs trees {tree_c}"

@@ -175,6 +175,32 @@ impl Multigraph {
         self.distinct_edges
     }
 
+    /// A structural fingerprint: a 64-bit hash of the CSR arrays.
+    ///
+    /// Equal graphs hash equal (CSR is canonical: the builder sorts
+    /// adjacency deterministically), so the fingerprint can key caches —
+    /// notably `fcn-routing`'s route-plan cache — without holding the graph.
+    /// Collisions are possible in principle but need ≈ 2³² graphs in one
+    /// cache to matter.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the CSR words, with domain separators between arrays.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(self.node_count() as u64);
+        mix(0x0f);
+        for &o in &self.offsets {
+            mix(o as u64);
+        }
+        mix(0xf0);
+        for (&v, &m) in self.neighbors.iter().zip(&self.mults) {
+            mix((v as u64) << 32 | m as u64);
+        }
+        h
+    }
+
     /// Iterate `(neighbor, multiplicity)` pairs of `u`. Self-loops appear
     /// once.
     pub fn neighbors(&self, u: NodeId) -> impl Iterator<Item = (NodeId, u32)> + '_ {

@@ -76,7 +76,10 @@ mod tests {
 
     fn sample() -> Multigraph {
         let mut b = MultigraphBuilder::new(4);
-        b.add_edge(0, 1).add_edge_mult(1, 2, 3).add_edge(2, 3).add_edge(3, 0);
+        b.add_edge(0, 1)
+            .add_edge_mult(1, 2, 3)
+            .add_edge(2, 3)
+            .add_edge(3, 0);
         b.build()
     }
 

@@ -1,0 +1,182 @@
+//! Memoized route plans.
+//!
+//! Planning a batch of routes costs one randomized BFS tree per distinct
+//! source. Saturation sweeps re-plan on the *same* machine with the *same*
+//! plan seed at growing batch sizes, so most of those trees are recomputed
+//! verbatim. [`PlanCache`] memoizes them.
+//!
+//! Correctness rests on the oracle's seeding discipline (see
+//! [`crate::oracle::PathOracle`]): a BFS tree is a pure function of the key
+//! `(graph fingerprint, node limit, source, plan seed)` — it does not depend
+//! on which other sources were routed before, or on the composition of the
+//! batch. A cache hit therefore returns bit-identical trees to a fresh
+//! computation, which `tests/plan_cache.rs` proves property-style.
+//!
+//! The cache is `Sync` (internally a mutexed map) so one cache can serve all
+//! workers of an [`fcn_exec::Pool`] sweep. Insertions stop at `capacity`
+//! entries to bound memory on huge sweeps; lookups keep working.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use fcn_multigraph::NodeId;
+
+/// Key of one memoized BFS parent tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PlanKey {
+    /// [`fcn_multigraph::Multigraph::fingerprint`] of the host graph.
+    graph: u64,
+    /// Effective node limit (`usize::MAX` when unrestricted).
+    node_limit: usize,
+    /// BFS source.
+    source: NodeId,
+    /// The per-source BFS seed (already mixed from the plan seed).
+    bfs_seed: u64,
+}
+
+/// Hit/miss counters of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A memoizing store for BFS parent trees, shared across planning calls.
+#[derive(Debug)]
+pub struct PlanCache {
+    map: Mutex<HashMap<PlanKey, Arc<Vec<NodeId>>>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        // 4096 parent vectors at n = 4096 nodes ≈ 64 MiB worst case; actual
+        // sweeps stay far below because one tree per distinct source exists.
+        PlanCache::with_capacity(4096)
+    }
+}
+
+impl PlanCache {
+    /// A cache that stops inserting past `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PlanCache {
+            map: Mutex::new(HashMap::new()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("plan cache poisoned").len(),
+        }
+    }
+
+    /// Serve the parent tree for `key`, computing it on a miss.
+    ///
+    /// The computation runs outside the lock, so a slow BFS never blocks
+    /// other workers; the worst case is two workers computing the same tree
+    /// concurrently, in which case the first insert wins (both results are
+    /// identical by construction).
+    pub(crate) fn get_or_compute(
+        &self,
+        graph: u64,
+        node_limit: usize,
+        source: NodeId,
+        bfs_seed: u64,
+        compute: impl FnOnce() -> Vec<NodeId>,
+    ) -> Arc<Vec<NodeId>> {
+        let key = PlanKey {
+            graph,
+            node_limit,
+            source,
+            bfs_seed,
+        };
+        if let Some(hit) = self
+            .map
+            .lock()
+            .expect("plan cache poisoned")
+            .get(&key)
+            .cloned()
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let fresh = Arc::new(compute());
+        let mut map = self.map.lock().expect("plan cache poisoned");
+        if let Some(raced) = map.get(&key) {
+            return raced.clone();
+        }
+        if map.len() < self.capacity {
+            map.insert(key, fresh.clone());
+        }
+        fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_after_first_compute() {
+        let cache = PlanCache::with_capacity(8);
+        let mut computes = 0;
+        for _ in 0..3 {
+            let tree = cache.get_or_compute(1, usize::MAX, 0, 42, || {
+                computes += 1;
+                vec![0, 0, 1]
+            });
+            assert_eq!(*tree, vec![0, 0, 1]);
+        }
+        assert_eq!(computes, 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (2, 1, 1));
+        assert!(stats.hit_rate() > 0.6);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = PlanCache::with_capacity(8);
+        let a = cache.get_or_compute(1, usize::MAX, 0, 1, || vec![0]);
+        let b = cache.get_or_compute(1, usize::MAX, 0, 2, || vec![1]);
+        let c = cache.get_or_compute(2, usize::MAX, 0, 1, || vec![2]);
+        let d = cache.get_or_compute(1, 16, 0, 1, || vec![3]);
+        assert_eq!((a[0], b[0], c[0], d[0]), (0, 1, 2, 3));
+        assert_eq!(cache.stats().entries, 4);
+    }
+
+    #[test]
+    fn capacity_bounds_entries_but_not_service() {
+        let cache = PlanCache::with_capacity(2);
+        for src in 0..10u32 {
+            let tree = cache.get_or_compute(1, usize::MAX, src, 7, || vec![src]);
+            assert_eq!(tree[0], src);
+        }
+        assert_eq!(cache.stats().entries, 2);
+        // Entries already stored keep hitting.
+        let again = cache.get_or_compute(1, usize::MAX, 0, 7, || unreachable!());
+        assert_eq!(again[0], 0);
+    }
+}

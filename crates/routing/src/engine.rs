@@ -121,7 +121,11 @@ struct PacketState {
 /// All packets are injected at tick 0 (the paper's "deliver all m messages"
 /// batch semantics); the returned outcome's [`RoutingOutcome::rate`] is the
 /// delivery-rate sample `m / r(m)`.
-pub fn route_batch(machine: &Machine, packets: Vec<PacketPath>, cfg: RouterConfig) -> RoutingOutcome {
+pub fn route_batch(
+    machine: &Machine,
+    packets: Vec<PacketPath>,
+    cfg: RouterConfig,
+) -> RoutingOutcome {
     let g = machine.graph();
     let n = g.node_count();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -174,9 +178,7 @@ pub fn route_batch(machine: &Machine, packets: Vec<PacketPath>, cfg: RouterConfi
             QueueDiscipline::Fifo => 0,
             // Smaller key pops first; invert remaining hops so farther
             // packets win.
-            QueueDiscipline::FarthestFirst => {
-                u32::MAX - (st.path.hops() as u32 - st.pos)
-            }
+            QueueDiscipline::FarthestFirst => u32::MAX - (st.path.hops() as u32 - st.pos),
             QueueDiscipline::RandomRank => st.rank,
         }
     };

@@ -9,6 +9,7 @@ use fcn_multigraph::Traffic;
 use fcn_topology::Machine;
 use serde::{Deserialize, Serialize};
 
+use crate::cache::PlanCache;
 use crate::engine::{route_batch, RouterConfig, RoutingOutcome};
 use crate::packet::Strategy;
 
@@ -55,6 +56,43 @@ pub fn measure_rate(
     }
 }
 
+/// [`measure_rate`] with split seeds and an optional [`PlanCache`].
+///
+/// `demand_seed` drives the traffic draw, `plan_seed` drives route
+/// planning. Splitting them lets saturation sweeps vary the batch
+/// (different demand seeds per cell) while *reusing* one plan seed per
+/// trial, so every cell of the trial shares the same BFS trees — which the
+/// cache then serves instead of recomputing. Results are bit-identical with
+/// or without the cache.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_rate_with(
+    machine: &Machine,
+    traffic: &Traffic,
+    messages: usize,
+    strategy: Strategy,
+    cfg: RouterConfig,
+    demand_seed: u64,
+    plan_seed: u64,
+    cache: Option<&PlanCache>,
+) -> RateSample {
+    let outcome = route_traffic_with(
+        machine,
+        traffic,
+        messages,
+        strategy,
+        cfg,
+        demand_seed,
+        plan_seed,
+        cache,
+    );
+    RateSample {
+        messages,
+        ticks: outcome.ticks,
+        rate: outcome.rate(),
+        completed: outcome.completed,
+    }
+}
+
 /// Route a batch and return the raw outcome (queue stats included).
 pub fn route_traffic(
     machine: &Machine,
@@ -64,6 +102,30 @@ pub fn route_traffic(
     cfg: RouterConfig,
     seed: u64,
 ) -> RoutingOutcome {
+    route_traffic_with(
+        machine,
+        traffic,
+        messages,
+        strategy,
+        cfg,
+        seed ^ 0x7ea55a17,
+        seed,
+        None,
+    )
+}
+
+/// [`route_traffic`] with split demand/plan seeds and an optional cache.
+#[allow(clippy::too_many_arguments)]
+pub fn route_traffic_with(
+    machine: &Machine,
+    traffic: &Traffic,
+    messages: usize,
+    strategy: Strategy,
+    cfg: RouterConfig,
+    demand_seed: u64,
+    plan_seed: u64,
+    cache: Option<&PlanCache>,
+) -> RoutingOutcome {
     assert!(messages >= 1);
     assert!(
         traffic.n() <= machine.processors(),
@@ -71,10 +133,10 @@ pub fn route_traffic(
     );
     let mut rng = {
         use rand::SeedableRng;
-        rand::rngs::StdRng::seed_from_u64(seed ^ 0x7ea55a17)
+        rand::rngs::StdRng::seed_from_u64(demand_seed)
     };
     let demands: Vec<_> = (0..messages).map(|_| traffic.sample(&mut rng)).collect();
-    let routes = crate::native::plan_routes(machine, &demands, strategy, seed);
+    let routes = crate::native::plan_routes_cached(machine, &demands, strategy, plan_seed, cache);
     route_batch(machine, routes, cfg)
 }
 
@@ -152,11 +214,25 @@ mod tests {
     fn mesh_rate_grows_like_sqrt_n() {
         let r8 = {
             let m = Machine::mesh(2, 8);
-            measure_rate(&m, &m.symmetric_traffic(), 8 * 64, Strategy::ShortestPath, cfg(), 5)
+            measure_rate(
+                &m,
+                &m.symmetric_traffic(),
+                8 * 64,
+                Strategy::ShortestPath,
+                cfg(),
+                5,
+            )
         };
         let r16 = {
             let m = Machine::mesh(2, 16);
-            measure_rate(&m, &m.symmetric_traffic(), 8 * 256, Strategy::ShortestPath, cfg(), 5)
+            measure_rate(
+                &m,
+                &m.symmetric_traffic(),
+                8 * 256,
+                Strategy::ShortestPath,
+                cfg(),
+                5,
+            )
         };
         assert!(r8.completed && r16.completed);
         let ratio = r16.rate / r8.rate;
@@ -167,7 +243,14 @@ mod tests {
     #[test]
     fn bus_rate_is_about_one() {
         let m = Machine::global_bus(32);
-        let s = measure_rate(&m, &m.symmetric_traffic(), 256, Strategy::ShortestPath, cfg(), 2);
+        let s = measure_rate(
+            &m,
+            &m.symmetric_traffic(),
+            256,
+            Strategy::ShortestPath,
+            cfg(),
+            2,
+        );
         assert!(s.completed);
         assert!(s.rate <= 1.2, "bus rate {}", s.rate);
         assert!(s.rate > 0.5, "bus rate {}", s.rate);

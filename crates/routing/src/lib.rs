@@ -7,11 +7,16 @@
 //! delivery rate `m / r(m)`.
 //!
 //! * [`oracle`] — converts source/destination demands into explicit routes
-//!   (randomized shortest paths or Valiant two-phase);
+//!   (randomized shortest paths or Valiant two-phase), with per-source
+//!   seeding that makes every route a pure function of
+//!   `(graph, node limit, source, seed)`;
+//! * [`cache`] — memoized BFS trees ([`PlanCache`]) serving repeated
+//!   batches on the same machine and seed;
 //! * [`engine`] — the tick simulator: one packet per wire per tick, per-node
 //!   send budgets for the "weak" machines, pluggable queue disciplines;
 //! * [`harness`] — batch-rate measurement and saturation sweeps.
 
+pub mod cache;
 pub mod engine;
 pub mod harness;
 pub mod native;
@@ -19,9 +24,13 @@ pub mod oracle;
 pub mod packet;
 pub mod steady;
 
+pub use cache::{CacheStats, PlanCache};
 pub use engine::{route_batch, RouterConfig, RoutingOutcome};
-pub use harness::{measure_rate, plateau_rate, route_traffic, saturation_sweep, RateSample};
-pub use native::{de_bruijn_path, plan_routes, shuffle_exchange_path};
+pub use harness::{
+    measure_rate, measure_rate_with, plateau_rate, route_traffic, route_traffic_with,
+    saturation_sweep, RateSample,
+};
+pub use native::{de_bruijn_path, plan_routes, plan_routes_cached, shuffle_exchange_path};
 pub use oracle::PathOracle;
 pub use packet::{PacketPath, QueueDiscipline, Strategy};
 pub use steady::{saturation_throughput, steady_state_rate, SteadyConfig, SteadyOutcome};

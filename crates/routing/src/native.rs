@@ -12,6 +12,7 @@
 use fcn_multigraph::NodeId;
 use fcn_topology::{Machine, RoutePolicy};
 
+use crate::cache::PlanCache;
 use crate::oracle::PathOracle;
 use crate::packet::{PacketPath, Strategy};
 
@@ -25,19 +26,45 @@ pub fn plan_routes(
     strategy: Strategy,
     seed: u64,
 ) -> Vec<PacketPath> {
+    plan_routes_cached(machine, demands, strategy, seed, None)
+}
+
+/// [`plan_routes`] with an optional [`PlanCache`] serving the BFS trees.
+///
+/// Cached planning is bit-identical to fresh planning — the oracle's BFS
+/// trees are pure functions of `(graph, node limit, source, seed)` — so the
+/// cache is purely a wall-clock optimization for repeated batches on the
+/// same machine with the same seed (saturation sweeps, audits). Policies
+/// that route arithmetically (de Bruijn / shuffle-exchange bit correction,
+/// X-tree levels) compute no trees and ignore the cache.
+pub fn plan_routes_cached(
+    machine: &Machine,
+    demands: &[(NodeId, NodeId)],
+    strategy: Strategy,
+    seed: u64,
+    cache: Option<&PlanCache>,
+) -> Vec<PacketPath> {
     let policy = machine.route_policy();
+    let oracle = |limit: Option<usize>| {
+        let o = match limit {
+            Some(p) => PathOracle::with_node_limit(machine.graph(), p, seed),
+            None => PathOracle::new(machine.graph(), seed),
+        };
+        match cache {
+            Some(c) => o.with_cache(c),
+            None => o,
+        }
+    };
     match (strategy, policy) {
         (Strategy::Valiant, RoutePolicy::RestrictToPrefix(p)) => {
-            PathOracle::with_node_limit(machine.graph(), p, seed).routes(demands, strategy)
+            oracle(Some(p)).routes(demands, strategy)
         }
-        (Strategy::Valiant, _) => {
-            PathOracle::new(machine.graph(), seed).routes(demands, strategy)
-        }
+        (Strategy::Valiant, _) => oracle(None).routes(demands, strategy),
         (Strategy::ShortestPath, RoutePolicy::ShortestPath) => {
-            PathOracle::new(machine.graph(), seed).routes(demands, strategy)
+            oracle(None).routes(demands, strategy)
         }
         (Strategy::ShortestPath, RoutePolicy::RestrictToPrefix(p)) => {
-            PathOracle::with_node_limit(machine.graph(), p, seed).routes(demands, strategy)
+            oracle(Some(p)).routes(demands, strategy)
         }
         (Strategy::ShortestPath, RoutePolicy::DeBruijnBits { g }) => demands
             .iter()
@@ -143,7 +170,12 @@ pub fn shuffle_exchange_path(u: NodeId, v: NodeId, g: u32) -> Vec<NodeId> {
 /// its LCA's level and `depth`, climbs from `u` to its level-`ℓ` ancestor,
 /// walks the level's sibling links, and descends to `v`. Adjacent pairs
 /// (tree or level edges) hop directly.
-pub fn xtree_level_path(u: NodeId, v: NodeId, _depth: u32, rng: &mut impl rand::Rng) -> Vec<NodeId> {
+pub fn xtree_level_path(
+    u: NodeId,
+    v: NodeId,
+    _depth: u32,
+    rng: &mut impl rand::Rng,
+) -> Vec<NodeId> {
     use rand::RngExt as _;
     if u == v {
         return vec![u];
@@ -316,8 +348,8 @@ mod tests {
     fn xtree_level_routing_spreads_across_levels() {
         // The measured saturation rate with level routing must clearly beat
         // the root-bound BFS rate at a size where lg n >> constant.
-        use fcn_multigraph::Traffic;
         use crate::engine::{route_batch, RouterConfig};
+        use fcn_multigraph::Traffic;
         let m = Machine::xtree(9); // n = 1023
         let t = Traffic::symmetric(m.processors());
         use rand::SeedableRng;
@@ -328,18 +360,15 @@ mod tests {
         let out_native = route_batch(&m, native, RouterConfig::default());
         assert!(out_native.completed);
         // BFS baseline.
-        let bfs = crate::oracle::PathOracle::new(m.graph(), 7)
-            .routes(&demands, Strategy::ShortestPath);
+        let bfs =
+            crate::oracle::PathOracle::new(m.graph(), 7).routes(&demands, Strategy::ShortestPath);
         let out_bfs = route_batch(&m, bfs, RouterConfig::default());
         assert!(out_bfs.completed);
         let (r_native, r_bfs) = (
             out_native.delivered as f64 / out_native.ticks as f64,
             out_bfs.delivered as f64 / out_bfs.ticks as f64,
         );
-        assert!(
-            r_native > 1.5 * r_bfs,
-            "native {r_native} vs bfs {r_bfs}"
-        );
+        assert!(r_native > 1.5 * r_bfs, "native {r_native} vs bfs {r_bfs}");
     }
 
     #[test]

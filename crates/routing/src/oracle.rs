@@ -7,21 +7,53 @@
 //! group, BFS tie-breaking uses a random neighbor-preference permutation so
 //! that shortest-path load spreads across equal-cost alternatives (on
 //! meshes this approximates the usual randomized dimension-interleaving).
+//!
+//! ## Seeding discipline
+//!
+//! The BFS seed for source `s` is `job_seed(plan_seed, s)` — a pure
+//! function of the oracle's plan seed and the source id, independent of the
+//! order sources are visited in and of the batch's composition. Two
+//! consequences:
+//!
+//! * routing the same demands through oracles built with the same seed is
+//!   bit-identical regardless of what else each oracle routed before;
+//! * a tree may be memoized by `(graph fingerprint, node limit, source,
+//!   bfs seed)` — which is exactly what [`PlanCache`] does when attached
+//!   via [`PathOracle::with_cache`].
+//!
+//! Valiant intermediate draws still come from the oracle's own sequential
+//! RNG: they are consumed in demand order before any BFS runs, so they too
+//! are a pure function of `(plan_seed, demand index)`.
 
+use std::sync::Arc;
+
+use fcn_exec::job_seed;
 use fcn_multigraph::{path_from_parents, Multigraph, NodeId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, RngExt, SeedableRng};
 
+use crate::cache::PlanCache;
 use crate::packet::{PacketPath, Strategy};
+
+/// Domain separator so BFS seeds never collide with other uses of the
+/// plan-seed stream.
+const BFS_STREAM: u64 = 0xb5f5_0000_0000_0001;
 
 /// Computes explicit routes over a fixed host graph.
 pub struct PathOracle<'g> {
     graph: &'g Multigraph,
+    /// Sequential stream for Valiant intermediates and caller composition.
     rng: StdRng,
+    /// Base seed; per-source BFS seeds are mixed from this.
+    plan_seed: u64,
     /// BFS only visits nodes with id below this limit (used by machines
     /// whose good routing scheme avoids auxiliary/apex structure).
     node_limit: usize,
+    /// Optional memo store; `graph_fp` is the graph's fingerprint, computed
+    /// once when the cache is attached.
+    cache: Option<&'g PlanCache>,
+    graph_fp: u64,
 }
 
 impl<'g> PathOracle<'g> {
@@ -29,18 +61,27 @@ impl<'g> PathOracle<'g> {
         PathOracle {
             graph,
             rng: StdRng::seed_from_u64(seed),
+            plan_seed: seed,
             node_limit: usize::MAX,
+            cache: None,
+            graph_fp: 0,
         }
     }
 
     /// An oracle whose shortest paths are restricted to the subgraph induced
     /// by nodes `0..limit`. All demands must lie inside the prefix.
     pub fn with_node_limit(graph: &'g Multigraph, limit: usize, seed: u64) -> Self {
-        PathOracle {
-            graph,
-            rng: StdRng::seed_from_u64(seed),
-            node_limit: limit,
-        }
+        let mut oracle = PathOracle::new(graph, seed);
+        oracle.node_limit = limit;
+        oracle
+    }
+
+    /// Attach a [`PlanCache`]; subsequent BFS trees are served from (and
+    /// inserted into) it. Cached routes are bit-identical to fresh ones.
+    pub fn with_cache(mut self, cache: &'g PlanCache) -> Self {
+        self.graph_fp = self.graph.fingerprint();
+        self.cache = Some(cache);
+        self
     }
 
     /// Compute routes for the given demands under a strategy.
@@ -60,8 +101,9 @@ impl<'g> PathOracle<'g> {
 
     fn valiant_routes(&mut self, demands: &[(NodeId, NodeId)]) -> Vec<PacketPath> {
         let n = (self.graph.node_count().min(self.node_limit)) as NodeId;
-        let intermediates: Vec<NodeId> =
-            (0..demands.len()).map(|_| self.rng.random_range(0..n)).collect();
+        let intermediates: Vec<NodeId> = (0..demands.len())
+            .map(|_| self.rng.random_range(0..n))
+            .collect();
         let first: Vec<(NodeId, NodeId)> = demands
             .iter()
             .zip(&intermediates)
@@ -85,17 +127,18 @@ impl<'g> PathOracle<'g> {
     }
 
     /// Shortest-path legs for all demands, one BFS per distinct source,
-    /// trees dropped eagerly. Returns raw vertex sequences in input order.
+    /// trees dropped eagerly (unless cached). Returns raw vertex sequences
+    /// in input order.
     fn legs_grouped(&mut self, demands: &[(NodeId, NodeId)]) -> Vec<Vec<NodeId>> {
         let mut order: Vec<usize> = (0..demands.len()).collect();
         order.sort_by_key(|&i| demands[i].0);
         let mut out: Vec<Vec<NodeId>> = vec![Vec::new(); demands.len()];
         let mut current_src: Option<NodeId> = None;
-        let mut parent: Vec<NodeId> = Vec::new();
+        let mut parent: Arc<Vec<NodeId>> = Arc::new(Vec::new());
         for &i in &order {
             let (s, d) = demands[i];
             if current_src != Some(s) {
-                parent = self.bfs_parents_randomized(s);
+                parent = self.parents_for(s);
                 current_src = Some(s);
             }
             if s == d {
@@ -108,13 +151,28 @@ impl<'g> PathOracle<'g> {
         out
     }
 
-    /// BFS parents with a per-call random neighbor-preference permutation,
-    /// honoring the node limit.
-    fn bfs_parents_randomized(&mut self, src: NodeId) -> Vec<NodeId> {
+    /// The (possibly memoized) BFS parent tree for `src`.
+    fn parents_for(&self, src: NodeId) -> Arc<Vec<NodeId>> {
+        let bfs_seed = job_seed(self.plan_seed ^ BFS_STREAM, src as u64);
+        match self.cache {
+            Some(cache) => {
+                cache.get_or_compute(self.graph_fp, self.node_limit, src, bfs_seed, || {
+                    self.bfs_parents_randomized(src, bfs_seed)
+                })
+            }
+            None => Arc::new(self.bfs_parents_randomized(src, bfs_seed)),
+        }
+    }
+
+    /// BFS parents with a random neighbor-preference permutation drawn from
+    /// a fresh RNG at `bfs_seed`, honoring the node limit. A pure function
+    /// of `(graph, node_limit, src, bfs_seed)`.
+    fn bfs_parents_randomized(&self, src: NodeId, bfs_seed: u64) -> Vec<NodeId> {
         let g = self.graph;
         let n = g.node_count();
         let limit = self.node_limit;
         assert!((src as usize) < limit, "source {src} outside node limit");
+        let mut rng = StdRng::seed_from_u64(bfs_seed);
         let mut parent = vec![NodeId::MAX; n];
         let mut dist = vec![u32::MAX; n];
         let mut queue = std::collections::VecDeque::new();
@@ -126,7 +184,7 @@ impl<'g> PathOracle<'g> {
         while let Some(u) = queue.pop_front() {
             scratch.clear();
             scratch.extend(g.neighbors(u).map(|(v, _)| v));
-            scratch.shuffle(&mut self.rng);
+            scratch.shuffle(&mut rng);
             for &v in &scratch {
                 if (v as usize) < limit && dist[v as usize] == u32::MAX {
                     dist[v as usize] = dist[u as usize] + 1;
@@ -216,5 +274,42 @@ mod tests {
         // But same seed reproduces exactly.
         let r1b = PathOracle::new(&g, 10).routes(&demands, Strategy::ShortestPath);
         assert_eq!(r1, r1b);
+    }
+
+    #[test]
+    fn routes_are_batch_composition_independent() {
+        // Per-source seeding: demand i's route must not depend on which
+        // other demands are in the batch or their order.
+        let g = cycle(16);
+        let demands = [(0u32, 8u32), (5, 12), (11, 2)];
+        let full = PathOracle::new(&g, 77).routes(&demands, Strategy::ShortestPath);
+        for (i, &d) in demands.iter().enumerate() {
+            let solo = PathOracle::new(&g, 77).routes(&[d], Strategy::ShortestPath);
+            assert_eq!(solo[0], full[i], "demand {d:?} changed with batch");
+        }
+        let mut rev = demands;
+        rev.reverse();
+        let rev_routes = PathOracle::new(&g, 77).routes(&rev, Strategy::ShortestPath);
+        for (i, r) in rev_routes.iter().enumerate() {
+            assert_eq!(*r, full[demands.len() - 1 - i]);
+        }
+    }
+
+    #[test]
+    fn cached_routes_match_fresh_routes() {
+        let g = cycle(20);
+        let cache = PlanCache::default();
+        let demands: Vec<_> = (0..20u32).map(|i| (i, (i + 9) % 20)).collect();
+        let fresh = PathOracle::new(&g, 5).routes(&demands, Strategy::ShortestPath);
+        let cold = PathOracle::new(&g, 5)
+            .with_cache(&cache)
+            .routes(&demands, Strategy::ShortestPath);
+        let warm = PathOracle::new(&g, 5)
+            .with_cache(&cache)
+            .routes(&demands, Strategy::ShortestPath);
+        assert_eq!(fresh, cold);
+        assert_eq!(fresh, warm);
+        let stats = cache.stats();
+        assert!(stats.hits >= 20, "second pass should hit: {stats:?}");
     }
 }

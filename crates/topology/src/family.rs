@@ -94,16 +94,16 @@ impl Family {
     /// plus all non-dimensional families.
     pub fn all_with_dims(dims: &[u8]) -> Vec<Family> {
         use Family::*;
-        let mut out = vec![
-            LinearArray,
-            Ring,
-            GlobalBus,
-            Tree,
-            WeakPpn,
-            XTree,
-        ];
+        let mut out = vec![LinearArray, Ring, GlobalBus, Tree, WeakPpn, XTree];
         for &k in dims {
-            out.extend([Mesh(k), Torus(k), XGrid(k), MeshOfTrees(k), Multigrid(k), Pyramid(k)]);
+            out.extend([
+                Mesh(k),
+                Torus(k),
+                XGrid(k),
+                MeshOfTrees(k),
+                Multigrid(k),
+                Pyramid(k),
+            ]);
         }
         out.extend([
             Butterfly,

@@ -40,9 +40,7 @@ pub fn node_label(machine: &Machine, u: NodeId) -> String {
             t
         }
         Family::Mesh(k) | Family::Torus(k) | Family::XGrid(k) => {
-            let side = (machine.processors() as f64)
-                .powf(1.0 / k as f64)
-                .round() as usize;
+            let side = (machine.processors() as f64).powf(1.0 / k as f64).round() as usize;
             coord_label(&coords_of(u as usize, k as usize, side))
         }
         Family::MeshOfTrees(k) => {

@@ -92,7 +92,14 @@ impl Machine {
         send_capacity: SendCapacity,
         canonical_cuts: Vec<Cut>,
     ) -> Self {
-        Machine::new(family, name, graph, processors, send_capacity, canonical_cuts)
+        Machine::new(
+            family,
+            name,
+            graph,
+            processors,
+            send_capacity,
+            canonical_cuts,
+        )
     }
 
     /// Construct directly (used by the generator modules).

@@ -20,7 +20,10 @@ use crate::machine::{Machine, SendCapacity};
 /// as multiplicity). `d` must be even and ≥ 4 for expansion w.h.p.
 pub fn expander(n: usize, d: u32, seed: u64) -> Machine {
     assert!(n >= 4, "expander needs at least 4 nodes");
-    assert!(d >= 4 && d.is_multiple_of(2), "expander degree must be even and >= 4");
+    assert!(
+        d >= 4 && d.is_multiple_of(2),
+        "expander degree must be even and >= 4"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     loop {
         let mut b = MultigraphBuilder::new(n);

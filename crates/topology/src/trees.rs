@@ -161,11 +161,7 @@ mod tests {
         let m = tree(5);
         assert_eq!(m.canonical_cuts()[0].capacity(m.graph()), 1);
         // ... and it's roughly balanced: left subtree has (n-1)/2 nodes.
-        let members = m.canonical_cuts()[0]
-            .side
-            .iter()
-            .filter(|&&b| b)
-            .count();
+        let members = m.canonical_cuts()[0].side.iter().filter(|&&b| b).count();
         assert_eq!(members, (m.processors() - 1) / 2);
     }
 

@@ -56,11 +56,7 @@ fn canonical_cuts_are_nontrivial_and_within_bounds() {
             assert_eq!(cut.side.len(), m.node_count(), "{} cut {i}", m.name());
             let cap = cut.capacity(m.graph());
             assert!(cap >= 1, "{} cut {i}", m.name());
-            assert!(
-                cap <= m.graph().simple_edge_count(),
-                "{} cut {i}",
-                m.name()
-            );
+            assert!(cap <= m.graph().simple_edge_count(), "{} cut {i}", m.name());
         }
     }
 }

@@ -13,16 +13,16 @@ use fcn_emu::prelude::*;
 
 fn main() {
     let patterns = vec![
-        CommPattern::fft(5),                         // 32 processes
+        CommPattern::fft(5), // 32 processes
         CommPattern::odd_even_sort(32),
-        CommPattern::stencil2d(6, 4),                // 36 processes
+        CommPattern::stencil2d(6, 4), // 36 processes
         CommPattern::all_to_all(32),
         CommPattern::broadcast(32),
         CommPattern::random_permutations(32, 8, 42),
     ];
     let hosts = vec![
         Machine::linear_array(36),
-        Machine::tree(5),                            // 63 procs
+        Machine::tree(5), // 63 procs
         Machine::mesh(2, 6),
         Machine::de_bruijn(6),
         Machine::weak_hypercube(6),

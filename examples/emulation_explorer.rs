@@ -38,7 +38,11 @@ fn main() {
     let guest = guest_family.build_near(n_target, 0xa);
     let host = host_family.build_near(m_target, 0xb);
     let (n, m) = (guest.processors() as f64, host.processors() as f64);
-    println!("guest {} (n = {n}), host {} (m = {m})", guest.name(), host.name());
+    println!(
+        "guest {} (n = {n}), host {} (m = {m})",
+        guest.name(),
+        host.name()
+    );
 
     // Analytic side.
     let bound = slowdown_lower_bound(&guest_family, &host_family);

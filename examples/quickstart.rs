@@ -47,10 +47,13 @@ fn main() {
         cap.to_cell()
     );
     let m_star = numeric_host_size(&guest.family(), &host.family(), n);
-    println!("numeric crossover at n = {n}: m* ≈ {m_star:.1} (lg²n = {:.1})", {
-        let lg = n.log2();
-        lg * lg
-    });
+    println!(
+        "numeric crossover at n = {n}: m* ≈ {m_star:.1} (lg²n = {:.1})",
+        {
+            let lg = n.log2();
+            lg * lg
+        }
+    );
 
     // Measure β operationally on the router.
     let estimator = BandwidthEstimator::default();

@@ -15,7 +15,10 @@
 //! * [`routing`] — synchronous unit-capacity packet-routing simulator;
 //! * [`bandwidth`] — operational β estimation, flux bounds, bottleneck audit;
 //! * [`core`] — circuits, Lemmas 9/11, the Efficient Emulation Theorem,
-//!   host-size tables (Tables 1–3) and executable emulation strategies.
+//!   host-size tables (Tables 1–3) and executable emulation strategies;
+//! * [`exec`] — deterministic fork-join pool powering the parallel sweeps
+//!   (`--jobs N`), with per-job seeds that make results independent of
+//!   scheduling order.
 //!
 //! ## Quickstart
 //!
@@ -38,6 +41,7 @@
 pub use fcn_asymptotics as asymptotics;
 pub use fcn_bandwidth as bandwidth;
 pub use fcn_core as core;
+pub use fcn_exec as exec;
 pub use fcn_multigraph as multigraph;
 pub use fcn_routing as routing;
 pub use fcn_topology as topology;
@@ -47,6 +51,7 @@ pub mod prelude {
     pub use fcn_asymptotics::{Asym, Rational};
     pub use fcn_bandwidth::{BandwidthEstimate, BandwidthEstimator, FluxBound};
     pub use fcn_core::prelude::*;
+    pub use fcn_exec::Pool;
     pub use fcn_multigraph::{Multigraph, Traffic};
     pub use fcn_routing::{RouterConfig, RoutingOutcome};
     pub use fcn_topology::{Family, Machine, Topology};

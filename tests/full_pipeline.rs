@@ -32,8 +32,7 @@ fn measured_crossover_tracks_symbolic_for_debruijn_on_mesh() {
     let guest = Machine::de_bruijn(9); // n = 512
     let guest_beta = est.estimate_symmetric(&guest).rate;
 
-    let m_empirical =
-        empirical_host_size(guest_beta, guest.processors() as f64, &host_samples);
+    let m_empirical = empirical_host_size(guest_beta, guest.processors() as f64, &host_samples);
     // Symbolic: m* = Θ(lg² n) = 81 at n = 512 (unit constants). Constants
     // differ, so compare within an order of magnitude and require the
     // empirical crossover to be far below full size.
@@ -76,10 +75,10 @@ fn theorem6_certificates_close_for_every_family_class() {
     use fcn_emu::bandwidth::theorem6_sandwich;
     // One representative per β class.
     for machine in [
-        Machine::linear_array(48),  // Θ(1)
-        Machine::xtree(5),          // Θ(lg n)
-        Machine::mesh(2, 7),        // Θ(sqrt n)
-        Machine::de_bruijn(6),      // Θ(n / lg n)
+        Machine::linear_array(48), // Θ(1)
+        Machine::xtree(5),         // Θ(lg n)
+        Machine::mesh(2, 7),       // Θ(sqrt n)
+        Machine::de_bruijn(6),     // Θ(n / lg n)
     ] {
         let c = theorem6_sandwich(&machine, 8, 13);
         assert!(c.is_consistent(4.0), "{}: {c:?}", machine.name());

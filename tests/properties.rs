@@ -8,7 +8,9 @@ use fcn_emu::multigraph::{
     bfs_distances, bfs_parents, collapse, contiguous_blocks, path_from_parents, Cut, Embedding,
     Multigraph, MultigraphBuilder, NodeId, Traffic,
 };
-use fcn_emu::routing::{route_batch, PacketPath, PathOracle, RouterConfig, Strategy as RouteStrategy};
+use fcn_emu::routing::{
+    route_batch, PacketPath, PathOracle, RouterConfig, Strategy as RouteStrategy,
+};
 use proptest::prelude::*;
 
 // ---------- generators ----------

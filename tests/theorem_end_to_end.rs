@@ -2,9 +2,7 @@
 //! of guest/host pairs, the *measured* slowdown of an actual emulation must
 //! respect the theorem's lower bound, and the premises must be auditable.
 
-use fcn_emu::core::{
-    check_premises, direct_emulation, slowdown_lower_bound, EmulationConfig,
-};
+use fcn_emu::core::{check_premises, direct_emulation, slowdown_lower_bound, EmulationConfig};
 use fcn_emu::prelude::*;
 
 fn cfg() -> EmulationConfig {

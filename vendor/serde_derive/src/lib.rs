@@ -1,0 +1,323 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! The shim's data model is a single [`serde::Value`] tree, so the derives
+//! are simple: a struct serializes to an object of its fields in declaration
+//! order; an enum serializes externally tagged (unit variants as bare
+//! strings, data variants as single-key objects), matching `serde_json`'s
+//! default representation closely enough for this workspace's round-trips.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): a small
+//! hand-rolled walk over `proc_macro::TokenTree` extracts the type's shape
+//! (name, field names, variant shapes), then the impls are emitted as
+//! formatted source strings. Supported shapes — all the workspace uses:
+//! non-generic named-field structs and non-generic enums with unit, tuple,
+//! or struct variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Shape of a parsed type.
+enum Shape {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with this arity.
+    Tuple(usize),
+    /// Struct variant with these field names.
+    Struct(Vec<String>),
+}
+
+/// Skip attributes (`#[...]`, `#![...]`) and visibility (`pub`, `pub(...)`).
+fn skip_meta(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // '#'
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p2)) if p2.as_char() == '!') {
+                    i += 1;
+                }
+                i += 1; // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split a brace-group's tokens into comma-separated top-level chunks.
+fn split_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    for t in tokens {
+        if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+            if !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+        } else {
+            cur.push(t);
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Field name from a `name: Type` chunk (attributes/visibility skipped).
+fn field_name(chunk: &[TokenTree]) -> Option<String> {
+    let i = skip_meta(chunk, 0);
+    match chunk.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn parse(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_meta(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other}")),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected type name, found {other}")),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde derive does not support generic type {name}"
+        ));
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!(
+                "vendored serde derive does not support tuple struct {name}"
+            ))
+        }
+        other => return Err(format!("expected {{...}} body for {name}, found {other:?}")),
+    };
+    let chunks = split_commas(body.into_iter().collect());
+    match kind.as_str() {
+        "struct" => {
+            let fields = chunks
+                .iter()
+                .filter_map(|c| field_name(c))
+                .collect::<Vec<_>>();
+            Ok(Shape::Struct { name, fields })
+        }
+        "enum" => {
+            let mut variants = Vec::new();
+            for chunk in &chunks {
+                let i = skip_meta(chunk, 0);
+                let vname = match chunk.get(i) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => return Err(format!("expected variant name, found {other:?}")),
+                };
+                let kind = match chunk.get(i + 1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let arity = split_commas(g.stream().into_iter().collect()).len();
+                        VariantKind::Tuple(arity)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = split_commas(g.stream().into_iter().collect())
+                            .iter()
+                            .filter_map(|c| field_name(c))
+                            .collect();
+                        VariantKind::Struct(fields)
+                    }
+                    _ => VariantKind::Unit,
+                };
+                variants.push(Variant { name: vname, kind });
+            }
+            Ok(Shape::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive for {other} items")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::String({vn:?}.to_string()),\n"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Serialize::to_value(f0))]),\n"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> = (0..*arity).map(|k| format!("f{k}")).collect();
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Value::Array(vec![{items}]))]),\n",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let items: String = fields
+                                .iter()
+                                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value({f})),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Value::Object(vec![{items}]))]),\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let gets: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::value_field(v, {f:?})?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         Ok({name} {{\n{gets}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => return Ok({name}::{}),\n", v.name, v.name))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vn:?} => return Ok({name}::{vn}(::serde::Deserialize::from_value(payload)?)),\n"
+                        )),
+                        VariantKind::Tuple(arity) => {
+                            let items: String = (0..*arity)
+                                .map(|k| format!(
+                                    "::serde::Deserialize::from_value(::serde::value_index(payload, {k})?)?,"
+                                ))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => return Ok({name}::{vn}({items})),\n"
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let items: String = fields
+                                .iter()
+                                .map(|f| format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::value_field(payload, {f:?})?)?,"
+                                ))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => return Ok({name}::{vn} {{ {items} }}),\n"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         if let ::serde::Value::String(s) = v {{\n\
+                             match s.as_str() {{\n{unit_arms}\
+                                 _ => {{}}\n\
+                             }}\n\
+                         }}\n\
+                         if let ::serde::Value::Object(entries) = v {{\n\
+                             if let Some((tag, payload)) = entries.first().map(|(k, p)| (k.as_str(), p)) {{\n\
+                                 match tag {{\n{data_arms}\
+                                     _ => {{}}\n\
+                                 }}\n\
+                             }}\n\
+                         }}\n\
+                         Err(::serde::DeError::new(concat!(\"no matching variant of \", stringify!({name}))))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
