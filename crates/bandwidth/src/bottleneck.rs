@@ -82,7 +82,19 @@ pub fn audit_bottleneck_freeness(
     cells.extend(audit_distributions(n, seed));
     let pool = fcn_exec::Pool::new(estimator.jobs);
     let inner = estimator.clone().with_jobs(1);
-    let rates: Vec<f64> = pool.run(cells.len(), |i| inner.estimate(machine, &cells[i].1).rate);
+    // One wire-graph compilation serves every distribution's estimate (the
+    // net depends only on the machine, not on the traffic).
+    let net = fcn_routing::CompiledNet::shared(machine);
+    let rates: Vec<f64> = pool.run(cells.len(), |i| {
+        inner
+            .estimate_compiled(
+                machine,
+                &net,
+                &cells[i].1,
+                &fcn_routing::PlanCache::default(),
+            )
+            .rate
+    });
     let symmetric = rates[0];
     let mut quasi_rates = Vec::new();
     let mut worst: f64 = 0.0;

@@ -20,9 +20,13 @@
 //! same BFS trees, so the cache serves every tree after the smallest batch
 //! has populated it.
 
+use std::sync::Arc;
+
 use fcn_exec::{job_seed, Pool};
 use fcn_multigraph::Traffic;
-use fcn_routing::{measure_rate_with, PlanCache, RateSample, RouterConfig, Strategy};
+use fcn_routing::{
+    measure_rate_ctx, CompiledNet, PlanCache, RateSample, RouteCtx, RouterConfig, Strategy,
+};
 use fcn_topology::Machine;
 use serde::{Deserialize, Serialize};
 
@@ -77,25 +81,50 @@ pub struct BandwidthEstimate {
 impl BandwidthEstimator {
     /// Estimate the delivery rate of `machine` under `traffic`.
     pub fn estimate(&self, machine: &Machine, traffic: &Traffic) -> BandwidthEstimate {
+        self.estimate_with_cache(machine, traffic, &PlanCache::default())
+    }
+
+    /// [`BandwidthEstimator::estimate`] with a caller-owned [`PlanCache`],
+    /// so the caller can inspect hit/miss counters afterwards (`fcnemu beta
+    /// --verbose`). The cache is bit-transparent: results are identical to
+    /// [`BandwidthEstimator::estimate`].
+    pub fn estimate_with_cache(
+        &self,
+        machine: &Machine,
+        traffic: &Traffic,
+        cache: &PlanCache,
+    ) -> BandwidthEstimate {
+        self.estimate_compiled(machine, &CompiledNet::shared(machine), traffic, cache)
+    }
+
+    /// The estimator's core: run the `trials × multipliers` grid over an
+    /// already-compiled net (shared across all cells and, via `Arc`, with
+    /// any sibling estimates the caller runs on the same machine).
+    pub fn estimate_compiled(
+        &self,
+        machine: &Machine,
+        net: &Arc<CompiledNet>,
+        traffic: &Traffic,
+        cache: &PlanCache,
+    ) -> BandwidthEstimate {
         assert!(self.trials >= 1 && !self.multipliers.is_empty());
         let n = traffic.n();
         let m_len = self.multipliers.len();
         let cells = self.trials * m_len;
         let pool = Pool::new(self.jobs);
-        let cache = PlanCache::default();
+        let ctx = RouteCtx::from_net(machine, net.clone()).with_cache(cache);
         let samples: Vec<RateSample> = pool.run(cells, |cell| {
             let trial = cell / m_len;
             let mi = cell % m_len;
             let messages = (self.multipliers[mi] * n).max(1);
-            measure_rate_with(
-                machine,
+            measure_rate_ctx(
+                &ctx,
                 traffic,
                 messages,
                 self.strategy,
                 self.router,
                 job_seed(self.seed, cell as u64),
                 job_seed(self.seed ^ PLAN_STREAM, trial as u64),
-                Some(&cache),
             )
         });
 

@@ -2,8 +2,10 @@
 //! batch routing throughput per machine family and per queue discipline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fcn_routing::engine::reference;
 use fcn_routing::{
-    measure_rate_with, route_batch, PathOracle, PlanCache, QueueDiscipline, RouterConfig, Strategy,
+    measure_rate_with, route_batch, route_compiled, CompiledNet, PacketBatch, PathOracle,
+    PlanCache, QueueDiscipline, RouterConfig, RouterScratch, Strategy,
 };
 use fcn_topology::Machine;
 
@@ -136,11 +138,44 @@ fn bench_plan_cache(c: &mut Criterion) {
     group.finish();
 }
 
+/// The compile-once/run-many split at saturation scale: mesh2(64)
+/// (n = 4096) under 8n symmetric packets — the heaviest cell of the default
+/// estimator sweep. `reference` is the retained pre-compilation simulator
+/// (wire arrays rebuilt and every hop binary-searched per call); `compiled`
+/// routes a pre-compiled [`PacketBatch`] over a shared [`CompiledNet`] with
+/// a reused [`RouterScratch`], exactly as sweeps do. Both produce
+/// bit-identical outcomes (`tests/compiled_router.rs`); only the wall clock
+/// differs.
+fn bench_compiled_vs_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_compile_split");
+    group.sample_size(10);
+    let m = Machine::mesh(2, 64);
+    let traffic = m.symmetric_traffic();
+    let mut oracle = PathOracle::new(m.graph(), 42);
+    let demands: Vec<_> = {
+        let rng = oracle.rng();
+        (0..8 * traffic.n()).map(|_| traffic.sample(rng)).collect()
+    };
+    let routes = oracle.routes(&demands, Strategy::ShortestPath);
+    let cfg = RouterConfig::default();
+    group.bench_function("reference", |b| {
+        b.iter(|| reference::route_batch(&m, routes.clone(), cfg).ticks)
+    });
+    let net = CompiledNet::compile(&m);
+    let batch = PacketBatch::compile(&net, &routes).expect("planner paths are walks");
+    let mut scratch = RouterScratch::new();
+    group.bench_function("compiled", |b| {
+        b.iter(|| route_compiled(&net, &batch, cfg, &mut scratch).ticks)
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_route_batch,
     bench_disciplines,
     bench_path_oracle,
-    bench_plan_cache
+    bench_plan_cache,
+    bench_compiled_vs_reference
 );
 criterion_main!(benches);

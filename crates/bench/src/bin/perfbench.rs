@@ -1,0 +1,189 @@
+//! `perfbench` — the repo's performance trajectory, in one tier-1-friendly
+//! binary.
+//!
+//! Times the hot paths that dominate every table regeneration — the tick
+//! simulator (both the retained pre-compilation reference and the
+//! compile-once/run-many pipeline), the operational estimator grid, and the
+//! route planner — and records `{bench, machine, n, median_ms, rate}` rows
+//! so speedups and regressions are visible across PRs (schema in
+//! EXPERIMENTS.md).
+//!
+//! * default: saturation scale (mesh2(64), 8n packets), writes
+//!   `BENCH_router.json` at the repo root — the committed trajectory;
+//! * `--quick`: CI smoke scale, writes `target/BENCH_router.quick.json`
+//!   so a smoke run never clobbers the committed numbers.
+
+use std::time::Instant;
+
+use fcn_bandwidth::BandwidthEstimator;
+use fcn_bench::{banner, fmt, RunOpts, Scale};
+use fcn_routing::engine::reference;
+use fcn_routing::{
+    plan_routes, route_compiled, CompiledNet, PacketBatch, RouterConfig, RouterScratch, Strategy,
+};
+use fcn_topology::Machine;
+use serde::Serialize;
+
+/// One recorded measurement (see EXPERIMENTS.md for the schema).
+#[derive(Debug, Serialize)]
+struct Row {
+    /// Benchmark id (`route_reference`, `route_compiled`, `estimator_grid`,
+    /// `planner`).
+    bench: String,
+    /// Machine the benchmark ran on.
+    machine: String,
+    /// Processor count of that machine.
+    n: usize,
+    /// Median wall time of the repetitions, in milliseconds.
+    median_ms: f64,
+    /// Bench-specific throughput: delivery rate (router benches), β̂
+    /// (estimator), or packets planned per millisecond (planner).
+    rate: f64,
+}
+
+/// Median of `reps` wall-clock samples of `f`, plus `f`'s last return value.
+fn timed(reps: usize, mut f: impl FnMut() -> f64) -> (f64, f64) {
+    assert!(reps >= 1);
+    let mut times = Vec::with_capacity(reps);
+    let mut rate = 0.0;
+    for _ in 0..reps {
+        let t = Instant::now();
+        rate = f();
+        times.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], rate)
+}
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let quick = opts.scale == Scale::Quick;
+    let (side, reps) = if quick { (16, 3) } else { (64, 5) };
+    let machine = Machine::mesh(2, side);
+    let n = machine.processors();
+    let traffic = machine.symmetric_traffic();
+
+    banner(&format!(
+        "perfbench: {} (n = {n}), {reps} reps{}",
+        machine.name(),
+        if quick { ", quick" } else { "" }
+    ));
+
+    // Saturation-scale batch shared by both router benches (8n packets, the
+    // largest multiplier of the default estimator sweep).
+    use rand::SeedableRng as _;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xbe7c);
+    let demands: Vec<_> = (0..8 * traffic.n())
+        .map(|_| traffic.sample(&mut rng))
+        .collect();
+    let routes = plan_routes(&machine, &demands, Strategy::ShortestPath, 42);
+    let cfg = RouterConfig::default();
+    let mut rows = Vec::new();
+
+    // Before: the retained pre-compilation simulator, rebuilding every wire
+    // array and re-deriving every hop per call (the clone it needs to
+    // consume its input happens outside the timer).
+    let (ref_ms, ref_rate) = timed(reps, || {
+        let out = reference::route_batch(&machine, routes.clone(), cfg);
+        assert!(out.completed);
+        out.rate()
+    });
+    println!(
+        "route_reference : {:>9} ms   rate {}",
+        fmt(ref_ms),
+        fmt(ref_rate)
+    );
+    rows.push(Row {
+        bench: "route_reference".into(),
+        machine: machine.name().to_string(),
+        n,
+        median_ms: ref_ms,
+        rate: ref_rate,
+    });
+
+    // After: compile once, route many — the path every sweep now takes.
+    let net = CompiledNet::compile(&machine);
+    let batch = PacketBatch::compile(&net, &routes).expect("planner paths are walks");
+    let mut scratch = RouterScratch::new();
+    let (cmp_ms, cmp_rate) = timed(reps, || {
+        let out = route_compiled(&net, &batch, cfg, &mut scratch);
+        assert!(out.completed);
+        out.rate()
+    });
+    println!(
+        "route_compiled  : {:>9} ms   rate {}",
+        fmt(cmp_ms),
+        fmt(cmp_rate)
+    );
+    rows.push(Row {
+        bench: "route_compiled".into(),
+        machine: machine.name().to_string(),
+        n,
+        median_ms: cmp_ms,
+        rate: cmp_rate,
+    });
+    assert_eq!(
+        ref_rate, cmp_rate,
+        "the rewrite must not change a single bit"
+    );
+    println!(
+        "speedup         : {:.2}x (reference / compiled)",
+        ref_ms / cmp_ms
+    );
+
+    // The estimator's full trials × multipliers grid — the workload the
+    // tables actually pay for.
+    let est = BandwidthEstimator {
+        multipliers: if quick { vec![2, 4] } else { vec![2, 4, 8] },
+        trials: 2,
+        seed: 0xbead,
+        ..Default::default()
+    };
+    let (est_ms, est_rate) = timed(reps.min(3), || est.estimate(&machine, &traffic).rate);
+    println!(
+        "estimator_grid  : {:>9} ms   β̂   {}",
+        fmt(est_ms),
+        fmt(est_rate)
+    );
+    rows.push(Row {
+        bench: "estimator_grid".into(),
+        machine: machine.name().to_string(),
+        n,
+        median_ms: est_ms,
+        rate: est_rate,
+    });
+
+    // Planner throughput (BFS shortest paths), packets per millisecond.
+    let (plan_ms, planned) = timed(reps, || {
+        plan_routes(&machine, &demands, Strategy::ShortestPath, 42).len() as f64
+    });
+    println!(
+        "planner         : {:>9} ms   {} packets/ms",
+        fmt(plan_ms),
+        fmt(planned / plan_ms)
+    );
+    rows.push(Row {
+        bench: "planner".into(),
+        machine: machine.name().to_string(),
+        n,
+        median_ms: plan_ms,
+        rate: planned / plan_ms,
+    });
+
+    let path = if quick {
+        let dir = std::env::var_os("CARGO_TARGET_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::path::PathBuf::from("target"));
+        std::fs::create_dir_all(&dir).expect("create target dir");
+        dir.join("BENCH_router.quick.json")
+    } else {
+        std::path::PathBuf::from("BENCH_router.json")
+    };
+    let mut out = String::new();
+    for r in &rows {
+        out.push_str(&serde_json::to_string(r).expect("row serializes"));
+        out.push('\n');
+    }
+    std::fs::write(&path, out).expect("write bench rows");
+    println!("\nwrote {} rows to {}", rows.len(), path.display());
+}

@@ -24,7 +24,7 @@ pub fn usage() -> String {
 USAGE:
   fcnemu machines
   fcnemu build   <family> <size> [--seed N] [--format summary|dot|edges|json]
-  fcnemu beta    <family> <size> [--trials N] [--steady] [--seed N] [--jobs N]
+  fcnemu beta    <family> <size> [--trials N] [--steady] [--seed N] [--jobs N] [--verbose]
   fcnemu bound   <guest-family> <host-family> [--n N] [--m M]
   fcnemu emulate <guest-family> <n> <host-family> <m> [--steps N]
   fcnemu audit   <family> <size> [--seed N] [--jobs N]
@@ -147,6 +147,7 @@ fn cmd_beta(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
     // thread. The estimate is bit-identical for every value.
     let jobs = args.flag("jobs", 1usize)?;
     let steady = args.has("steady");
+    let verbose = args.has("verbose");
     Ok((|| -> CmdResult {
         let m = build(&id, size, seed)?;
         let t = m.symmetric_traffic();
@@ -156,7 +157,10 @@ fn cmd_beta(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
             jobs,
             ..Default::default()
         };
-        let b = est.estimate(&m, &t);
+        // Caller-owned plan cache so --verbose can report its effectiveness;
+        // the cache is bit-transparent to the estimate.
+        let cache = fcn_routing::PlanCache::default();
+        let b = est.estimate_with_cache(&m, &t, &cache);
         let flux = flux_upper_bound(&m, &t, seed, 4, 2);
         let _ = writeln!(out, "machine       : {} (n = {})", m.name(), m.processors());
         let _ = writeln!(
@@ -178,6 +182,24 @@ fn cmd_beta(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
         if steady {
             let (sat, _) = saturation_throughput(&m, &t, SteadyConfig::default());
             let _ = writeln!(out, "steady-state  : {sat:.3}");
+        }
+        if verbose {
+            let s = cache.stats();
+            let _ = writeln!(
+                out,
+                "plan cache    : {} hits / {} misses ({:.1}% hit rate, {} trees)",
+                s.hits,
+                s.misses,
+                100.0 * s.hit_rate(),
+                s.entries
+            );
+            let _ = writeln!(
+                out,
+                "trials        : {}/{} complete ({} samples)",
+                b.complete_trials,
+                trials,
+                b.samples.len()
+            );
         }
         Ok(())
     })())
@@ -476,6 +498,21 @@ mod tests {
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("measured β̂"));
         assert!(out.contains("flux bound"));
+    }
+
+    #[test]
+    fn beta_verbose_reports_cache_stats() {
+        let (code, plain) = run_s("beta mesh2 64 --trials 2");
+        assert_eq!(code, 0, "{plain}");
+        let (code, verbose) = run_s("beta mesh2 64 --trials 2 --verbose");
+        assert_eq!(code, 0, "{verbose}");
+        assert!(verbose.contains("plan cache"), "{verbose}");
+        assert!(verbose.contains("hit rate"), "{verbose}");
+        assert!(verbose.contains("trials"), "{verbose}");
+        // --verbose only appends; the measurement lines are unchanged.
+        assert!(verbose.starts_with(&plain), "verbose must extend plain");
+        // The shared-seed trials actually exercise the cache.
+        assert!(!verbose.contains("0 hits"), "{verbose}");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //!   the reason it must assume the general redundant model.
 
 use fcn_multigraph::{contiguous_blocks, NodeId};
-use fcn_routing::{plan_routes, route_batch, RouterConfig, Strategy};
+use fcn_routing::{plan_routes, RouteCtx, RouterConfig, Strategy};
 use fcn_topology::Machine;
 use serde::{Deserialize, Serialize};
 
@@ -118,7 +118,9 @@ pub fn direct_emulation(
         }
     }
 
-    // Route a few sample steps and average.
+    // Route a few sample steps and average (one host compilation serves all
+    // samples).
+    let ctx = RouteCtx::new(host);
     let samples = cfg.sample_steps.max(1);
     let mut route_total = 0u64;
     for s in 0..samples {
@@ -127,7 +129,7 @@ pub fn direct_emulation(
             0
         } else {
             let routes = plan_routes(host, &demands, cfg.strategy, seed);
-            let out = route_batch(host, routes, cfg.router);
+            let out = ctx.route_paths(&routes, cfg.router);
             assert!(out.completed, "routing did not complete; raise max_ticks");
             out.ticks
         };
@@ -200,6 +202,7 @@ pub fn block_mesh_emulation(
         }
     }
 
+    let ctx = RouteCtx::new(host);
     let samples = cfg.sample_steps.max(1);
     let mut route_total = 0u64;
     for s in 0..samples {
@@ -208,7 +211,7 @@ pub fn block_mesh_emulation(
             0
         } else {
             let routes = plan_routes(host, &demands, cfg.strategy, seed);
-            let out = route_batch(host, routes, cfg.router);
+            let out = ctx.route_paths(&routes, cfg.router);
             assert!(out.completed, "phase routing did not complete");
             out.ticks
         };

@@ -35,7 +35,10 @@ struct PlanKey {
     bfs_seed: u64,
 }
 
-/// Hit/miss counters of a [`PlanCache`].
+/// Hit/miss counters of a [`PlanCache`], as reported by
+/// [`PlanCache::stats`] (surfaced to users via `fcnemu beta --verbose`).
+/// The counters are observability only — attaching or detaching a cache
+/// never changes a single routed bit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     pub hits: u64,

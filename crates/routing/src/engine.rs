@@ -12,7 +12,26 @@
 //! The queue discipline resolves contention; `RandomRank` mirrors the
 //! random-priority scheduling of the universal O(congestion + dilation)
 //! routing result the paper's Theorem 6 invokes.
+//!
+//! ## Compile / run split
+//!
+//! The hot entry point is [`route_compiled`]: it runs a pre-compiled
+//! [`PacketBatch`] over a shared [`CompiledNet`] using a caller-owned
+//! [`RouterScratch`], so a sweep performs O(1) allocations per batch and
+//! the tick loop touches only flat arrays (no per-hop adjacency search —
+//! hops were resolved to wire ids at batch-compile time). [`route_batch`]
+//! keeps the legacy compile-on-every-call signature as a thin wrapper, and
+//! [`reference`] retains the original single-function simulator as the
+//! executable specification the compiled path is pinned against
+//! (`tests/compiled_router.rs`).
+//!
+//! Determinism: for a given `(batch, RouterConfig)` the compiled and
+//! reference engines draw the same `StdRng` stream (one `u32` rank per
+//! packet, in packet order) and pop queues in the same order, so every
+//! outcome field — ticks, delivered, max queue, hop count — is
+//! bit-identical.
 
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -22,6 +41,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::compiled::{CompiledNet, PacketBatch, RouteError};
 use crate::packet::{PacketPath, QueueDiscipline};
 
 /// Router configuration.
@@ -68,118 +88,260 @@ impl RoutingOutcome {
     }
 }
 
-/// Per-wire queue under a discipline. Priority queues pop the smallest key.
-enum WireQueue {
-    Fifo(VecDeque<u32>),
-    Prio(BinaryHeap<Reverse<(u32, u32)>>),
-}
-
-impl WireQueue {
-    fn new(discipline: QueueDiscipline) -> Self {
-        match discipline {
-            QueueDiscipline::Fifo => WireQueue::Fifo(VecDeque::new()),
-            _ => WireQueue::Prio(BinaryHeap::new()),
-        }
-    }
-
-    fn push(&mut self, key: u32, pid: u32) {
-        match self {
-            WireQueue::Fifo(q) => q.push_back(pid),
-            WireQueue::Prio(q) => q.push(Reverse((key, pid))),
-        }
-    }
-
-    fn pop(&mut self) -> Option<u32> {
-        match self {
-            WireQueue::Fifo(q) => q.pop_front(),
-            WireQueue::Prio(q) => q.pop().map(|Reverse((_, pid))| pid),
-        }
-    }
-
-    fn len(&self) -> usize {
-        match self {
-            WireQueue::Fifo(q) => q.len(),
-            WireQueue::Prio(q) => q.len(),
-        }
-    }
-
-    fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
-
-struct PacketState {
-    path: PacketPath,
-    /// Index of the vertex the packet currently sits at.
-    pos: u32,
-    /// Random rank (used by `RandomRank`).
-    rank: u32,
-}
-
-/// Route a batch of packets to completion on a machine.
+/// Reusable per-worker simulation arenas.
 ///
-/// All packets are injected at tick 0 (the paper's "deliver all m messages"
-/// batch semantics); the returned outcome's [`RoutingOutcome::rate`] is the
-/// delivery-rate sample `m / r(m)`.
-pub fn route_batch(
-    machine: &Machine,
-    packets: Vec<PacketPath>,
-    cfg: RouterConfig,
-) -> RoutingOutcome {
-    let g = machine.graph();
-    let n = g.node_count();
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+/// Holds the per-wire queues (both the FIFO and the priority pools, so one
+/// scratch serves every [`QueueDiscipline`]), the per-node activity arrays,
+/// and the per-packet position/rank columns. Everything is length-adjusted
+/// and cleared at the start of a run, so a scratch can be reused across
+/// batches, machines, and disciplines; after warm-up a sweep allocates
+/// nothing per batch. [`route_compiled_pooled`] keeps one scratch per
+/// thread, which is how [`fcn_exec::Pool`] workers reuse arenas across the
+/// cells they execute.
+#[derive(Debug, Default)]
+pub struct RouterScratch {
+    /// FIFO wire queues (one per wire; used by `QueueDiscipline::Fifo`).
+    fifo: Vec<VecDeque<u32>>,
+    /// Priority wire queues. Entries pack `(key, pid)` into one `u64`
+    /// (`key << 32 | pid`), whose ordering coincides with the lexicographic
+    /// `(key, pid)` order of the reference engine's tuple heap. Stored
+    /// *unsorted*; pop scans for the minimum — wire queues average a couple
+    /// of entries, where one vectorizable scan beats heap sifting and the
+    /// pop order is the same min-of-set either way.
+    prio: Vec<Vec<u64>>,
+    /// Nodes with at least one queued packet, in first-activation order.
+    active_nodes: Vec<NodeId>,
+    /// Queued packets per node (across all of its out-wires).
+    node_queued: Vec<u32>,
+    /// Membership flags for `active_nodes`.
+    node_listed: Vec<bool>,
+    /// Rotating start wire per node (fairness under tight budgets), kept
+    /// reduced modulo the node's degree.
+    rotate: Vec<u32>,
+    /// Packets that crossed a wire this tick.
+    arrivals: Vec<u32>,
+    /// Per-packet hops left to the destination (replaces the reference
+    /// engine's `pos`: `remaining = hops - pos`).
+    remaining: Vec<u32>,
+    /// Per-packet flat index of the *next* wire id in the batch arena, so
+    /// an arrival reads exactly one `wire_ids` slot and one wire-tail slot
+    /// — no path-offset or vertex-array lookups in the tick loop.
+    cursor: Vec<u32>,
+    /// Per-packet random rank (`RandomRank` key).
+    rank: Vec<u32>,
+}
 
-    // Directed wire arrays. Neighbor lists are ascending (CSR built from an
-    // ordered map), so next-hop lookup is a binary search.
-    let mut wire_offsets = Vec::with_capacity(n + 1);
-    let mut wire_to: Vec<NodeId> = Vec::new();
-    let mut wire_cap: Vec<u32> = Vec::new();
-    wire_offsets.push(0usize);
-    for u in 0..n as NodeId {
-        for (v, m) in g.neighbors(u) {
-            if v != u {
-                wire_to.push(v);
-                wire_cap.push(m);
+impl RouterScratch {
+    /// A fresh, empty scratch. Arenas grow on first use and are retained.
+    pub fn new() -> Self {
+        RouterScratch::default()
+    }
+
+    /// Size the node/packet arenas for a run and reset their contents.
+    fn prepare(&mut self, nodes: usize, packets: usize) {
+        self.active_nodes.clear();
+        self.arrivals.clear();
+        self.node_queued.clear();
+        self.node_queued.resize(nodes, 0);
+        self.node_listed.clear();
+        self.node_listed.resize(nodes, false);
+        self.rotate.clear();
+        self.rotate.resize(nodes, 0);
+        self.remaining.clear();
+        self.remaining.resize(packets, 0);
+        self.cursor.clear();
+        self.cursor.resize(packets, 0);
+        self.rank.clear();
+        self.rank.reserve(packets);
+    }
+}
+
+/// Uniform view over the per-wire queue pool of one discipline, so the tick
+/// loop monomorphizes per discipline instead of branching on an enum at
+/// every queue operation.
+trait WireQueues {
+    /// Enqueue `pid` with `key` on wire `w` and return the queue's new
+    /// length (so max-queue tracking costs no second indexed access).
+    fn push(&mut self, w: usize, key: u32, pid: u32) -> usize;
+    fn pop(&mut self, w: usize) -> Option<u32>;
+    fn is_empty(&self, w: usize) -> bool;
+}
+
+struct FifoQueues<'a>(&'a mut [VecDeque<u32>]);
+
+impl WireQueues for FifoQueues<'_> {
+    #[inline]
+    fn push(&mut self, w: usize, _key: u32, pid: u32) -> usize {
+        let q = &mut self.0[w];
+        q.push_back(pid);
+        q.len()
+    }
+    #[inline]
+    fn pop(&mut self, w: usize) -> Option<u32> {
+        self.0[w].pop_front()
+    }
+    #[inline]
+    fn is_empty(&self, w: usize) -> bool {
+        self.0[w].is_empty()
+    }
+}
+
+/// Unsorted priority pool: pop extracts the minimum packed `(key, pid)` by
+/// linear scan + `swap_remove`. Packed values are distinct (the pid half is
+/// unique), so the minimum — and therefore the pop sequence — is exactly
+/// the reference engine's heap order, independent of internal layout.
+struct PrioQueues<'a>(&'a mut [Vec<u64>]);
+
+impl WireQueues for PrioQueues<'_> {
+    #[inline]
+    fn push(&mut self, w: usize, key: u32, pid: u32) -> usize {
+        let q = &mut self.0[w];
+        q.push(((key as u64) << 32) | pid as u64);
+        q.len()
+    }
+    #[inline]
+    fn pop(&mut self, w: usize) -> Option<u32> {
+        let q = &mut self.0[w];
+        if q.is_empty() {
+            return None;
+        }
+        let mut best = 0usize;
+        let mut min = q[0];
+        for (i, &v) in q.iter().enumerate().skip(1) {
+            if v < min {
+                min = v;
+                best = i;
             }
         }
-        wire_offsets.push(wire_to.len());
+        q.swap_remove(best);
+        Some(min as u32)
     }
-    let wire_of = |u: NodeId, v: NodeId| -> usize {
-        let lo = wire_offsets[u as usize];
-        let hi = wire_offsets[u as usize + 1];
-        lo + wire_to[lo..hi]
-            .binary_search(&v)
-            .unwrap_or_else(|_| panic!("no wire {u} -> {v}"))
-    };
-    let mut queues: Vec<WireQueue> = (0..wire_to.len())
-        .map(|_| WireQueue::new(cfg.discipline))
-        .collect();
-    // Activity is tracked per *node* (a node is active while any of its
-    // out-wires has queued packets), so the send phase iterates active
-    // nodes and their short wire ranges — no per-tick sorting.
-    let mut active_nodes: Vec<NodeId> = Vec::new();
-    let mut node_queued = vec![0u32; n]; // queued packets across the node's wires
-    let mut node_listed = vec![false; n];
-    let mut rotate = vec![0u32; n];
+    #[inline]
+    fn is_empty(&self, w: usize) -> bool {
+        self.0[w].is_empty()
+    }
+}
 
-    let total = packets.len();
-    let mut states: Vec<PacketState> = packets
-        .into_iter()
-        .map(|p| PacketState {
-            path: p,
-            pos: 0,
-            rank: rng.random::<u32>(),
-        })
-        .collect();
+/// Route a pre-compiled batch over a compiled net, reusing `scratch`.
+///
+/// This is the hot path: zero allocations after scratch warm-up, no
+/// adjacency lookups in the tick loop (hops are pre-resolved wire ids;
+/// consistency degrades to debug assertions), and bit-identical outcomes to
+/// [`reference::route_batch`] for every `(batch, config)`.
+pub fn route_compiled(
+    net: &CompiledNet,
+    batch: &PacketBatch,
+    cfg: RouterConfig,
+    scratch: &mut RouterScratch,
+) -> RoutingOutcome {
+    scratch.prepare(net.node_count(), batch.len());
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    for _ in 0..batch.len() {
+        scratch.rank.push(rng.random::<u32>());
+    }
+    let unit = net.unit_capacity();
+    match cfg.discipline {
+        QueueDiscipline::Fifo => {
+            let mut pool = std::mem::take(&mut scratch.fifo);
+            grow_and_clear(&mut pool, net.wire_count(), VecDeque::new);
+            let mut q = FifoQueues(&mut pool);
+            let out = if unit {
+                run_ticks::<_, true, DISC_FIFO>(net, batch, cfg, &mut q, scratch)
+            } else {
+                run_ticks::<_, false, DISC_FIFO>(net, batch, cfg, &mut q, scratch)
+            };
+            scratch.fifo = pool;
+            out
+        }
+        QueueDiscipline::FarthestFirst => {
+            let mut pool = std::mem::take(&mut scratch.prio);
+            grow_and_clear(&mut pool, net.wire_count(), Vec::new);
+            let mut q = PrioQueues(&mut pool);
+            let out = if unit {
+                run_ticks::<_, true, DISC_FARTHEST>(net, batch, cfg, &mut q, scratch)
+            } else {
+                run_ticks::<_, false, DISC_FARTHEST>(net, batch, cfg, &mut q, scratch)
+            };
+            scratch.prio = pool;
+            out
+        }
+        QueueDiscipline::RandomRank => {
+            let mut pool = std::mem::take(&mut scratch.prio);
+            grow_and_clear(&mut pool, net.wire_count(), Vec::new);
+            let mut q = PrioQueues(&mut pool);
+            let out = if unit {
+                run_ticks::<_, true, DISC_RANDOM>(net, batch, cfg, &mut q, scratch)
+            } else {
+                run_ticks::<_, false, DISC_RANDOM>(net, batch, cfg, &mut q, scratch)
+            };
+            scratch.prio = pool;
+            out
+        }
+    }
+}
 
-    let key_of = |st: &PacketState, discipline: QueueDiscipline| -> u32 {
-        match discipline {
-            QueueDiscipline::Fifo => 0,
-            // Smaller key pops first; invert remaining hops so farther
-            // packets win.
-            QueueDiscipline::FarthestFirst => u32::MAX - (st.path.hops() as u32 - st.pos),
-            QueueDiscipline::RandomRank => st.rank,
+/// `const`-generic encodings of [`QueueDiscipline`] so the tick loop's
+/// priority-key computation compiles to straight-line code per discipline.
+const DISC_FIFO: u8 = 0;
+const DISC_FARTHEST: u8 = 1;
+const DISC_RANDOM: u8 = 2;
+
+/// Resize a queue pool to `wires` entries and empty every queue (capacity is
+/// retained, so steady-state batches allocate nothing). Queues are already
+/// empty unless the previous run aborted on `max_ticks`.
+fn grow_and_clear<Q: Clearable>(pool: &mut Vec<Q>, wires: usize, fresh: impl Fn() -> Q) {
+    if pool.len() < wires {
+        pool.resize_with(wires, fresh);
+    }
+    for q in pool.iter_mut().take(wires) {
+        q.clear_queue();
+    }
+}
+
+trait Clearable {
+    fn clear_queue(&mut self);
+}
+
+impl Clearable for VecDeque<u32> {
+    fn clear_queue(&mut self) {
+        self.clear();
+    }
+}
+
+impl Clearable for Vec<u64> {
+    fn clear_queue(&mut self) {
+        self.clear();
+    }
+}
+
+/// The tick loop, monomorphized per queue pool (`Q`), capacity regime
+/// (`UNIT`: every wire capacity 1 and every send budget unlimited — the
+/// budget bookkeeping compiles away entirely), and discipline (`DISC`: the
+/// priority-key computation is a compile-time choice, not a per-push match).
+///
+/// Mirrors [`reference::route_batch`] phase for phase: injection, then
+/// (send, compaction, arrival) per tick, with identical iteration orders —
+/// which is what makes the outcomes bit-identical. Packet progress is
+/// tracked as `(remaining, cursor)` columns instead of the reference's
+/// vertex position: an arrival touches one `wire_ids` slot and one
+/// wire-tail slot instead of re-deriving its location from the path arrays.
+fn run_ticks<Q: WireQueues, const UNIT: bool, const DISC: u8>(
+    net: &CompiledNet,
+    batch: &PacketBatch,
+    cfg: RouterConfig,
+    queues: &mut Q,
+    scr: &mut RouterScratch,
+) -> RoutingOutcome {
+    let total = batch.len();
+    // Smaller key pops first; FarthestFirst inverts remaining hops so
+    // farther packets win. `remaining` here is hops still to travel
+    // *including* the push's own wire — identical to the reference's
+    // `hops - pos` at both injection (`pos = 0`) and arrival time.
+    let key_of = |remaining: u32, rank: u32| -> u32 {
+        match DISC {
+            DISC_FIFO => 0,
+            DISC_FARTHEST => u32::MAX - remaining,
+            _ => rank,
         }
     };
 
@@ -187,96 +349,148 @@ pub fn route_batch(
     let mut total_hops = 0u64;
     let mut max_queue = 0usize;
 
-    // Injection.
-    for (pid, st) in states.iter().enumerate() {
-        if st.path.hops() == 0 {
+    // Injection: every packet enqueues on its first wire at tick 0. Queue
+    // lengths only grow here, so tracking the max per push matches the
+    // reference engine's post-injection scan.
+    for pid in 0..total {
+        let hops = batch.hops(pid);
+        if hops == 0 {
             delivered += 1;
             continue;
         }
-        let src = st.path.path[0];
-        let w = wire_of(src, st.path.path[1]);
-        let key = key_of(st, cfg.discipline);
-        queues[w].push(key, pid as u32);
-        node_queued[src as usize] += 1;
-        if !node_listed[src as usize] {
-            node_listed[src as usize] = true;
-            active_nodes.push(src);
+        let wb = batch.wire_base(pid);
+        let w = batch.wire_at(wb, 0) as usize;
+        let src = net.wire_tail(w as u32);
+        debug_assert_eq!(src, batch.node_at(batch.node_base(pid), 0));
+        scr.remaining[pid] = hops;
+        scr.cursor[pid] = wb + 1;
+        let key = key_of(hops, scr.rank[pid]);
+        max_queue = max_queue.max(queues.push(w, key, pid as u32));
+        scr.node_queued[src as usize] += 1;
+        if !scr.node_listed[src as usize] {
+            scr.node_listed[src as usize] = true;
+            scr.active_nodes.push(src);
         }
-    }
-    for q in &queues {
-        max_queue = max_queue.max(q.len());
     }
 
     let mut ticks = 0u64;
-    let mut arrivals: Vec<u32> = Vec::new();
     while delivered < total && ticks < cfg.max_ticks {
         ticks += 1;
-        arrivals.clear();
+        scr.arrivals.clear();
         // Send phase: each active node pushes packets subject to per-wire
         // and per-node budgets, starting at a rotating wire offset for
-        // fairness under tight budgets.
-        for &u in &active_nodes {
-            let lo = wire_offsets[u as usize];
-            let hi = wire_offsets[u as usize + 1];
+        // fairness under tight budgets. Once a node's queued count hits
+        // zero the remaining wires are provably empty, so breaking early
+        // pops the exact same packets the reference's full scan would.
+        //
+        // Compaction is fused into the same pass: a node's post-send queued
+        // count is final until the arrival phase runs, so keeping/unlisting
+        // it right here reads exactly the value the reference's separate
+        // `retain` sweep would, in the same list order.
+        let mut active = std::mem::take(&mut scr.active_nodes);
+        let mut kept = 0usize;
+        for idx in 0..active.len() {
+            let u = active[idx];
+            let (lo, hi) = net.wire_range(u);
             let deg = hi - lo;
-            if deg == 0 || node_queued[u as usize] == 0 {
+            let mut queued = scr.node_queued[u as usize];
+            if deg == 0 || queued == 0 {
+                scr.node_listed[u as usize] = false;
                 continue;
             }
-            let mut budget = machine.send_capacity(u) as u64;
-            let start = (rotate[u as usize] as usize) % deg;
-            for idx in 0..deg {
-                if budget == 0 {
-                    break;
-                }
-                let w = lo + (start + idx) % deg;
-                if queues[w].is_empty() {
-                    continue;
-                }
-                let cap = (wire_cap[w] as u64).min(budget);
-                let mut sent = 0u64;
-                while sent < cap {
-                    match queues[w].pop() {
-                        Some(pid) => {
-                            arrivals.push(pid);
-                            sent += 1;
+            // `rotate[u]` is kept reduced mod `deg`, so the wrap-around walk
+            // needs no modulo arithmetic in the inner loop.
+            let mut wi = scr.rotate[u as usize] as usize;
+            debug_assert!(wi < deg);
+            if UNIT {
+                // Unit capacities, unlimited budget: every nonempty wire
+                // forwards exactly one packet.
+                for _ in 0..deg {
+                    let w = lo + wi;
+                    wi += 1;
+                    if wi == deg {
+                        wi = 0;
+                    }
+                    if let Some(pid) = queues.pop(w) {
+                        scr.arrivals.push(pid);
+                        queued -= 1;
+                        if queued == 0 {
+                            break;
                         }
-                        None => break,
                     }
                 }
-                budget -= sent;
-                node_queued[u as usize] -= sent as u32;
+            } else {
+                let mut budget = net.send_budget(u) as u64;
+                for _ in 0..deg {
+                    if budget == 0 {
+                        break;
+                    }
+                    let w = lo + wi;
+                    wi += 1;
+                    if wi == deg {
+                        wi = 0;
+                    }
+                    if queues.is_empty(w) {
+                        continue;
+                    }
+                    let cap = (net.wire_capacity(w as u32) as u64).min(budget);
+                    let mut sent = 0u64;
+                    while sent < cap {
+                        match queues.pop(w) {
+                            Some(pid) => {
+                                scr.arrivals.push(pid);
+                                sent += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                    budget -= sent;
+                    queued -= sent as u32;
+                    if queued == 0 {
+                        break;
+                    }
+                }
             }
-            rotate[u as usize] = rotate[u as usize].wrapping_add(1);
+            scr.node_queued[u as usize] = queued;
+            let next = scr.rotate[u as usize] + 1;
+            scr.rotate[u as usize] = if next as usize == deg { 0 } else { next };
+            // Drop nodes emptied by the send phase (before arrivals re-add).
+            if queued > 0 {
+                active[kept] = u;
+                kept += 1;
+            } else {
+                scr.node_listed[u as usize] = false;
+            }
         }
-        // Drop nodes emptied by the send phase (before arrivals re-add).
-        active_nodes.retain(|&u| {
-            let keep = node_queued[u as usize] > 0;
-            if !keep {
-                node_listed[u as usize] = false;
-            }
-            keep
-        });
-        // Arrival phase: advance packets, deliver or re-enqueue.
+        active.truncate(kept);
+        scr.active_nodes = active;
+        // Arrival phase: advance packets, deliver or re-enqueue. `arrivals`
+        // is moved out of the scratch for the duration so the loop iterates
+        // it directly (no per-element index check against the scratch
+        // borrow) and moved back for the next tick.
+        let arrivals = std::mem::take(&mut scr.arrivals);
+        total_hops += arrivals.len() as u64;
         for &pid in &arrivals {
-            let st = &mut states[pid as usize];
-            st.pos += 1;
-            total_hops += 1;
-            if st.pos as usize == st.path.hops() {
+            let pid = pid as usize;
+            let rem = scr.remaining[pid] - 1;
+            scr.remaining[pid] = rem;
+            if rem == 0 {
                 delivered += 1;
                 continue;
             }
-            let from = st.path.path[st.pos as usize];
-            let to = st.path.path[st.pos as usize + 1];
-            let w = wire_of(from, to);
-            let key = key_of(st, cfg.discipline);
-            queues[w].push(key, pid);
-            max_queue = max_queue.max(queues[w].len());
-            node_queued[from as usize] += 1;
-            if !node_listed[from as usize] {
-                node_listed[from as usize] = true;
-                active_nodes.push(from);
+            let cur = scr.cursor[pid] as usize;
+            let w = batch.wire_flat(cur) as usize;
+            scr.cursor[pid] = (cur + 1) as u32;
+            let from = net.wire_tail(w as u32);
+            let key = key_of(rem, scr.rank[pid]);
+            max_queue = max_queue.max(queues.push(w, key, pid as u32));
+            scr.node_queued[from as usize] += 1;
+            if !scr.node_listed[from as usize] {
+                scr.node_listed[from as usize] = true;
+                scr.active_nodes.push(from);
             }
         }
+        scr.arrivals = arrivals;
     }
 
     RoutingOutcome {
@@ -286,6 +500,287 @@ pub fn route_batch(
         completed: delivered == total,
         max_queue,
         total_hops,
+    }
+}
+
+thread_local! {
+    /// One scratch per thread: pool workers of a sweep reuse arenas across
+    /// every batch they run.
+    static POOLED_SCRATCH: RefCell<RouterScratch> = RefCell::new(RouterScratch::new());
+}
+
+/// [`route_compiled`] using this thread's pooled [`RouterScratch`].
+pub fn route_compiled_pooled(
+    net: &CompiledNet,
+    batch: &PacketBatch,
+    cfg: RouterConfig,
+) -> RoutingOutcome {
+    POOLED_SCRATCH.with(|s| route_compiled(net, batch, cfg, &mut s.borrow_mut()))
+}
+
+/// Route a batch of packets to completion on a machine.
+///
+/// All packets are injected at tick 0 (the paper's "deliver all m messages"
+/// batch semantics); the returned outcome's [`RoutingOutcome::rate`] is the
+/// delivery-rate sample `m / r(m)`.
+///
+/// This is the compile-on-every-call convenience wrapper: it compiles the
+/// machine's [`CompiledNet`] and the batch afresh. Sweeps that route many
+/// batches on one machine should compile once and call [`route_compiled`]
+/// (or go through [`crate::harness::RouteCtx`]).
+///
+/// # Panics
+/// Panics if some path is not a walk of the host graph; use
+/// [`try_route_batch`] to get the typed [`RouteError`] instead.
+pub fn route_batch(
+    machine: &Machine,
+    packets: Vec<PacketPath>,
+    cfg: RouterConfig,
+) -> RoutingOutcome {
+    try_route_batch(machine, &packets, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`route_batch`] surfacing malformed routes as a typed [`RouteError`]
+/// instead of panicking. Planner-produced paths are walks by construction
+/// and never hit the error arm.
+pub fn try_route_batch(
+    machine: &Machine,
+    packets: &[PacketPath],
+    cfg: RouterConfig,
+) -> Result<RoutingOutcome, RouteError> {
+    let net = CompiledNet::compile(machine);
+    let batch = PacketBatch::compile(&net, packets)?;
+    Ok(route_compiled_pooled(&net, &batch, cfg))
+}
+
+/// The original single-function simulator, retained verbatim as the
+/// executable specification of the wire model.
+///
+/// `tests/compiled_router.rs` pins [`route_compiled`] against this
+/// implementation across machine families and queue disciplines, and
+/// `perfbench` uses it as the pre-compilation baseline for the recorded
+/// speedup trajectory. Not a hot path — new code should use
+/// [`route_compiled`].
+pub mod reference {
+    use super::*;
+
+    /// Per-wire queue under a discipline. Priority queues pop the smallest
+    /// key.
+    enum WireQueue {
+        Fifo(VecDeque<u32>),
+        Prio(BinaryHeap<Reverse<(u32, u32)>>),
+    }
+
+    impl WireQueue {
+        fn new(discipline: QueueDiscipline) -> Self {
+            match discipline {
+                QueueDiscipline::Fifo => WireQueue::Fifo(VecDeque::new()),
+                _ => WireQueue::Prio(BinaryHeap::new()),
+            }
+        }
+
+        fn push(&mut self, key: u32, pid: u32) {
+            match self {
+                WireQueue::Fifo(q) => q.push_back(pid),
+                WireQueue::Prio(q) => q.push(Reverse((key, pid))),
+            }
+        }
+
+        fn pop(&mut self) -> Option<u32> {
+            match self {
+                WireQueue::Fifo(q) => q.pop_front(),
+                WireQueue::Prio(q) => q.pop().map(|Reverse((_, pid))| pid),
+            }
+        }
+
+        fn len(&self) -> usize {
+            match self {
+                WireQueue::Fifo(q) => q.len(),
+                WireQueue::Prio(q) => q.len(),
+            }
+        }
+
+        fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    struct PacketState {
+        path: PacketPath,
+        /// Index of the vertex the packet currently sits at.
+        pos: u32,
+        /// Random rank (used by `RandomRank`).
+        rank: u32,
+    }
+
+    /// Route a batch by rebuilding all routing state from scratch — the
+    /// pre-compilation behavior, bit-for-bit.
+    pub fn route_batch(
+        machine: &Machine,
+        packets: Vec<PacketPath>,
+        cfg: RouterConfig,
+    ) -> RoutingOutcome {
+        let g = machine.graph();
+        let n = g.node_count();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Directed wire arrays. Neighbor lists are ascending (CSR built
+        // from an ordered map), so next-hop lookup is a binary search.
+        let mut wire_offsets = Vec::with_capacity(n + 1);
+        let mut wire_to: Vec<NodeId> = Vec::new();
+        let mut wire_cap: Vec<u32> = Vec::new();
+        wire_offsets.push(0usize);
+        for u in 0..n as NodeId {
+            for (v, m) in g.neighbors(u) {
+                if v != u {
+                    wire_to.push(v);
+                    wire_cap.push(m);
+                }
+            }
+            wire_offsets.push(wire_to.len());
+        }
+        let wire_of = |u: NodeId, v: NodeId| -> usize {
+            let lo = wire_offsets[u as usize];
+            let hi = wire_offsets[u as usize + 1];
+            lo + wire_to[lo..hi]
+                .binary_search(&v)
+                .unwrap_or_else(|_| panic!("no wire {u} -> {v}"))
+        };
+        let mut queues: Vec<WireQueue> = (0..wire_to.len())
+            .map(|_| WireQueue::new(cfg.discipline))
+            .collect();
+        // Activity is tracked per *node* (a node is active while any of its
+        // out-wires has queued packets), so the send phase iterates active
+        // nodes and their short wire ranges — no per-tick sorting.
+        let mut active_nodes: Vec<NodeId> = Vec::new();
+        let mut node_queued = vec![0u32; n]; // queued packets across the node's wires
+        let mut node_listed = vec![false; n];
+        let mut rotate = vec![0u32; n];
+
+        let total = packets.len();
+        let mut states: Vec<PacketState> = packets
+            .into_iter()
+            .map(|p| PacketState {
+                path: p,
+                pos: 0,
+                rank: rng.random::<u32>(),
+            })
+            .collect();
+
+        let key_of = |st: &PacketState, discipline: QueueDiscipline| -> u32 {
+            match discipline {
+                QueueDiscipline::Fifo => 0,
+                // Smaller key pops first; invert remaining hops so farther
+                // packets win.
+                QueueDiscipline::FarthestFirst => u32::MAX - (st.path.hops() as u32 - st.pos),
+                QueueDiscipline::RandomRank => st.rank,
+            }
+        };
+
+        let mut delivered = 0usize;
+        let mut total_hops = 0u64;
+        let mut max_queue = 0usize;
+
+        // Injection.
+        for (pid, st) in states.iter().enumerate() {
+            if st.path.hops() == 0 {
+                delivered += 1;
+                continue;
+            }
+            let src = st.path.path[0];
+            let w = wire_of(src, st.path.path[1]);
+            let key = key_of(st, cfg.discipline);
+            queues[w].push(key, pid as u32);
+            node_queued[src as usize] += 1;
+            if !node_listed[src as usize] {
+                node_listed[src as usize] = true;
+                active_nodes.push(src);
+            }
+        }
+        for q in &queues {
+            max_queue = max_queue.max(q.len());
+        }
+
+        let mut ticks = 0u64;
+        let mut arrivals: Vec<u32> = Vec::new();
+        while delivered < total && ticks < cfg.max_ticks {
+            ticks += 1;
+            arrivals.clear();
+            // Send phase: each active node pushes packets subject to
+            // per-wire and per-node budgets, starting at a rotating wire
+            // offset for fairness under tight budgets.
+            for &u in &active_nodes {
+                let lo = wire_offsets[u as usize];
+                let hi = wire_offsets[u as usize + 1];
+                let deg = hi - lo;
+                if deg == 0 || node_queued[u as usize] == 0 {
+                    continue;
+                }
+                let mut budget = machine.send_capacity(u) as u64;
+                let start = (rotate[u as usize] as usize) % deg;
+                for idx in 0..deg {
+                    if budget == 0 {
+                        break;
+                    }
+                    let w = lo + (start + idx) % deg;
+                    if queues[w].is_empty() {
+                        continue;
+                    }
+                    let cap = (wire_cap[w] as u64).min(budget);
+                    let mut sent = 0u64;
+                    while sent < cap {
+                        match queues[w].pop() {
+                            Some(pid) => {
+                                arrivals.push(pid);
+                                sent += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                    budget -= sent;
+                    node_queued[u as usize] -= sent as u32;
+                }
+                rotate[u as usize] = rotate[u as usize].wrapping_add(1);
+            }
+            // Drop nodes emptied by the send phase (before arrivals re-add).
+            active_nodes.retain(|&u| {
+                let keep = node_queued[u as usize] > 0;
+                if !keep {
+                    node_listed[u as usize] = false;
+                }
+                keep
+            });
+            // Arrival phase: advance packets, deliver or re-enqueue.
+            for &pid in &arrivals {
+                let st = &mut states[pid as usize];
+                st.pos += 1;
+                total_hops += 1;
+                if st.pos as usize == st.path.hops() {
+                    delivered += 1;
+                    continue;
+                }
+                let from = st.path.path[st.pos as usize];
+                let to = st.path.path[st.pos as usize + 1];
+                let w = wire_of(from, to);
+                let key = key_of(st, cfg.discipline);
+                queues[w].push(key, pid);
+                max_queue = max_queue.max(queues[w].len());
+                node_queued[from as usize] += 1;
+                if !node_listed[from as usize] {
+                    node_listed[from as usize] = true;
+                    active_nodes.push(from);
+                }
+            }
+        }
+
+        RoutingOutcome {
+            ticks,
+            delivered,
+            total,
+            completed: delivered == total,
+            max_queue,
+            total_hops,
+        }
     }
 }
 
@@ -423,5 +918,52 @@ mod tests {
         let out = route_batch(&m, packets, c);
         assert!(!out.completed);
         assert_eq!(out.delivered, 10);
+    }
+
+    #[test]
+    fn malformed_route_panics_with_typed_message() {
+        let m = Machine::linear_array(4);
+        let err = try_route_batch(
+            &m,
+            &[PacketPath::new(vec![0, 3])],
+            cfg(QueueDiscipline::Fifo),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no wire 0 -> 3"));
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_machines_and_disciplines() {
+        // One scratch, three machines of different sizes, all disciplines:
+        // results must match fresh-scratch runs (arena residue must not
+        // leak between runs, including after a max_ticks abort).
+        let mut scratch = RouterScratch::new();
+        let machines = [
+            Machine::mesh(2, 4),
+            Machine::linear_array(2),
+            Machine::de_bruijn(4),
+        ];
+        for m in &machines {
+            for d in [
+                QueueDiscipline::Fifo,
+                QueueDiscipline::FarthestFirst,
+                QueueDiscipline::RandomRank,
+            ] {
+                let mut oracle = crate::oracle::PathOracle::new(m.graph(), 5);
+                let n = m.processors() as u32;
+                let demands: Vec<_> = (0..n).map(|i| (i, n - 1 - i)).collect();
+                let routes = oracle.routes(&demands, crate::packet::Strategy::ShortestPath);
+                let net = CompiledNet::compile(m);
+                let batch = PacketBatch::compile(&net, &routes).unwrap();
+                // Abort run first to leave residue in the queues...
+                let mut short = cfg(d);
+                short.max_ticks = 1;
+                let _ = route_compiled(&net, &batch, short, &mut scratch);
+                // ...then the real run must still be clean.
+                let pooled = route_compiled(&net, &batch, cfg(d), &mut scratch);
+                let fresh = route_compiled(&net, &batch, cfg(d), &mut RouterScratch::new());
+                assert_eq!(pooled, fresh, "{} {d:?}", m.name());
+            }
+        }
     }
 }

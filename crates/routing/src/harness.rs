@@ -5,13 +5,98 @@
 //! `π`. [`measure_rate`] produces one `m / r(m)` sample; [`saturation_sweep`]
 //! grows `m` geometrically until the rate plateaus, approximating the limit.
 
+use std::sync::Arc;
+
 use fcn_multigraph::Traffic;
 use fcn_topology::Machine;
 use serde::{Deserialize, Serialize};
 
 use crate::cache::PlanCache;
-use crate::engine::{route_batch, RouterConfig, RoutingOutcome};
-use crate::packet::Strategy;
+use crate::compiled::{CompiledNet, PacketBatch};
+use crate::engine::{route_compiled_pooled, RouterConfig, RoutingOutcome};
+use crate::packet::{PacketPath, Strategy};
+
+/// A compile-once routing context: one machine, its [`CompiledNet`], and an
+/// optional [`PlanCache`].
+///
+/// Every β estimate, saturation sweep, and audit routes hundreds of batches
+/// on the *same* machine; the context compiles the machine's wire arrays
+/// exactly once and shares them (`Arc`) across all batches — and across
+/// [`fcn_exec::Pool`] workers, since the net is plain data. The context is
+/// `Sync`, so one `&RouteCtx` can be captured by every worker closure of a
+/// sweep.
+///
+/// ```
+/// use fcn_routing::{measure_rate_ctx, RouteCtx, RouterConfig, Strategy};
+/// use fcn_topology::Machine;
+///
+/// let m = Machine::mesh(2, 4);
+/// let ctx = RouteCtx::new(&m);
+/// let t = m.symmetric_traffic();
+/// let s = measure_rate_ctx(&ctx, &t, 32, Strategy::ShortestPath, RouterConfig::default(), 1, 2);
+/// assert!(s.completed);
+/// ```
+pub struct RouteCtx<'a> {
+    machine: &'a Machine,
+    net: Arc<CompiledNet>,
+    cache: Option<&'a PlanCache>,
+}
+
+impl<'a> RouteCtx<'a> {
+    /// Compile `machine`'s wire arrays and wrap them in a context.
+    pub fn new(machine: &'a Machine) -> Self {
+        RouteCtx {
+            machine,
+            net: CompiledNet::shared(machine),
+            cache: None,
+        }
+    }
+
+    /// A context over an already-compiled net (for sharing one compilation
+    /// across several contexts, e.g. the audit's per-distribution cells).
+    pub fn from_net(machine: &'a Machine, net: Arc<CompiledNet>) -> Self {
+        debug_assert_eq!(net.node_count(), machine.graph().node_count());
+        RouteCtx {
+            machine,
+            net,
+            cache: None,
+        }
+    }
+
+    /// Attach a [`PlanCache`] serving the BFS trees of route planning.
+    pub fn with_cache(mut self, cache: &'a PlanCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The machine being routed on.
+    pub fn machine(&self) -> &Machine {
+        self.machine
+    }
+
+    /// The shared compiled net.
+    pub fn net(&self) -> &Arc<CompiledNet> {
+        &self.net
+    }
+
+    /// The attached plan cache, if any.
+    pub fn cache(&self) -> Option<&PlanCache> {
+        self.cache
+    }
+
+    /// Compile and route planner-produced paths on this context's machine,
+    /// reusing the calling thread's pooled scratch.
+    ///
+    /// # Panics
+    /// Panics if some path is not a walk of the host graph — impossible for
+    /// planner output; use [`crate::engine::try_route_batch`] for untrusted
+    /// paths.
+    pub fn route_paths(&self, paths: &[PacketPath], cfg: RouterConfig) -> RoutingOutcome {
+        let batch = PacketBatch::compile(&self.net, paths)
+            .unwrap_or_else(|e| panic!("planner produced unroutable path: {e}"));
+        route_compiled_pooled(&self.net, &batch, cfg)
+    }
+}
 
 /// One rate sample at a specific batch size.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -115,6 +200,9 @@ pub fn route_traffic(
 }
 
 /// [`route_traffic`] with split demand/plan seeds and an optional cache.
+///
+/// Compiles the machine afresh; sweeps should build a [`RouteCtx`] once and
+/// call [`route_traffic_ctx`] instead.
 #[allow(clippy::too_many_arguments)]
 pub fn route_traffic_with(
     machine: &Machine,
@@ -126,9 +214,63 @@ pub fn route_traffic_with(
     plan_seed: u64,
     cache: Option<&PlanCache>,
 ) -> RoutingOutcome {
+    let mut ctx = RouteCtx::new(machine);
+    ctx.cache = cache;
+    route_traffic_ctx(
+        &ctx,
+        traffic,
+        messages,
+        strategy,
+        cfg,
+        demand_seed,
+        plan_seed,
+    )
+}
+
+/// [`measure_rate_with`] over a compile-once [`RouteCtx`].
+#[allow(clippy::too_many_arguments)]
+pub fn measure_rate_ctx(
+    ctx: &RouteCtx<'_>,
+    traffic: &Traffic,
+    messages: usize,
+    strategy: Strategy,
+    cfg: RouterConfig,
+    demand_seed: u64,
+    plan_seed: u64,
+) -> RateSample {
+    let outcome = route_traffic_ctx(
+        ctx,
+        traffic,
+        messages,
+        strategy,
+        cfg,
+        demand_seed,
+        plan_seed,
+    );
+    RateSample {
+        messages,
+        ticks: outcome.ticks,
+        rate: outcome.rate(),
+        completed: outcome.completed,
+    }
+}
+
+/// Route one traffic batch over a compile-once [`RouteCtx`]: sample
+/// demands, plan routes (through the context's cache, if any), compile the
+/// batch to wire ids, and run it on the shared net with pooled scratch.
+/// Bit-identical to [`route_traffic_with`] on a fresh context.
+pub fn route_traffic_ctx(
+    ctx: &RouteCtx<'_>,
+    traffic: &Traffic,
+    messages: usize,
+    strategy: Strategy,
+    cfg: RouterConfig,
+    demand_seed: u64,
+    plan_seed: u64,
+) -> RoutingOutcome {
     assert!(messages >= 1);
     assert!(
-        traffic.n() <= machine.processors(),
+        traffic.n() <= ctx.machine.processors(),
         "traffic addresses more processors than the machine has"
     );
     let mut rng = {
@@ -136,8 +278,9 @@ pub fn route_traffic_with(
         rand::rngs::StdRng::seed_from_u64(demand_seed)
     };
     let demands: Vec<_> = (0..messages).map(|_| traffic.sample(&mut rng)).collect();
-    let routes = crate::native::plan_routes_cached(machine, &demands, strategy, plan_seed, cache);
-    route_batch(machine, routes, cfg)
+    let routes =
+        crate::native::plan_routes_cached(ctx.machine, &demands, strategy, plan_seed, ctx.cache);
+    ctx.route_paths(&routes, cfg)
 }
 
 /// Grow the batch geometrically (`m = mult · n` for each multiplier) and
@@ -153,17 +296,21 @@ pub fn saturation_sweep(
     seed: u64,
 ) -> Vec<RateSample> {
     let n = traffic.n();
+    // One compiled net serves every batch of the sweep.
+    let ctx = RouteCtx::new(machine);
     multipliers
         .iter()
         .enumerate()
         .map(|(i, &mult)| {
-            measure_rate(
-                machine,
+            let s = seed.wrapping_add(i as u64);
+            measure_rate_ctx(
+                &ctx,
                 traffic,
                 (mult * n).max(1),
                 strategy,
                 cfg,
-                seed.wrapping_add(i as u64),
+                s ^ 0x7ea55a17,
+                s,
             )
         })
         .collect()

@@ -12,11 +12,17 @@
 //!   `(graph, node limit, source, seed)`;
 //! * [`cache`] — memoized BFS trees ([`PlanCache`]) serving repeated
 //!   batches on the same machine and seed;
+//! * [`compiled`] — the compile-once artifacts: [`CompiledNet`] (the
+//!   machine's directed-wire CSR, shared across every batch of a sweep) and
+//!   [`PacketBatch`] (flat SoA paths with hops pre-resolved to wire ids);
 //! * [`engine`] — the tick simulator: one packet per wire per tick, per-node
-//!   send budgets for the "weak" machines, pluggable queue disciplines;
-//! * [`harness`] — batch-rate measurement and saturation sweeps.
+//!   send budgets for the "weak" machines, pluggable queue disciplines,
+//!   pooled [`RouterScratch`] arenas;
+//! * [`harness`] — batch-rate measurement and saturation sweeps, built
+//!   around the compile-once [`RouteCtx`].
 
 pub mod cache;
+pub mod compiled;
 pub mod engine;
 pub mod harness;
 pub mod native;
@@ -25,12 +31,20 @@ pub mod packet;
 pub mod steady;
 
 pub use cache::{CacheStats, PlanCache};
-pub use engine::{route_batch, RouterConfig, RoutingOutcome};
-pub use harness::{
-    measure_rate, measure_rate_with, plateau_rate, route_traffic, route_traffic_with,
-    saturation_sweep, RateSample,
+pub use compiled::{CompiledNet, PacketBatch, RouteError};
+pub use engine::{
+    route_batch, route_compiled, route_compiled_pooled, try_route_batch, RouterConfig,
+    RouterScratch, RoutingOutcome,
 };
-pub use native::{de_bruijn_path, plan_routes, plan_routes_cached, shuffle_exchange_path};
+pub use harness::{
+    measure_rate, measure_rate_ctx, measure_rate_with, plateau_rate, route_traffic,
+    route_traffic_ctx, route_traffic_with, saturation_sweep, RateSample, RouteCtx,
+};
+pub use native::{
+    de_bruijn_path, plan_batch, plan_routes, plan_routes_cached, shuffle_exchange_path,
+};
 pub use oracle::PathOracle;
 pub use packet::{PacketPath, QueueDiscipline, Strategy};
-pub use steady::{saturation_throughput, steady_state_rate, SteadyConfig, SteadyOutcome};
+pub use steady::{
+    saturation_throughput, steady_state_rate, steady_state_rate_ctx, SteadyConfig, SteadyOutcome,
+};

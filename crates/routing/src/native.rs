@@ -13,6 +13,7 @@ use fcn_multigraph::NodeId;
 use fcn_topology::{Machine, RoutePolicy};
 
 use crate::cache::PlanCache;
+use crate::compiled::{CompiledNet, PacketBatch, RouteError};
 use crate::oracle::PathOracle;
 use crate::packet::{PacketPath, Strategy};
 
@@ -83,6 +84,26 @@ pub fn plan_routes_cached(
                 .collect()
         }
     }
+}
+
+/// Plan `demands` and compile the resulting paths straight into a
+/// [`PacketBatch`] against an already-compiled `net` — the fused front half
+/// of the compile-once/run-many pipeline ([`crate::harness::RouteCtx`] is
+/// the ergonomic wrapper).
+///
+/// Every native planner emits walks on the machine graph, so compilation
+/// only fails (`Err(RouteError)`) for a planner bug; callers routing
+/// oracle-planned paths may safely `expect` the result.
+pub fn plan_batch(
+    machine: &Machine,
+    net: &CompiledNet,
+    demands: &[(NodeId, NodeId)],
+    strategy: Strategy,
+    seed: u64,
+    cache: Option<&PlanCache>,
+) -> Result<PacketBatch, RouteError> {
+    let paths = plan_routes_cached(machine, demands, strategy, seed, cache);
+    PacketBatch::compile(net, &paths)
 }
 
 /// The classical de Bruijn route: shift in the destination's bits, most
@@ -369,6 +390,28 @@ mod tests {
             out_bfs.delivered as f64 / out_bfs.ticks as f64,
         );
         assert!(r_native > 1.5 * r_bfs, "native {r_native} vs bfs {r_bfs}");
+    }
+
+    #[test]
+    fn plan_batch_compiles_native_plans_infallibly() {
+        use crate::compiled::CompiledNet;
+        for m in [
+            Machine::de_bruijn(5),
+            Machine::mesh(2, 6),
+            Machine::xtree(4),
+            Machine::pyramid(2, 4),
+        ] {
+            let n = m.processors() as u32;
+            let demands: Vec<_> = (0..n / 2).map(|i| (i, n - 1 - i)).collect();
+            let net = CompiledNet::compile(&m);
+            let batch = plan_batch(&m, &net, &demands, Strategy::ShortestPath, 9, None)
+                .expect("native plans are graph walks");
+            assert_eq!(batch.len(), demands.len());
+            let paths = plan_routes(&m, &demands, Strategy::ShortestPath, 9);
+            for (i, p) in paths.iter().enumerate() {
+                assert_eq!(batch.decode_path(&net, i), p.path, "{}", m.name());
+            }
+        }
     }
 
     #[test]

@@ -24,6 +24,13 @@
 //! Valiant intermediate draws still come from the oracle's own sequential
 //! RNG: they are consumed in demand order before any BFS runs, so they too
 //! are a pure function of `(plan_seed, demand index)`.
+//!
+//! Every emitted path is a walk on the host graph (BFS parents are graph
+//! edges by construction), so compiling oracle output into a
+//! [`crate::compiled::PacketBatch`] against the same machine's
+//! [`crate::compiled::CompiledNet`] is infallible; a
+//! [`crate::compiled::RouteError`] from that step indicates a planner bug,
+//! not bad input.
 
 use std::sync::Arc;
 

@@ -15,7 +15,8 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::engine::{route_batch, RouterConfig};
+use crate::engine::RouterConfig;
+use crate::harness::RouteCtx;
 use crate::native::plan_routes;
 use crate::packet::Strategy;
 
@@ -71,7 +72,20 @@ pub fn steady_state_rate(
     rate: f64,
     cfg: SteadyConfig,
 ) -> SteadyOutcome {
+    steady_state_rate_ctx(&RouteCtx::new(machine), traffic, rate, cfg)
+}
+
+/// [`steady_state_rate`] over an already-compiled [`RouteCtx`], so ramps
+/// ([`saturation_throughput`]) compile the wire graph once instead of once
+/// per probed rate.
+pub fn steady_state_rate_ctx(
+    ctx: &RouteCtx<'_>,
+    traffic: &Traffic,
+    rate: f64,
+    cfg: SteadyConfig,
+) -> SteadyOutcome {
     assert!(rate > 0.0);
+    let machine = ctx.machine();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let epoch = cfg.measure_ticks.max(64);
     // Warmup epoch (discard), then measured epoch.
@@ -86,7 +100,7 @@ pub fn steady_state_rate(
             continue;
         }
         let routes = plan_routes(machine, &demands, cfg.strategy, rng.random::<u64>());
-        let out = route_batch(machine, routes, cfg.router);
+        let out = ctx.route_paths(&routes, cfg.router);
         if phase == 1 {
             // If the batch needed longer than the epoch, the surplus is
             // backlog the system could not absorb.
@@ -111,12 +125,14 @@ pub fn saturation_throughput(
     traffic: &Traffic,
     cfg: SteadyConfig,
 ) -> (f64, Vec<SteadyOutcome>) {
-    // Start well below any machine's β and double until unstable.
+    // Start well below any machine's β and double until unstable. The ramp
+    // probes up to ~25 rates; one compiled net serves them all.
+    let ctx = RouteCtx::new(machine);
     let mut rate = 0.25;
     let mut outcomes = Vec::new();
     let mut best_stable: f64 = 0.0;
     for _ in 0..24 {
-        let out = steady_state_rate(machine, traffic, rate, cfg);
+        let out = steady_state_rate_ctx(&ctx, traffic, rate, cfg);
         let stable = out.stable;
         let delivery = out.delivery_rate;
         outcomes.push(out);
@@ -125,7 +141,7 @@ pub fn saturation_throughput(
             rate *= 2.0;
         } else {
             // Refine once between the last stable and the unstable rate.
-            let refined = steady_state_rate(machine, traffic, rate * 0.75, cfg);
+            let refined = steady_state_rate_ctx(&ctx, traffic, rate * 0.75, cfg);
             if refined.stable {
                 best_stable = best_stable.max(refined.delivery_rate);
             }
