@@ -108,6 +108,7 @@ impl BandwidthEstimator {
         cache: &PlanCache,
     ) -> BandwidthEstimate {
         assert!(self.trials >= 1 && !self.multipliers.is_empty());
+        let _span = fcn_telemetry::Span::enter("bandwidth_estimate");
         let n = traffic.n();
         let m_len = self.multipliers.len();
         let cells = self.trials * m_len;
@@ -138,6 +139,9 @@ impl BandwidthEstimator {
                 plateaus.push(p);
             }
         }
+        if fcn_telemetry::global().enabled() {
+            self.publish(&samples, complete_trials as u64);
+        }
         assert!(
             !plateaus.is_empty(),
             "no trial completed within the tick budget; raise router.max_ticks"
@@ -150,6 +154,26 @@ impl BandwidthEstimator {
             samples,
             complete_trials,
         }
+    }
+
+    /// Push one estimate's metrics into this thread's telemetry shard.
+    ///
+    /// `bandwidth_saturation_ticks_total` sums the ticks every grid cell
+    /// spent reaching saturation (the cost of plateau detection), and the
+    /// `bandwidth_cell_ticks` histogram shows their spread — together the
+    /// resource-centric view of what a β̂ sample costs.
+    fn publish(&self, samples: &[RateSample], complete_trials: u64) {
+        let cell_ticks: u64 = samples.iter().map(|s| s.ticks).sum();
+        fcn_telemetry::with_shard(|s| {
+            s.inc("bandwidth_estimates_total");
+            s.add("bandwidth_trials_total", self.trials as u64);
+            s.add("bandwidth_complete_trials_total", complete_trials);
+            s.add("bandwidth_cells_total", samples.len() as u64);
+            s.add("bandwidth_saturation_ticks_total", cell_ticks);
+            for sample in samples {
+                s.record("bandwidth_cell_ticks", sample.ticks);
+            }
+        });
     }
 
     /// Estimate under the machine's own symmetric traffic — `β̂(M)`.

@@ -21,6 +21,7 @@ struct Row {
 
 fn main() {
     let opts = RunOpts::from_args();
+    let _tele = fcn_bench::telemetry(&opts);
     let scale = opts.scale;
     let target = match scale {
         Scale::Quick => 128,

@@ -23,7 +23,9 @@ struct Row {
 }
 
 fn main() {
-    let scale = Scale::from_args();
+    let opts = fcn_bench::RunOpts::from_args();
+    let _tele = fcn_bench::telemetry(&opts);
+    let scale = opts.scale;
     let guest_side = if scale == Scale::Quick { 32 } else { 64 };
     let guest = Machine::mesh(2, guest_side);
     // 16-processor hosts: a mesh (short distances), and a tree-shaped host

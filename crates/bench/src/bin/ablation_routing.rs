@@ -21,7 +21,9 @@ struct Row {
 }
 
 fn main() {
-    let scale = Scale::from_args();
+    let opts = fcn_bench::RunOpts::from_args();
+    let _tele = fcn_bench::telemetry(&opts);
+    let scale = opts.scale;
     let machines: Vec<Machine> = match scale {
         Scale::Quick => vec![Machine::mesh(2, 8), Machine::de_bruijn(6)],
         _ => vec![

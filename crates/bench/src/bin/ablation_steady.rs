@@ -22,6 +22,7 @@ struct Row {
 
 fn main() {
     let opts = RunOpts::from_args();
+    let _tele = fcn_bench::telemetry(&opts);
     let scale = opts.scale;
     let target = if scale == Scale::Quick { 128 } else { 256 };
     let estimator = BandwidthEstimator {

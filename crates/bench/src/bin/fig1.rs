@@ -12,6 +12,7 @@ use fcn_topology::{Family, Machine};
 
 fn main() {
     let opts = RunOpts::from_args();
+    let _tele = fcn_bench::telemetry(&opts);
     let scale = opts.scale;
 
     banner("Figure 1 analytic curves: de Bruijn guest on 2-d mesh hosts");

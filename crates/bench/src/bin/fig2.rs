@@ -11,7 +11,9 @@ use fcn_core::{fig2_series, Lemma9Config};
 use fcn_topology::Machine;
 
 fn main() {
-    let scale = Scale::from_args();
+    let opts = fcn_bench::RunOpts::from_args();
+    let _tele = fcn_bench::telemetry(&opts);
+    let scale = opts.scale;
     let guests: Vec<Machine> = match scale {
         Scale::Quick => vec![
             Machine::ring(16),

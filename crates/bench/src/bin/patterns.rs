@@ -22,7 +22,9 @@ struct Row {
 }
 
 fn main() {
-    let scale = Scale::from_args();
+    let opts = fcn_bench::RunOpts::from_args();
+    let _tele = fcn_bench::telemetry(&opts);
+    let scale = opts.scale;
     let g = if scale == Scale::Quick { 5 } else { 6 };
     let n = 1usize << g;
     let patterns = vec![

@@ -16,7 +16,7 @@
 use std::time::Instant;
 
 use fcn_bandwidth::BandwidthEstimator;
-use fcn_bench::{banner, fmt, RunOpts, Scale};
+use fcn_bench::{banner, fmt, RunOpts, Scale, PERFBENCH_SCHEMA};
 use fcn_routing::engine::reference;
 use fcn_routing::{
     plan_routes, route_compiled, CompiledNet, PacketBatch, RouterConfig, RouterScratch, Strategy,
@@ -27,8 +27,11 @@ use serde::Serialize;
 /// One recorded measurement (see EXPERIMENTS.md for the schema).
 #[derive(Debug, Serialize)]
 struct Row {
+    /// Row-format version ([`PERFBENCH_SCHEMA`]); the binary refuses to
+    /// merge with a file whose rows carry a different (or no) tag.
+    schema: String,
     /// Benchmark id (`route_reference`, `route_compiled`, `estimator_grid`,
-    /// `planner`).
+    /// `planner`, `telemetry_overhead`).
     bench: String,
     /// Machine the benchmark ran on.
     machine: String,
@@ -37,8 +40,23 @@ struct Row {
     /// Median wall time of the repetitions, in milliseconds.
     median_ms: f64,
     /// Bench-specific throughput: delivery rate (router benches), β̂
-    /// (estimator), or packets planned per millisecond (planner).
+    /// (estimator), packets planned per millisecond (planner), or the
+    /// disabled-telemetry/no-telemetry-baseline time ratio
+    /// (`telemetry_overhead`; `< 1.01` is the "<1 % off overhead" budget).
     rate: f64,
+}
+
+impl Row {
+    fn new(bench: &str, machine: &Machine, median_ms: f64, rate: f64) -> Row {
+        Row {
+            schema: PERFBENCH_SCHEMA.to_string(),
+            bench: bench.to_string(),
+            machine: machine.name().to_string(),
+            n: machine.processors(),
+            median_ms,
+            rate,
+        }
+    }
 }
 
 /// Median of `reps` wall-clock samples of `f`, plus `f`'s last return value.
@@ -57,6 +75,7 @@ fn timed(reps: usize, mut f: impl FnMut() -> f64) -> (f64, f64) {
 
 fn main() {
     let opts = RunOpts::from_args();
+    let _tele = fcn_bench::telemetry(&opts);
     let quick = opts.scale == Scale::Quick;
     let (side, reps) = if quick { (16, 3) } else { (64, 5) };
     let machine = Machine::mesh(2, side);
@@ -93,13 +112,7 @@ fn main() {
         fmt(ref_ms),
         fmt(ref_rate)
     );
-    rows.push(Row {
-        bench: "route_reference".into(),
-        machine: machine.name().to_string(),
-        n,
-        median_ms: ref_ms,
-        rate: ref_rate,
-    });
+    rows.push(Row::new("route_reference", &machine, ref_ms, ref_rate));
 
     // After: compile once, route many — the path every sweep now takes.
     let net = CompiledNet::compile(&machine);
@@ -115,13 +128,7 @@ fn main() {
         fmt(cmp_ms),
         fmt(cmp_rate)
     );
-    rows.push(Row {
-        bench: "route_compiled".into(),
-        machine: machine.name().to_string(),
-        n,
-        median_ms: cmp_ms,
-        rate: cmp_rate,
-    });
+    rows.push(Row::new("route_compiled", &machine, cmp_ms, cmp_rate));
     assert_eq!(
         ref_rate, cmp_rate,
         "the rewrite must not change a single bit"
@@ -145,13 +152,7 @@ fn main() {
         fmt(est_ms),
         fmt(est_rate)
     );
-    rows.push(Row {
-        bench: "estimator_grid".into(),
-        machine: machine.name().to_string(),
-        n,
-        median_ms: est_ms,
-        rate: est_rate,
-    });
+    rows.push(Row::new("estimator_grid", &machine, est_ms, est_rate));
 
     // Planner throughput (BFS shortest paths), packets per millisecond.
     let (plan_ms, planned) = timed(reps, || {
@@ -162,13 +163,70 @@ fn main() {
         fmt(plan_ms),
         fmt(planned / plan_ms)
     );
-    rows.push(Row {
-        bench: "planner".into(),
-        machine: machine.name().to_string(),
-        n,
-        median_ms: plan_ms,
-        rate: planned / plan_ms,
-    });
+    rows.push(Row::new("planner", &machine, plan_ms, planned / plan_ms));
+
+    // Telemetry overhead: the committed proof that the fcn-telemetry
+    // instrumentation's *disabled* path (the state every simulation-facing
+    // caller sees by default) costs < 1 % on the compiled router. Both
+    // arms run the identical disabled code, *interleaved* rep by rep so
+    // clock drift and thermal state hit them equally — the ratio isolates
+    // the off path's cost against the headline `route_compiled` timing
+    // instead of measuring how much the machine warmed up in between. The
+    // enabled arm rides along, interleaved too, for information.
+    let reg = fcn_telemetry::global();
+    let was_enabled = reg.enabled();
+    let overhead_reps = if quick { 3 } else { 11 };
+    let mut base_ts = Vec::with_capacity(overhead_reps);
+    let mut off_ts = Vec::with_capacity(overhead_reps);
+    let mut on_ts = Vec::with_capacity(overhead_reps);
+    for rep in 0..overhead_reps {
+        let mut arm = |samples: &mut Vec<f64>| {
+            let t = Instant::now();
+            let out = route_compiled(&net, &batch, cfg, &mut scratch);
+            samples.push(t.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(
+                out.rate(),
+                cmp_rate,
+                "telemetry must not change a single bit"
+            );
+        };
+        // ABBA ordering: alternate which disabled arm goes first, so a
+        // monotone within-rep drift (turbo decay, cache warming) biases
+        // both arms equally instead of always penalizing the second slot.
+        reg.set_enabled(false);
+        if rep % 2 == 0 {
+            arm(&mut base_ts);
+            arm(&mut off_ts);
+        } else {
+            arm(&mut off_ts);
+            arm(&mut base_ts);
+        }
+        reg.set_enabled(true);
+        arm(&mut on_ts);
+    }
+    reg.set_enabled(was_enabled);
+    if !was_enabled {
+        // Drop the shard the enabled arm accumulated so a later
+        // `--metrics-out` snapshot only reports intended collection.
+        let _ = fcn_telemetry::take_shard();
+    }
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let (base_ms, off_ms, on_ms) = (median(base_ts), median(off_ts), median(on_ts));
+    let overhead = off_ms / base_ms;
+    println!(
+        "telemetry_off   : {:>9} ms   {:.4}x vs interleaved baseline (budget < 1.01)",
+        fmt(off_ms),
+        overhead
+    );
+    println!(
+        "telemetry_on    : {:>9} ms   {:.4}x vs interleaved baseline (info only)",
+        fmt(on_ms),
+        on_ms / base_ms
+    );
+    rows.push(Row::new("telemetry_overhead", &machine, off_ms, overhead));
 
     let path = if quick {
         let dir = std::env::var_os("CARGO_TARGET_DIR")
@@ -179,11 +237,27 @@ fn main() {
     } else {
         std::path::PathBuf::from("BENCH_router.json")
     };
-    let mut out = String::new();
-    for r in &rows {
-        out.push_str(&serde_json::to_string(r).expect("row serializes"));
-        out.push('\n');
-    }
-    std::fs::write(&path, out).expect("write bench rows");
+    // Validate whatever is already on disk before merging: rows written
+    // under a different (or pre-versioned) schema would silently mix
+    // incompatible measurements, so a mismatch is a hard error.
+    let existing = match std::fs::read_to_string(&path) {
+        Ok(body) => match fcn_bench::validate_bench_rows(&body) {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!("error: existing {} is not mergeable: {e}", path.display());
+                std::process::exit(2);
+            }
+        },
+        Err(_) => Vec::new(),
+    };
+    let fresh: Vec<(String, String)> = rows
+        .iter()
+        .map(|r| {
+            let line = serde_json::to_string(r).expect("row serializes");
+            (r.bench.clone(), line)
+        })
+        .collect();
+    let body = fcn_bench::merge_bench_rows(&existing, &fresh);
+    std::fs::write(&path, body).expect("write bench rows");
     println!("\nwrote {} rows to {}", rows.len(), path.display());
 }

@@ -1,12 +1,34 @@
 //! Run every table/figure/ablation regeneration in sequence.
 //!
 //! `cargo run --release -p fcn-bench --bin repro-all [-- --quick|--full]
-//! [--jobs N]` executes the sibling binaries as subprocesses so each writes
-//! its own stdout report and `target/repro/*.jsonl` records. All arguments
-//! (including `--jobs`) are forwarded verbatim to every binary; `--jobs`
-//! only changes the wall clock, never the records.
+//! [--jobs N] [--metrics-out PATH]` executes the sibling binaries as
+//! subprocesses so each writes its own stdout report and
+//! `target/repro/*.jsonl` records. Arguments are forwarded to every binary;
+//! `--jobs` only changes the wall clock, never the records. A forwarded
+//! `--metrics-out PATH` is rewritten to `PATH.<bin>` per child so each
+//! binary's telemetry snapshot lands in its own file instead of the last
+//! child clobbering the rest.
 
 use std::process::Command;
+
+/// Rewrite `--metrics-out X` / `--metrics-out=X` to point at `X.<bin>`.
+fn args_for(bin: &str, args: &[String]) -> Vec<String> {
+    let mut out = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--metrics-out" {
+            out.push(a.clone());
+            if let Some(path) = it.next() {
+                out.push(format!("{path}.{bin}"));
+            }
+        } else if let Some(path) = a.strip_prefix("--metrics-out=") {
+            out.push(format!("--metrics-out={path}.{bin}"));
+        } else {
+            out.push(a.clone());
+        }
+    }
+    out
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,7 +52,7 @@ fn main() {
         println!("\n################ {bin} ################");
         let path = dir.join(bin);
         let status = Command::new(&path)
-            .args(&args)
+            .args(args_for(bin, &args))
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
         if !status.success() {

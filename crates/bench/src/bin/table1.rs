@@ -1,11 +1,13 @@
 //! Regenerate Table 1: maximum host sizes for efficient emulation of
 //! j-dimensional Meshes, Tori, and X-Grids.
 
-use fcn_bench::{banner, write_records, Scale};
+use fcn_bench::{banner, write_records};
 use fcn_core::{generate_table, table1_spec};
 
 fn main() {
-    let scale = Scale::from_args();
+    let opts = fcn_bench::RunOpts::from_args();
+    let _tele = fcn_bench::telemetry(&opts);
+    let scale = opts.scale;
     let table = generate_table(table1_spec(&[1, 2, 3]), &scale.table_guest_sizes());
     banner("Table 1 (symbolic cells re-derived from the Efficient Emulation Theorem)");
     print!("{}", table.render());

@@ -5,12 +5,14 @@
 //! vs `T ≥ Ω(lg|G|)`); the bound itself comes from the same β ratio, so the
 //! cells match Table 1's for equal dimensions. We print both time premises.
 
-use fcn_bench::{banner, write_records, Scale};
+use fcn_bench::{banner, write_records};
 use fcn_core::{generate_table, table2_spec};
 use fcn_topology::Family;
 
 fn main() {
-    let scale = Scale::from_args();
+    let opts = fcn_bench::RunOpts::from_args();
+    let _tele = fcn_bench::telemetry(&opts);
+    let scale = opts.scale;
     let table = generate_table(table2_spec(&[1, 2, 3]), &scale.table_guest_sizes());
     banner("Table 2 (symbolic cells re-derived from the Efficient Emulation Theorem)");
     print!("{}", table.render());

@@ -2,11 +2,13 @@
 //! Butterflies, de Bruijn graphs, CCCs, Shuffle-Exchanges,
 //! Multibutterflies, Expanders, and Weak Hypercubes.
 
-use fcn_bench::{banner, write_records, Scale};
+use fcn_bench::{banner, write_records};
 use fcn_core::{generate_table, table3_spec};
 
 fn main() {
-    let scale = Scale::from_args();
+    let opts = fcn_bench::RunOpts::from_args();
+    let _tele = fcn_bench::telemetry(&opts);
+    let scale = opts.scale;
     let table = generate_table(table3_spec(&[1, 2, 3]), &scale.table_guest_sizes());
     banner("Table 3 (symbolic cells re-derived from the Efficient Emulation Theorem)");
     print!("{}", table.render());

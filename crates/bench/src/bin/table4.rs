@@ -12,6 +12,7 @@ use fcn_topology::Family;
 
 fn main() {
     let opts = RunOpts::from_args();
+    let _tele = fcn_bench::telemetry(&opts);
     let scale = opts.scale;
     let estimator = BandwidthEstimator {
         multipliers: scale.multipliers(),

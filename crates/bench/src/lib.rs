@@ -24,21 +24,25 @@ pub enum Scale {
 }
 
 /// Parsed command-line options shared by all regeneration binaries:
-/// `[--quick|--full] [--jobs N]`.
+/// `[--quick|--full] [--jobs N] [--metrics-out PATH]`.
 ///
 /// `jobs` is the worker-thread count for the measurement grids; `1` is
 /// sequential, `0` means one worker per hardware thread. Every grid cell
 /// derives its seeds from its index ([`fcn_exec::job_seed`]), so the output
 /// is bit-identical for every `jobs` value — the flag only changes the wall
-/// clock.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// clock. `metrics_out` enables the global [`fcn_telemetry`] registry for
+/// the run and writes a JSONL snapshot on exit (see [`telemetry`]); it
+/// never changes a record either.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunOpts {
     pub scale: Scale,
     pub jobs: usize,
+    pub metrics_out: Option<String>,
 }
 
 impl RunOpts {
-    /// Parse from `std::env::args()`. Accepts `--jobs N` and `--jobs=N`.
+    /// Parse from `std::env::args()`. Accepts `--jobs N` / `--jobs=N` and
+    /// `--metrics-out PATH` / `--metrics-out=PATH`.
     pub fn from_args() -> RunOpts {
         Self::parse_from(std::env::args().skip(1))
     }
@@ -48,6 +52,7 @@ impl RunOpts {
         let mut opts = RunOpts {
             scale: Scale::Default,
             jobs: 1,
+            metrics_out: None,
         };
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -58,6 +63,10 @@ impl RunOpts {
                     Some(jobs) => opts.jobs = jobs,
                     None => eprintln!("--jobs expects a number; keeping jobs={}", opts.jobs),
                 },
+                "--metrics-out" => match it.next() {
+                    Some(path) => opts.metrics_out = Some(path),
+                    None => eprintln!("--metrics-out expects a path; telemetry stays off"),
+                },
                 other => {
                     if let Some(v) = other.strip_prefix("--jobs=") {
                         match v.parse() {
@@ -66,6 +75,8 @@ impl RunOpts {
                                 eprintln!("--jobs expects a number; keeping jobs={}", opts.jobs)
                             }
                         }
+                    } else if let Some(v) = other.strip_prefix("--metrics-out=") {
+                        opts.metrics_out = Some(v.to_string());
                     } else {
                         eprintln!("ignoring unknown argument {other:?}");
                     }
@@ -73,6 +84,42 @@ impl RunOpts {
             }
         }
         opts
+    }
+}
+
+/// Scope guard for a bench binary's `--metrics-out` run: enables the global
+/// registry at creation and writes the delta snapshot when dropped.
+#[derive(Debug)]
+pub struct TelemetryGuard {
+    path: String,
+    baseline: fcn_telemetry::MetricsSnapshot,
+}
+
+/// Start telemetry for this run if `--metrics-out` was given. Bind the
+/// result for the whole `main` body:
+///
+/// ```ignore
+/// let opts = RunOpts::from_args();
+/// let _tele = fcn_bench::telemetry(&opts);
+/// ```
+pub fn telemetry(opts: &RunOpts) -> Option<TelemetryGuard> {
+    let path = opts.metrics_out.clone()?;
+    let reg = fcn_telemetry::global();
+    let baseline = reg.snapshot();
+    reg.set_enabled(true);
+    Some(TelemetryGuard { path, baseline })
+}
+
+impl Drop for TelemetryGuard {
+    fn drop(&mut self) {
+        let reg = fcn_telemetry::global();
+        fcn_telemetry::flush_thread_shard(reg);
+        reg.set_enabled(false);
+        let delta = reg.snapshot().delta_since(&self.baseline);
+        match fs::write(&self.path, delta.to_jsonl()) {
+            Ok(()) => eprintln!("metrics snapshot written to {}", self.path),
+            Err(e) => eprintln!("cannot write metrics to {:?}: {e}", self.path),
+        }
     }
 }
 
@@ -119,6 +166,88 @@ impl Scale {
             Scale::Full => vec![2, 4, 8, 16],
         }
     }
+}
+
+/// Schema tag stamped on every `perfbench` row (the `schema` field of each
+/// JSON line in `BENCH_router.json`).
+///
+/// History: `fcn-perfbench/1` rows had no `schema` field at all, which let a
+/// binary silently mix rows measured under different field semantics into one
+/// file. Version 2 stamps every row and [`validate_bench_rows`] refuses to
+/// merge with a file whose rows carry a missing or different tag.
+pub const PERFBENCH_SCHEMA: &str = "fcn-perfbench/2";
+
+/// Parse and validate an existing `BENCH_router.json` body before merging
+/// new rows into it.
+///
+/// Every non-empty line must be a JSON object whose `schema` field equals
+/// [`PERFBENCH_SCHEMA`] and whose `bench` field is a string (the row key).
+/// Returns `(bench_id, raw_line)` pairs in file order, or a message naming
+/// the offending line and how to recover.
+pub fn validate_bench_rows(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut rows = Vec::new();
+    for (idx, line) in body.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: serde::Value = serde_json::from_str(line)
+            .map_err(|e| format!("bench rows line {lineno}: not valid JSON: {e}"))?;
+        let schema = match serde::value_field(&v, "schema") {
+            Ok(serde::Value::String(s)) => s.clone(),
+            Ok(other) => {
+                return Err(format!(
+                    "bench rows line {lineno}: `schema` must be a string, found {other:?}"
+                ))
+            }
+            Err(_) => {
+                return Err(format!(
+                    "bench rows line {lineno}: missing `schema` field (pre-{PERFBENCH_SCHEMA} \
+                     row); delete the file and re-run `perfbench` at full scale to regenerate"
+                ))
+            }
+        };
+        if schema != PERFBENCH_SCHEMA {
+            return Err(format!(
+                "bench rows line {lineno}: schema {schema:?} does not match this binary's \
+                 {PERFBENCH_SCHEMA:?}; delete the file and re-run `perfbench` to regenerate"
+            ));
+        }
+        let bench = match serde::value_field(&v, "bench") {
+            Ok(serde::Value::String(s)) => s.clone(),
+            _ => {
+                return Err(format!(
+                    "bench rows line {lineno}: missing or non-string `bench` field"
+                ))
+            }
+        };
+        rows.push((bench, line.to_string()));
+    }
+    Ok(rows)
+}
+
+/// Merge freshly measured rows over a validated existing file: a new row
+/// replaces the old row with the same bench id (keeping the old position);
+/// benches not re-measured this run survive; brand-new benches append in
+/// measurement order. Returns the JSONL body to write.
+pub fn merge_bench_rows(existing: &[(String, String)], fresh: &[(String, String)]) -> String {
+    let mut out: Vec<(String, String)> = Vec::new();
+    for (bench, line) in existing {
+        let replacement = fresh.iter().find(|(b, _)| b == bench);
+        let line = replacement.map(|(_, l)| l).unwrap_or(line);
+        out.push((bench.clone(), line.clone()));
+    }
+    for (bench, line) in fresh {
+        if !out.iter().any(|(b, _)| b == bench) {
+            out.push((bench.clone(), line.clone()));
+        }
+    }
+    let mut body = String::new();
+    for (_, line) in &out {
+        body.push_str(line);
+        body.push('\n');
+    }
+    body
 }
 
 /// Where JSON-lines records land.
@@ -177,7 +306,8 @@ mod tests {
             o,
             RunOpts {
                 scale: Scale::Full,
-                jobs: 4
+                jobs: 4,
+                metrics_out: None,
             }
         );
         let o = RunOpts::parse_from(["--jobs=0", "--quick"].into_iter().map(String::from));
@@ -185,7 +315,8 @@ mod tests {
             o,
             RunOpts {
                 scale: Scale::Quick,
-                jobs: 0
+                jobs: 0,
+                metrics_out: None,
             }
         );
         let o = RunOpts::parse_from(std::iter::empty());
@@ -193,9 +324,19 @@ mod tests {
             o,
             RunOpts {
                 scale: Scale::Default,
-                jobs: 1
+                jobs: 1,
+                metrics_out: None,
             }
         );
+        let o = RunOpts::parse_from(["--metrics-out=m.jsonl"].into_iter().map(String::from));
+        assert_eq!(o.metrics_out.as_deref(), Some("m.jsonl"));
+        let o = RunOpts::parse_from(
+            ["--metrics-out", "m2.jsonl", "--full"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(o.metrics_out.as_deref(), Some("m2.jsonl"));
+        assert_eq!(o.scale, Scale::Full);
     }
 
     #[test]
@@ -204,6 +345,61 @@ mod tests {
         assert_eq!(fmt(2.46813), "2.468");
         assert!(fmt(123456.0).contains('e'));
         assert!(fmt(0.0001).contains('e'));
+    }
+
+    #[test]
+    fn validate_accepts_current_schema_rows() {
+        let body = format!(
+            "{{\"schema\":\"{PERFBENCH_SCHEMA}\",\"bench\":\"a\",\"median_ms\":1.0}}\n\
+             \n\
+             {{\"schema\":\"{PERFBENCH_SCHEMA}\",\"bench\":\"b\",\"median_ms\":2.0}}\n"
+        );
+        let rows = validate_bench_rows(&body).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "a");
+        assert_eq!(rows[1].0, "b");
+    }
+
+    #[test]
+    fn validate_rejects_missing_schema_with_line_number() {
+        // The pre-v2 committed format: rows without a schema field.
+        let body = "{\"bench\":\"route_reference\",\"median_ms\":155.4}\n";
+        let err = validate_bench_rows(body).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(err.contains("missing `schema`"), "{err}");
+        assert!(err.contains("re-run `perfbench`"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_mismatched_schema_and_garbage() {
+        let body = format!(
+            "{{\"schema\":\"{PERFBENCH_SCHEMA}\",\"bench\":\"a\"}}\n\
+             {{\"schema\":\"fcn-perfbench/1\",\"bench\":\"b\"}}\n"
+        );
+        let err = validate_bench_rows(&body).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("fcn-perfbench/1"), "{err}");
+        let err = validate_bench_rows("not json\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let body = format!("{{\"schema\":\"{PERFBENCH_SCHEMA}\",\"nobench\":1}}\n");
+        let err = validate_bench_rows(&body).unwrap_err();
+        assert!(err.contains("`bench`"), "{err}");
+    }
+
+    #[test]
+    fn merge_replaces_in_place_and_appends_new() {
+        let existing = vec![
+            ("a".to_string(), "old-a".to_string()),
+            ("b".to_string(), "old-b".to_string()),
+        ];
+        let fresh = vec![
+            ("b".to_string(), "new-b".to_string()),
+            ("c".to_string(), "new-c".to_string()),
+        ];
+        let body = merge_bench_rows(&existing, &fresh);
+        assert_eq!(body, "old-a\nnew-b\nnew-c\n");
+        // Empty existing file: fresh rows in measurement order.
+        assert_eq!(merge_bench_rows(&[], &fresh), "new-b\nnew-c\n");
     }
 
     #[test]

@@ -32,7 +32,12 @@ USAGE:
   fcnemu verify  <family> <size> [--hosts M] [--steps N]
   fcnemu table   <1|2|3> [--size N]
   fcnemu fig1    <guest-family> <host-family> [--n N]
+  fcnemu metrics <snapshot.jsonl> [--format table|prom|jsonl]
   fcnemu help
+
+Every subcommand also accepts --metrics-out <path>: run with telemetry
+enabled and write a versioned JSONL metrics snapshot to <path> (the
+report itself is byte-identical with or without the flag).
 
 Families: linear_array ring global_bus tree weak_ppn xtree mesh{1,2,3}
 torus{1,2,3} xgrid{1,2,3} mesh_of_trees{1,2,3} multigrid{1,2,3}
@@ -66,6 +71,7 @@ pub fn dispatch(args: &Args, out: Out) -> CmdResult {
             "verify" => cmd_verify(args, out)?,
             "table" => cmd_table(args, out)?,
             "fig1" => cmd_fig1(args, out)?,
+            "metrics" => cmd_metrics(args, out)?,
             "help" | "--help" | "-h" => {
                 let _ = writeln!(out, "{}", usage());
                 Ok(())
@@ -183,15 +189,17 @@ fn cmd_beta(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
             let (sat, _) = saturation_throughput(&m, &t, SteadyConfig::default());
             let _ = writeln!(out, "steady-state  : {sat:.3}");
         }
+        // Surface the cache counters to `--metrics-out` snapshots (no-op
+        // when telemetry is disabled).
+        cache.publish();
         if verbose {
-            let s = cache.stats();
             let _ = writeln!(
                 out,
                 "plan cache    : {} hits / {} misses ({:.1}% hit rate, {} trees)",
-                s.hits,
-                s.misses,
-                100.0 * s.hit_rate(),
-                s.entries
+                cache.hits(),
+                cache.misses(),
+                100.0 * cache.hit_rate(),
+                cache.entries()
             );
             let _ = writeln!(
                 out,
@@ -448,6 +456,60 @@ fn cmd_fig1(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
     })())
 }
 
+/// Render a previously written `--metrics-out` snapshot.
+///
+/// The snapshot is validated against the `fcn-telemetry/1` schema on read;
+/// `--format prom` emits the Prometheus text exposition, `--format jsonl`
+/// re-emits the canonical JSONL, and the default `table` is a human
+/// summary (histograms show count / sum / mean).
+fn cmd_metrics(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
+    let path = args.pos(0, "snapshot.jsonl")?.to_string();
+    let format = args
+        .flags
+        .get("format")
+        .cloned()
+        .unwrap_or_else(|| "table".into());
+    Ok((|| -> CmdResult {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+        let snap = fcn_telemetry::MetricsSnapshot::from_jsonl(&text)
+            .map_err(|e| format!("invalid metrics snapshot {path:?}: {e}"))?;
+        match format.as_str() {
+            "prom" => {
+                let _ = write!(out, "{}", snap.to_prometheus());
+            }
+            "jsonl" => {
+                let _ = write!(out, "{}", snap.to_jsonl());
+            }
+            "table" => {
+                let _ = writeln!(out, "{:<40} {:>16}", "counter", "value");
+                for (k, v) in &snap.counters {
+                    let _ = writeln!(out, "{k:<40} {v:>16}");
+                }
+                if !snap.gauges.is_empty() {
+                    let _ = writeln!(out, "{:<40} {:>16}", "gauge", "value");
+                    for (k, v) in &snap.gauges {
+                        let _ = writeln!(out, "{k:<40} {v:>16}");
+                    }
+                }
+                if !snap.histograms.is_empty() {
+                    let _ = writeln!(
+                        out,
+                        "{:<40} {:>12} {:>16} {:>10}",
+                        "histogram", "count", "sum", "mean"
+                    );
+                    for (k, h) in &snap.histograms {
+                        let mean = h.sum as f64 / h.count.max(1) as f64;
+                        let _ = writeln!(out, "{k:<40} {:>12} {:>16} {mean:>10.2}", h.count, h.sum);
+                    }
+                }
+            }
+            other => return Err(format!("unknown format {other:?} (table, prom or jsonl)")),
+        }
+        Ok(())
+    })())
+}
+
 #[cfg(test)]
 mod tests {
     use crate::run;
@@ -580,5 +642,97 @@ mod tests {
         let (code, out) = run_s("help");
         assert_eq!(code, 0);
         assert!(out.contains("USAGE"));
+    }
+
+    /// Serializes the tests that enable the global telemetry registry, so
+    /// their delta snapshots don't absorb each other's metrics.
+    static METRICS_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn metrics_out_writes_valid_snapshot_and_keeps_stdout_stable() {
+        let _gate = METRICS_GATE.lock().unwrap();
+        let dir = std::env::temp_dir().join("fcnemu_cli_metrics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("beta.jsonl");
+        let path_s = path.to_str().unwrap();
+
+        let (code, plain) = run_s("beta mesh2 64 --trials 2");
+        assert_eq!(code, 0, "{plain}");
+        let (code, with_metrics) =
+            run_s(&format!("beta mesh2 64 --trials 2 --metrics-out {path_s}"));
+        assert_eq!(code, 0, "{with_metrics}");
+        // Telemetry must not change a byte of the report.
+        assert_eq!(plain, with_metrics, "--metrics-out changed stdout");
+
+        // The snapshot parses, validates against the schema, and contains
+        // the expected instrument families.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.starts_with("{\"schema\":\"fcn-telemetry/1\""),
+            "{text}"
+        );
+        let snap = fcn_telemetry::MetricsSnapshot::from_jsonl(&text).expect("snapshot validates");
+        assert!(snap.counters.contains_key("router_runs_total"), "{text}");
+        assert!(snap.counters.contains_key("router_ticks_total"));
+        assert!(snap.counters.contains_key("plan_cache_hits_total"));
+        assert!(snap.counters.contains_key("bandwidth_trials_total"));
+        assert!(snap.counters.contains_key("exec_jobs_total"));
+        assert!(snap
+            .counters
+            .contains_key("span_bandwidth_estimate_calls_total"));
+        assert!(snap.histograms.contains_key("router_queue_occupancy"));
+        assert!(snap.gauges.contains_key("plan_cache_entries"));
+        // Router accounting is self-consistent.
+        assert!(snap.counters["router_delivered_total"] <= snap.counters["router_packets_total"]);
+        let occ = &snap.histograms["router_queue_occupancy"];
+        assert_eq!(occ.count, snap.counters["router_ticks_total"]);
+    }
+
+    #[test]
+    fn metrics_subcommand_renders_prom_and_table() {
+        let _gate = METRICS_GATE.lock().unwrap();
+        let dir = std::env::temp_dir().join("fcnemu_cli_metrics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("audit.jsonl");
+        let path_s = path.to_str().unwrap();
+
+        let (code, out) = run_s(&format!("audit tree 31 --metrics-out {path_s}"));
+        assert_eq!(code, 0, "{out}");
+
+        let (code, prom) = run_s(&format!("metrics {path_s} --format prom"));
+        assert_eq!(code, 0, "{prom}");
+        assert!(prom.contains("# TYPE router_ticks_total counter"), "{prom}");
+        assert!(
+            prom.contains("router_queue_occupancy_bucket{le=\"+Inf\"}"),
+            "{prom}"
+        );
+        assert!(prom.contains("router_queue_occupancy_count"), "{prom}");
+
+        let (code, table) = run_s(&format!("metrics {path_s}"));
+        assert_eq!(code, 0, "{table}");
+        assert!(table.contains("router_runs_total"), "{table}");
+
+        // Round trip: `--format jsonl` re-emits the canonical bytes.
+        let (code, jsonl) = run_s(&format!("metrics {path_s} --format jsonl"));
+        assert_eq!(code, 0);
+        assert_eq!(jsonl, std::fs::read_to_string(&path).unwrap());
+    }
+
+    #[test]
+    fn metrics_subcommand_rejects_invalid_snapshots() {
+        let dir = std::env::temp_dir().join("fcnemu_cli_metrics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.jsonl");
+        std::fs::write(
+            &bad,
+            "{\"schema\":\"fcn-telemetry/9\",\"kind\":\"header\",\"counters\":0,\"gauges\":0,\"histograms\":0}\n",
+        )
+        .unwrap();
+        let (code, out) = run_s(&format!("metrics {} --format prom", bad.to_str().unwrap()));
+        assert_eq!(code, 1);
+        assert!(out.contains("schema"), "{out}");
+        let (code, out) = run_s("metrics /no/such/file.jsonl");
+        assert_eq!(code, 1);
+        assert!(out.contains("cannot read"), "{out}");
     }
 }

@@ -18,10 +18,26 @@
 //! Together these make `pool.run_seeded(n, seed, f)` bit-identical for any
 //! worker count — `--jobs 8` and `--jobs 1` produce the same bytes — which
 //! the `tests/determinism.rs` suite checks end to end.
+//!
+//! ## Telemetry
+//!
+//! The pool is also the merge point of the [`fcn_telemetry`] shard design:
+//! when the global registry is enabled, each job's metric delta is captured
+//! from its worker's thread-local shard and the deltas are merged **in job
+//! index order** into the calling thread's shard — so merged totals (all
+//! `u64` additions) are bit-identical to a `--jobs 1` run, and gauges keep
+//! the last job's value exactly as sequential execution would. The pool
+//! additionally reports its own `exec_*` metrics (runs, jobs, per-worker
+//! busy/idle nanos; the nano counters are wall-clock and excluded from
+//! determinism comparisons). When the registry is disabled all of this
+//! costs one relaxed load per `run` call.
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+use fcn_telemetry::LocalShard;
 
 /// SplitMix64 finalizer over a base seed and a job index.
 ///
@@ -39,6 +55,12 @@ pub fn job_seed(base_seed: u64, job_index: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// Elapsed nanoseconds since `t0`, clamped into `u64`.
+#[inline]
+fn saturating_nanos(t0: Instant) -> u64 {
+    t0.elapsed().as_nanos().min(u64::MAX as u128) as u64
 }
 
 /// Number of hardware threads, used when a job count of `0` ("auto") is
@@ -100,23 +122,87 @@ impl Pool {
         F: Fn(usize) -> T + Sync,
     {
         let workers = self.jobs.min(count);
+        let tele_on = fcn_telemetry::global().enabled();
         if workers <= 1 {
-            return (0..count).map(f).collect();
+            if !tele_on {
+                return (0..count).map(f).collect();
+            }
+            // Sequential: jobs record straight into the caller's shard, which
+            // is by definition the single-threaded reference the parallel
+            // path must reproduce.
+            let start = Instant::now();
+            let out: Vec<T> = (0..count).map(f).collect();
+            let busy = saturating_nanos(start);
+            fcn_telemetry::with_shard(|s| {
+                s.inc("exec_runs_total");
+                s.add("exec_jobs_total", count as u64);
+                s.set_gauge("exec_workers_last", 1);
+                s.add("exec_worker_busy_nanos_total", busy);
+            });
+            return out;
         }
         let next = AtomicUsize::new(0);
         let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..count).map(|_| None).collect());
+        // Per-job metric deltas, captured on the worker and merged below in
+        // job index order (never in completion order).
+        let job_shards: Mutex<Vec<Option<LocalShard>>> = Mutex::new(if tele_on {
+            (0..count).map(|_| None).collect()
+        } else {
+            Vec::new()
+        });
+        let busy_nanos = AtomicU64::new(0);
+        let idle_nanos = AtomicU64::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= count {
-                        break;
+                scope.spawn(|| {
+                    let spawned = Instant::now();
+                    let mut busy = 0u64;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        let job_start = tele_on.then(Instant::now);
+                        let value = f(i);
+                        if let Some(t0) = job_start {
+                            busy += saturating_nanos(t0);
+                            // Worker threads start with an empty shard and we
+                            // drain after every job, so this take is exactly
+                            // job i's delta.
+                            let shard = fcn_telemetry::take_shard();
+                            if !shard.is_empty() {
+                                job_shards.lock().expect("pool shards poisoned")[i] = Some(shard);
+                            }
+                        }
+                        slots.lock().expect("pool slots poisoned")[i] = Some(value);
                     }
-                    let value = f(i);
-                    slots.lock().expect("pool slots poisoned")[i] = Some(value);
+                    if tele_on {
+                        let lifetime = saturating_nanos(spawned);
+                        busy_nanos.fetch_add(busy, Ordering::Relaxed);
+                        idle_nanos.fetch_add(lifetime.saturating_sub(busy), Ordering::Relaxed);
+                    }
                 });
             }
         });
+        if tele_on {
+            let shards = job_shards.into_inner().expect("pool shards poisoned");
+            fcn_telemetry::with_shard(|s| {
+                for shard in shards.into_iter().flatten() {
+                    s.merge(&shard);
+                }
+                s.inc("exec_runs_total");
+                s.add("exec_jobs_total", count as u64);
+                s.set_gauge("exec_workers_last", workers as u64);
+                s.add(
+                    "exec_worker_busy_nanos_total",
+                    busy_nanos.load(Ordering::Relaxed),
+                );
+                s.add(
+                    "exec_worker_idle_nanos_total",
+                    idle_nanos.load(Ordering::Relaxed),
+                );
+            });
+        }
         slots
             .into_inner()
             .expect("pool slots poisoned")
@@ -186,6 +272,47 @@ mod tests {
         let pool = Pool::new(8);
         assert_eq!(pool.run(0, |i| i), Vec::<usize>::new());
         assert_eq!(pool.run(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn merged_job_shards_match_sequential() {
+        use fcn_telemetry as tele;
+        // Unique metric names so concurrent tests in this binary can't
+        // collide; all comparisons are against this thread's own shard.
+        let work = |i: usize| {
+            tele::with_shard(|s| {
+                s.add("exectest_jobs_seen_total", 1);
+                s.record("exectest_hist", (i as u64) % 13);
+                s.set_gauge("exectest_last_index", i as u64);
+            });
+            i * 3
+        };
+        tele::global().set_enabled(true);
+        let _ = tele::take_shard();
+        let seq_out = Pool::sequential().run(40, work);
+        let seq = tele::take_shard();
+        assert_eq!(seq.counter("exectest_jobs_seen_total"), 40);
+        for jobs in [2, 4, 8] {
+            let par_out = Pool::new(jobs).run(40, work);
+            let par = tele::take_shard();
+            assert_eq!(par_out, seq_out, "jobs={jobs} results diverged");
+            assert_eq!(
+                par.counter("exectest_jobs_seen_total"),
+                seq.counter("exectest_jobs_seen_total"),
+                "jobs={jobs}"
+            );
+            assert_eq!(
+                par.histogram("exectest_hist"),
+                seq.histogram("exectest_hist"),
+                "jobs={jobs}"
+            );
+            // Index-order merge keeps the *last* job's gauge, exactly like
+            // sequential execution.
+            assert_eq!(par.gauge("exectest_last_index"), Some(39), "jobs={jobs}");
+            assert_eq!(par.counter("exec_jobs_total"), 40);
+            assert_eq!(par.gauge("exec_workers_last"), Some(jobs as u64));
+        }
+        tele::global().set_enabled(false);
     }
 
     #[test]

@@ -15,12 +15,18 @@
 //! The cache is `Sync` (internally a mutexed map) so one cache can serve all
 //! workers of an [`fcn_exec::Pool`] sweep. Insertions stop at `capacity`
 //! entries to bound memory on huge sweeps; lookups keep working.
+//!
+//! Counters are [`fcn_telemetry`] instruments owned per cache instance —
+//! observability only, attaching or detaching a cache never changes a
+//! routed bit. [`PlanCache::publish`] pushes them into the thread's metric
+//! shard under the `plan_cache_*` names (surfaced by `fcnemu beta
+//! --verbose` and `--metrics-out`).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use fcn_multigraph::NodeId;
+use fcn_telemetry::Counter;
 
 /// Key of one memoized BFS parent tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -35,36 +41,14 @@ struct PlanKey {
     bfs_seed: u64,
 }
 
-/// Hit/miss counters of a [`PlanCache`], as reported by
-/// [`PlanCache::stats`] (surfaced to users via `fcnemu beta --verbose`).
-/// The counters are observability only — attaching or detaching a cache
-/// never changes a single routed bit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct CacheStats {
-    pub hits: u64,
-    pub misses: u64,
-    pub entries: usize,
-}
-
-impl CacheStats {
-    /// Fraction of lookups served from the cache.
-    pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
-    }
-}
-
 /// A memoizing store for BFS parent trees, shared across planning calls.
 #[derive(Debug)]
 pub struct PlanCache {
     map: Mutex<HashMap<PlanKey, Arc<Vec<NodeId>>>>,
     capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 impl Default for PlanCache {
@@ -81,18 +65,58 @@ impl PlanCache {
         PlanCache {
             map: Mutex::new(HashMap::new()),
             capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
         }
     }
 
-    /// Counters so far.
-    pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("plan cache poisoned").len(),
+    /// Lookups served from memory.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Lookups that computed a fresh tree.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Trees computed but *not* retained because the cache was at capacity
+    /// (this cache never replaces existing entries, so "evicted at the
+    /// door" is its only eviction form).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.get()
+    }
+
+    /// Trees currently stored.
+    pub fn entries(&self) -> usize {
+        self.map.lock().expect("plan cache poisoned").len()
+    }
+
+    /// Fraction of lookups served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits(), self.misses());
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
         }
+    }
+
+    /// Push this cache's counters into the thread's telemetry shard (no-op
+    /// when the global registry is disabled). Call once per run, after the
+    /// work that used the cache.
+    pub fn publish(&self) {
+        if !fcn_telemetry::global().enabled() {
+            return;
+        }
+        let entries = self.entries() as u64;
+        fcn_telemetry::with_shard(|s| {
+            s.add("plan_cache_hits_total", self.hits());
+            s.add("plan_cache_misses_total", self.misses());
+            s.add("plan_cache_evictions_total", self.evictions());
+            s.set_gauge("plan_cache_entries", entries);
+        });
     }
 
     /// Serve the parent tree for `key`, computing it on a miss.
@@ -122,10 +146,10 @@ impl PlanCache {
             .get(&key)
             .cloned()
         {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return hit;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         let fresh = Arc::new(compute());
         let mut map = self.map.lock().expect("plan cache poisoned");
         if let Some(raced) = map.get(&key) {
@@ -133,6 +157,8 @@ impl PlanCache {
         }
         if map.len() < self.capacity {
             map.insert(key, fresh.clone());
+        } else {
+            self.evictions.inc();
         }
         fresh
     }
@@ -154,9 +180,8 @@ mod tests {
             assert_eq!(*tree, vec![0, 0, 1]);
         }
         assert_eq!(computes, 1);
-        let stats = cache.stats();
-        assert_eq!((stats.hits, stats.misses, stats.entries), (2, 1, 1));
-        assert!(stats.hit_rate() > 0.6);
+        assert_eq!((cache.hits(), cache.misses(), cache.entries()), (2, 1, 1));
+        assert!(cache.hit_rate() > 0.6);
     }
 
     #[test]
@@ -167,7 +192,7 @@ mod tests {
         let c = cache.get_or_compute(2, usize::MAX, 0, 1, || vec![2]);
         let d = cache.get_or_compute(1, 16, 0, 1, || vec![3]);
         assert_eq!((a[0], b[0], c[0], d[0]), (0, 1, 2, 3));
-        assert_eq!(cache.stats().entries, 4);
+        assert_eq!(cache.entries(), 4);
     }
 
     #[test]
@@ -177,7 +202,8 @@ mod tests {
             let tree = cache.get_or_compute(1, usize::MAX, src, 7, || vec![src]);
             assert_eq!(tree[0], src);
         }
-        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.entries(), 2);
+        assert_eq!(cache.evictions(), 8, "refused inserts count as evictions");
         // Entries already stored keep hitting.
         let again = cache.get_or_compute(1, usize::MAX, 0, 7, || unreachable!());
         assert_eq!(again[0], 0);

@@ -36,6 +36,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use fcn_multigraph::NodeId;
+use fcn_telemetry::LocalHistogram;
 use fcn_topology::Machine;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -129,6 +130,9 @@ pub struct RouterScratch {
     cursor: Vec<u32>,
     /// Per-packet random rank (`RandomRank` key).
     rank: Vec<u32>,
+    /// Runs served by this scratch (telemetry: pool-reuse accounting; the
+    /// first run of a scratch counts as a creation, later runs as reuse).
+    runs: u64,
 }
 
 impl RouterScratch {
@@ -153,7 +157,21 @@ impl RouterScratch {
         self.cursor.resize(packets, 0);
         self.rank.clear();
         self.rank.reserve(packets);
+        self.runs += 1;
     }
+}
+
+/// Per-run telemetry accumulators, allocated only when the global registry
+/// is enabled. Everything in here is a pure *observation* of simulation
+/// state — the tick loop never reads it back, so telemetry cannot change a
+/// routed bit.
+#[derive(Debug, Default)]
+struct RunTele {
+    /// Per-tick queued-packet count (queue occupancy at tick start).
+    occupancy: LocalHistogram,
+    /// Packet-ticks spent waiting: packets that sat in a wire queue over a
+    /// tick without crossing (occupancy minus that tick's crossings).
+    stalled: u64,
 }
 
 /// Uniform view over the per-wire queue pool of one discipline, so the tick
@@ -239,16 +257,23 @@ pub fn route_compiled(
     for _ in 0..batch.len() {
         scratch.rank.push(rng.random::<u32>());
     }
+    // One enabled-check per *run* decides whether per-tick accumulators
+    // exist at all; the disabled path costs a `None` branch per tick.
+    let mut tele = if fcn_telemetry::global().enabled() {
+        Some(RunTele::default())
+    } else {
+        None
+    };
     let unit = net.unit_capacity();
-    match cfg.discipline {
+    let out = match cfg.discipline {
         QueueDiscipline::Fifo => {
             let mut pool = std::mem::take(&mut scratch.fifo);
             grow_and_clear(&mut pool, net.wire_count(), VecDeque::new);
             let mut q = FifoQueues(&mut pool);
             let out = if unit {
-                run_ticks::<_, true, DISC_FIFO>(net, batch, cfg, &mut q, scratch)
+                run_ticks::<_, true, DISC_FIFO>(net, batch, cfg, &mut q, scratch, tele.as_mut())
             } else {
-                run_ticks::<_, false, DISC_FIFO>(net, batch, cfg, &mut q, scratch)
+                run_ticks::<_, false, DISC_FIFO>(net, batch, cfg, &mut q, scratch, tele.as_mut())
             };
             scratch.fifo = pool;
             out
@@ -258,9 +283,16 @@ pub fn route_compiled(
             grow_and_clear(&mut pool, net.wire_count(), Vec::new);
             let mut q = PrioQueues(&mut pool);
             let out = if unit {
-                run_ticks::<_, true, DISC_FARTHEST>(net, batch, cfg, &mut q, scratch)
+                run_ticks::<_, true, DISC_FARTHEST>(net, batch, cfg, &mut q, scratch, tele.as_mut())
             } else {
-                run_ticks::<_, false, DISC_FARTHEST>(net, batch, cfg, &mut q, scratch)
+                run_ticks::<_, false, DISC_FARTHEST>(
+                    net,
+                    batch,
+                    cfg,
+                    &mut q,
+                    scratch,
+                    tele.as_mut(),
+                )
             };
             scratch.prio = pool;
             out
@@ -270,14 +302,43 @@ pub fn route_compiled(
             grow_and_clear(&mut pool, net.wire_count(), Vec::new);
             let mut q = PrioQueues(&mut pool);
             let out = if unit {
-                run_ticks::<_, true, DISC_RANDOM>(net, batch, cfg, &mut q, scratch)
+                run_ticks::<_, true, DISC_RANDOM>(net, batch, cfg, &mut q, scratch, tele.as_mut())
             } else {
-                run_ticks::<_, false, DISC_RANDOM>(net, batch, cfg, &mut q, scratch)
+                run_ticks::<_, false, DISC_RANDOM>(net, batch, cfg, &mut q, scratch, tele.as_mut())
             };
             scratch.prio = pool;
             out
         }
+    };
+    if let Some(t) = tele {
+        publish_run(&out, &t, scratch.runs);
     }
+    out
+}
+
+/// Push one run's router metrics into this thread's telemetry shard.
+/// Called only when the registry is enabled at run start.
+fn publish_run(out: &RoutingOutcome, tele: &RunTele, scratch_runs: u64) {
+    fcn_telemetry::with_shard(|s| {
+        s.inc("router_runs_total");
+        s.add("router_ticks_total", out.ticks);
+        s.add("router_delivered_total", out.delivered as u64);
+        s.add("router_packets_total", out.total as u64);
+        s.add("router_hops_total", out.total_hops);
+        s.add("router_stalled_packet_ticks_total", tele.stalled);
+        if !out.completed {
+            s.inc("router_aborts_total");
+        }
+        s.record("router_run_max_queue", out.max_queue as u64);
+        s.record_histogram("router_queue_occupancy", &tele.occupancy);
+        // Scratch-pool reuse: a scratch's first run is a creation, every
+        // later run is an arena reuse (zero allocations after warm-up).
+        if scratch_runs == 1 {
+            s.inc("router_scratch_created_total");
+        } else {
+            s.inc("router_scratch_reused_total");
+        }
+    });
 }
 
 /// `const`-generic encodings of [`QueueDiscipline`] so the tick loop's
@@ -331,6 +392,7 @@ fn run_ticks<Q: WireQueues, const UNIT: bool, const DISC: u8>(
     cfg: RouterConfig,
     queues: &mut Q,
     scr: &mut RouterScratch,
+    mut tele: Option<&mut RunTele>,
 ) -> RoutingOutcome {
     let total = batch.len();
     // Smaller key pops first; FarthestFirst inverts remaining hops so
@@ -464,6 +526,15 @@ fn run_ticks<Q: WireQueues, const UNIT: bool, const DISC: u8>(
         }
         active.truncate(kept);
         scr.active_nodes = active;
+        // Telemetry observation point (enabled runs only): every
+        // undelivered, non-trivial packet sat in exactly one wire queue at
+        // tick start, so occupancy is `total - delivered` in O(1); the ones
+        // that did not make it into `arrivals` stalled for this tick.
+        if let Some(t) = tele.as_deref_mut() {
+            let queued_start = (total - delivered) as u64;
+            t.occupancy.record(queued_start);
+            t.stalled += queued_start - scr.arrivals.len() as u64;
+        }
         // Arrival phase: advance packets, deliver or re-enqueue. `arrivals`
         // is moved out of the scratch for the duration so the loop iterates
         // it directly (no per-element index check against the scratch

@@ -30,7 +30,7 @@ pub mod oracle;
 pub mod packet;
 pub mod steady;
 
-pub use cache::{CacheStats, PlanCache};
+pub use cache::PlanCache;
 pub use compiled::{CompiledNet, PacketBatch, RouteError};
 pub use engine::{
     route_batch, route_compiled, route_compiled_pooled, try_route_batch, RouterConfig,

@@ -81,6 +81,26 @@ fn bottleneck_audits_are_bit_identical_across_worker_counts() {
 }
 
 #[test]
+fn estimates_are_bit_identical_with_telemetry_on_and_off() {
+    // Observability must be a read-only lens: enabling the global
+    // fcn-telemetry registry changes no simulated bit, sequentially or
+    // under the worker pool (whose shard merge rides the same fan-out).
+    let reg = fcn_telemetry::global();
+    let machine = Family::Mesh(2).build_near(64, 0xd5);
+    reg.set_enabled(false);
+    let baseline = record(&estimator(1).estimate_symmetric(&machine));
+    for jobs in [1, 4] {
+        reg.set_enabled(true);
+        let on = record(&estimator(jobs).estimate_symmetric(&machine));
+        reg.set_enabled(false);
+        let off = record(&estimator(jobs).estimate_symmetric(&machine));
+        assert_eq!(baseline, on, "jobs={jobs}: telemetry-on estimate differs");
+        assert_eq!(baseline, off, "jobs={jobs}: telemetry-off estimate differs");
+    }
+    let _ = fcn_telemetry::take_shard();
+}
+
+#[test]
 fn pool_results_are_index_ordered_regardless_of_schedule() {
     // The job bodies finish in scrambled order (longer work for lower
     // indices); the pool must still return results slot-by-slot.
