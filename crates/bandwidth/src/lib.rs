@@ -12,15 +12,20 @@
 //!   with log-log exponent fitting across a family sweep (the Table 4
 //!   reproduction pipeline);
 //! * [`bottleneck`] — the bottleneck-freeness audit behind the Efficient
-//!   Emulation Theorem's host premise.
+//!   Emulation Theorem's host premise;
+//! * [`degraded`] — β-vs-fault-rate curves: the operational estimator run
+//!   against a deterministic fault plane (`fcn-faults`), measuring how
+//!   gracefully the delivery rate decays as wires and processors die.
 
 pub mod bottleneck;
+pub mod degraded;
 pub mod flux;
 pub mod operational;
 pub mod sandwich;
 pub mod theorem6;
 
 pub use bottleneck::{audit_bottleneck_freeness, quick_audit, BottleneckAudit};
+pub use degraded::{DegradedPoint, DegradedSample, DegradedSweep};
 pub use flux::{flux_upper_bound, FluxBound};
 pub use operational::{BandwidthEstimate, BandwidthEstimator};
 pub use sandwich::{sandwich, sweep_family, BandwidthSandwich, FamilySweep};

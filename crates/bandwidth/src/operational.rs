@@ -31,7 +31,9 @@ use fcn_topology::Machine;
 use serde::{Deserialize, Serialize};
 
 /// Domain separator for the plan-seed stream (vs the demand-seed stream).
-const PLAN_STREAM: u64 = 0x9_1a7e_5eed;
+/// Shared with [`crate::degraded`] so a zero-fault degraded sweep reproduces
+/// the estimator's cells bit-for-bit.
+pub(crate) const PLAN_STREAM: u64 = 0x9_1a7e_5eed;
 
 /// Configuration for operational bandwidth estimation.
 #[derive(Debug, Clone, Serialize, Deserialize)]

@@ -1,0 +1,184 @@
+//! `faults` — regenerate the degraded-β example curves: how the measured
+//! bandwidth of a strongly-connected host (mesh2) and a hypercubic host
+//! (butterfly) decays under the deterministic fault plane.
+//!
+//! For each machine and fault rate, runs the full `trials × multipliers`
+//! estimator grid against a seeded [`fcn_faults::FaultPlan`], reports the
+//! β-vs-fault-rate curve, and records rows:
+//!
+//! * default: writes `BENCH_faults.json` at the repo root — the committed
+//!   example curve referenced by README and EXPERIMENTS.md;
+//! * `--quick`: CI smoke scale, writes `target/BENCH_faults.quick.json` so
+//!   a smoke run never clobbers the committed numbers.
+//!
+//! Rows are schema-tagged ([`fcn_bench::FAULTS_SCHEMA`]) and merged through
+//! the same line-numbered validation as `perfbench`'s trajectory file. All
+//! output is bit-identical for every `--jobs` value.
+
+use fcn_bandwidth::{DegradedPoint, DegradedSweep};
+use fcn_bench::{banner, fmt, write_records, RunOpts, Scale, FAULTS_SCHEMA};
+use fcn_topology::Machine;
+use serde::Serialize;
+
+/// One recorded point of a degraded-β curve (see EXPERIMENTS.md).
+#[derive(Debug, Serialize)]
+struct Row {
+    /// Row-format version ([`FAULTS_SCHEMA`]).
+    schema: String,
+    /// Row key: `<machine>@<fault-rate>`.
+    bench: String,
+    /// Machine the curve was measured on.
+    machine: String,
+    /// Processor count.
+    n: usize,
+    /// Fault rate the plan was generated at.
+    fault_rate: f64,
+    /// Best plateau rate across trials (β̂ of the degraded host).
+    rate: f64,
+    /// Mean of per-trial plateau rates.
+    mean_rate: f64,
+    /// Fraction of issued demands that were deliverable.
+    delivery_fraction: f64,
+    /// Processors killed by the plan.
+    dead_nodes: usize,
+    /// Links killed by the plan.
+    dead_links: usize,
+    /// Transient outage windows.
+    outages: usize,
+    /// Packets stranded at injection across all cells.
+    stranded: usize,
+    /// Unreachable demands across all cells.
+    unreachable: usize,
+    /// Successful BFS replans across all cells.
+    replans: u64,
+    /// Cells that hit the tick budget.
+    aborted_cells: usize,
+}
+
+impl Row {
+    fn new(machine: &Machine, p: &DegradedPoint) -> Row {
+        Row {
+            schema: FAULTS_SCHEMA.to_string(),
+            bench: format!("{}@{:.3}", machine.name(), p.fault_rate),
+            machine: machine.name().to_string(),
+            n: machine.processors(),
+            fault_rate: p.fault_rate,
+            rate: p.rate,
+            mean_rate: p.mean_rate,
+            delivery_fraction: p.delivery_fraction(),
+            dead_nodes: p.dead_nodes,
+            dead_links: p.dead_links,
+            outages: p.outages,
+            stranded: p.stranded,
+            unreachable: p.unreachable,
+            replans: p.replans,
+            aborted_cells: p.aborted_cells,
+        }
+    }
+}
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let _tele = fcn_bench::telemetry(&opts);
+    let quick = opts.scale == Scale::Quick;
+    let fault_rates = match opts.scale {
+        Scale::Quick => vec![0.0, 0.05, 0.10],
+        Scale::Default => vec![0.0, 0.02, 0.05, 0.10, 0.20],
+        Scale::Full => vec![0.0, 0.02, 0.05, 0.10, 0.20, 0.30],
+    };
+    let machines = if quick {
+        vec![Machine::mesh(2, 8), Machine::butterfly(3)]
+    } else {
+        vec![Machine::mesh(2, 16), Machine::butterfly(4)]
+    };
+    let sweep = DegradedSweep {
+        fault_rates,
+        multipliers: opts.scale.multipliers(),
+        trials: opts.scale.trials(),
+        jobs: opts.jobs,
+        ..Default::default()
+    };
+
+    banner("degraded β: delivery rate vs fault rate (deterministic fault plane)");
+    let mut rows: Vec<Row> = Vec::new();
+    for machine in &machines {
+        println!(
+            "\n{} (n = {}), fault seed {:#x}:",
+            machine.name(),
+            machine.processors(),
+            sweep.fault_seed
+        );
+        println!(
+            "{:>6} {:>10} {:>10} {:>9} {:>7} {:>7} {:>8} {:>8} {:>8} {:>8} {:>7}",
+            "rate",
+            "β̂",
+            "mean",
+            "deliver",
+            "dead-n",
+            "dead-l",
+            "outages",
+            "strand",
+            "unreach",
+            "replans",
+            "aborts"
+        );
+        for p in sweep.sweep_symmetric(machine) {
+            println!(
+                "{:>6.3} {:>10} {:>10} {:>8.1}% {:>7} {:>7} {:>8} {:>8} {:>8} {:>8} {:>7}",
+                p.fault_rate,
+                fmt(p.rate),
+                fmt(p.mean_rate),
+                100.0 * p.delivery_fraction(),
+                p.dead_nodes,
+                p.dead_links,
+                p.outages,
+                p.stranded,
+                p.unreachable,
+                p.replans,
+                p.aborted_cells
+            );
+            rows.push(Row::new(machine, &p));
+        }
+    }
+
+    let path = write_records("faults", &rows).expect("write faults records");
+    println!("\nrecords: {}", path.display());
+
+    // The committed curve (or its quick shadow), merged under the same
+    // schema-validated discipline as BENCH_router.json.
+    let curve_path = if quick {
+        let dir = std::env::var_os("CARGO_TARGET_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::path::PathBuf::from("target"));
+        std::fs::create_dir_all(&dir).expect("create target dir");
+        dir.join("BENCH_faults.quick.json")
+    } else {
+        std::path::PathBuf::from("BENCH_faults.json")
+    };
+    let existing = match std::fs::read_to_string(&curve_path) {
+        Ok(body) => match fcn_bench::validate_rows(&body, FAULTS_SCHEMA) {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!(
+                    "error: existing {} is not mergeable: {e}",
+                    curve_path.display()
+                );
+                std::process::exit(2);
+            }
+        },
+        Err(_) => Vec::new(),
+    };
+    let fresh: Vec<(String, String)> = rows
+        .iter()
+        .map(|r| {
+            let line = serde_json::to_string(r).expect("row serializes");
+            (r.bench.clone(), line)
+        })
+        .collect();
+    let body = fcn_bench::merge_bench_rows(&existing, &fresh);
+    if let Err(e) = std::fs::write(&curve_path, body) {
+        eprintln!("error: cannot write {}: {e}", curve_path.display());
+        std::process::exit(2);
+    }
+    println!("wrote {} rows to {}", rows.len(), curve_path.display());
+}

@@ -1,15 +1,87 @@
-//! Run every table/figure/ablation regeneration in sequence.
+//! Run every table/figure/ablation regeneration in sequence, resiliently.
 //!
 //! `cargo run --release -p fcn-bench --bin repro-all [-- --quick|--full]
-//! [--jobs N] [--metrics-out PATH]` executes the sibling binaries as
-//! subprocesses so each writes its own stdout report and
-//! `target/repro/*.jsonl` records. Arguments are forwarded to every binary;
-//! `--jobs` only changes the wall clock, never the records. A forwarded
-//! `--metrics-out PATH` is rewritten to `PATH.<bin>` per child so each
-//! binary's telemetry snapshot lands in its own file instead of the last
-//! child clobbering the rest.
+//! [--jobs N] [--metrics-out PATH] [--timeout SECS] [--keep-going]
+//! [--resume]` executes the sibling binaries as subprocesses so each writes
+//! its own stdout report and `target/repro/*.jsonl` records.
+//!
+//! Driver flags (consumed here, never forwarded to children):
+//!
+//! * `--timeout SECS` — wall-clock budget per child; a child that exceeds
+//!   it is killed and recorded as a failure (`timeout`);
+//! * `--keep-going` — keep running the remaining binaries after a failure
+//!   (the default stops at the first one so the checkpoint stays sharp);
+//! * `--resume` — skip the binaries already recorded as completed in
+//!   `target/repro/manifest.json` from a previous run with identical
+//!   forwarded arguments.
+//!
+//! All other arguments are forwarded to every binary; `--jobs` only changes
+//! the wall clock, never the records. A forwarded `--metrics-out PATH` is
+//! rewritten to `PATH.<bin>` per child so each binary's telemetry snapshot
+//! lands in its own file instead of the last child clobbering the rest.
+//!
+//! The checkpoint manifest is rewritten after every completed child, so a
+//! mid-run kill (Ctrl-C, OOM, timeout of the driver itself) loses at most
+//! the child that was running. Exit codes: 0 all completed, 1 some child
+//! failed, 2 driver usage or I/O error.
 
 use std::process::Command;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+/// Manifest format version; a mismatch (or different forwarded arguments)
+/// invalidates the checkpoint rather than resuming a different experiment.
+const MANIFEST_SCHEMA: &str = "fcn-repro-manifest/1";
+
+/// The checkpoint written to `target/repro/manifest.json` after each child.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Manifest {
+    schema: String,
+    /// Arguments forwarded to the children (a resume with different
+    /// arguments must start fresh — the records would not be comparable).
+    args: Vec<String>,
+    /// Binaries that have already completed successfully, in run order.
+    completed: Vec<String>,
+}
+
+/// Driver options (consumed) + the argument list forwarded to children.
+#[derive(Debug, Default)]
+struct DriverOpts {
+    timeout: Option<Duration>,
+    keep_going: bool,
+    resume: bool,
+    forwarded: Vec<String>,
+}
+
+fn parse_driver_args<I: IntoIterator<Item = String>>(args: I) -> Result<DriverOpts, String> {
+    let mut opts = DriverOpts::default();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--keep-going" => opts.keep_going = true,
+            "--resume" => opts.resume = true,
+            "--timeout" => {
+                let v = it.next().ok_or("--timeout expects seconds")?;
+                let secs: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--timeout: {v:?} is not a number of seconds"))?;
+                opts.timeout = Some(Duration::from_secs(secs));
+            }
+            other => {
+                if let Some(v) = other.strip_prefix("--timeout=") {
+                    let secs: u64 = v
+                        .parse()
+                        .map_err(|_| format!("--timeout: {v:?} is not a number of seconds"))?;
+                    opts.timeout = Some(Duration::from_secs(secs));
+                } else {
+                    opts.forwarded.push(a);
+                }
+            }
+        }
+    }
+    Ok(opts)
+}
 
 /// Rewrite `--metrics-out X` / `--metrics-out=X` to point at `X.<bin>`.
 fn args_for(bin: &str, args: &[String]) -> Vec<String> {
@@ -30,8 +102,118 @@ fn args_for(bin: &str, args: &[String]) -> Vec<String> {
     out
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+/// How one child run ended.
+enum ChildOutcome {
+    Completed,
+    Failed(Option<i32>),
+    TimedOut,
+}
+
+/// Launch one child and wait for it, enforcing the optional wall-clock
+/// budget by polling (`try_wait`) so the driver can kill a stuck child.
+fn run_child(
+    path: &std::path::Path,
+    args: &[String],
+    timeout: Option<Duration>,
+) -> Result<ChildOutcome, String> {
+    let mut child = Command::new(path)
+        .args(args)
+        .spawn()
+        .map_err(|e| format!("failed to launch {}: {e}", path.display()))?;
+    let Some(budget) = timeout else {
+        let status = child
+            .wait()
+            .map_err(|e| format!("failed to wait for {}: {e}", path.display()))?;
+        return Ok(if status.success() {
+            ChildOutcome::Completed
+        } else {
+            ChildOutcome::Failed(status.code())
+        });
+    };
+    let start = Instant::now();
+    loop {
+        match child
+            .try_wait()
+            .map_err(|e| format!("failed to poll {}: {e}", path.display()))?
+        {
+            Some(status) => {
+                return Ok(if status.success() {
+                    ChildOutcome::Completed
+                } else {
+                    ChildOutcome::Failed(status.code())
+                });
+            }
+            None if start.elapsed() >= budget => {
+                // Budget exhausted: kill and reap, then report the timeout.
+                let _ = child.kill();
+                let _ = child.wait();
+                return Ok(ChildOutcome::TimedOut);
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+fn write_manifest(path: &std::path::Path, manifest: &Manifest) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+    let body = serde_json::to_string(manifest).map_err(|e| format!("manifest serializes: {e}"))?;
+    std::fs::write(path, body).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Load the resumable checkpoint, if it matches this run's arguments.
+fn resumable_completed(path: &std::path::Path, forwarded: &[String]) -> Vec<String> {
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(_) => {
+            eprintln!(
+                "--resume: no checkpoint at {}; starting fresh",
+                path.display()
+            );
+            return Vec::new();
+        }
+    };
+    match serde_json::from_str::<Manifest>(&body) {
+        Ok(m) if m.schema == MANIFEST_SCHEMA && m.args == forwarded => {
+            println!(
+                "resuming: {} binaries already completed ({})",
+                m.completed.len(),
+                m.completed.join(", ")
+            );
+            m.completed
+        }
+        Ok(m) if m.schema != MANIFEST_SCHEMA => {
+            eprintln!(
+                "--resume: checkpoint schema {:?} does not match {MANIFEST_SCHEMA:?}; \
+                 starting fresh",
+                m.schema
+            );
+            Vec::new()
+        }
+        Ok(_) => {
+            eprintln!("--resume: checkpoint was written with different arguments; starting fresh");
+            Vec::new()
+        }
+        Err(e) => {
+            eprintln!(
+                "--resume: cannot parse checkpoint {}: {e}; starting fresh",
+                path.display()
+            );
+            Vec::new()
+        }
+    }
+}
+
+fn run() -> i32 {
+    let opts = match parse_driver_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
     let bins = [
         "table4",
         "table1",
@@ -44,25 +226,91 @@ fn main() {
         "ablation_redundancy",
         "ablation_steady",
         "patterns",
+        "faults",
     ];
-    let me = std::env::current_exe().expect("current exe path");
-    let dir = me.parent().expect("exe dir");
-    let mut failures = Vec::new();
+    let me = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: cannot resolve current exe path: {e}");
+            return 2;
+        }
+    };
+    let Some(dir) = me.parent().map(std::path::Path::to_path_buf) else {
+        eprintln!(
+            "error: current exe {} has no parent directory",
+            me.display()
+        );
+        return 2;
+    };
+
+    let manifest_path = fcn_bench::repro_dir().join("manifest.json");
+    let completed = if opts.resume {
+        resumable_completed(&manifest_path, &opts.forwarded)
+    } else {
+        Vec::new()
+    };
+    let mut manifest = Manifest {
+        schema: MANIFEST_SCHEMA.to_string(),
+        args: opts.forwarded.clone(),
+        completed,
+    };
+    if let Err(e) = write_manifest(&manifest_path, &manifest) {
+        eprintln!("error: {e}");
+        return 2;
+    }
+
+    let mut failures: Vec<String> = Vec::new();
     for bin in bins {
+        if manifest.completed.iter().any(|b| b == bin) {
+            println!("\n################ {bin} (checkpointed, skipping) ################");
+            continue;
+        }
         println!("\n################ {bin} ################");
         let path = dir.join(bin);
-        let status = Command::new(&path)
-            .args(args_for(bin, &args))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
-        if !status.success() {
-            failures.push(bin);
+        match run_child(&path, &args_for(bin, &opts.forwarded), opts.timeout) {
+            Ok(ChildOutcome::Completed) => {
+                manifest.completed.push(bin.to_string());
+                if let Err(e) = write_manifest(&manifest_path, &manifest) {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            }
+            Ok(ChildOutcome::Failed(code)) => {
+                eprintln!("{bin}: exited with status {code:?}");
+                failures.push(bin.to_string());
+                if !opts.keep_going {
+                    break;
+                }
+            }
+            Ok(ChildOutcome::TimedOut) => {
+                eprintln!(
+                    "{bin}: killed after exceeding --timeout {}s",
+                    opts.timeout.map(|t| t.as_secs()).unwrap_or(0)
+                );
+                failures.push(format!("{bin} (timeout)"));
+                if !opts.keep_going {
+                    break;
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
         }
     }
     if failures.is_empty() {
         println!("\nall reproductions completed; records under target/repro/");
+        0
     } else {
-        eprintln!("\nFAILED: {failures:?}");
-        std::process::exit(1);
+        eprintln!(
+            "\nFAILED: {failures:?}\ncheckpoint: {} (rerun with --resume to continue \
+             from the last completed binary)",
+            manifest_path.display()
+        );
+        1
     }
+}
+
+fn main() {
+    std::process::exit(run());
 }

@@ -177,6 +177,10 @@ impl Scale {
 /// merge with a file whose rows carry a missing or different tag.
 pub const PERFBENCH_SCHEMA: &str = "fcn-perfbench/2";
 
+/// Schema tag stamped on every `faults` degraded-β row (the committed
+/// `BENCH_faults.json` curve).
+pub const FAULTS_SCHEMA: &str = "fcn-faults-curve/1";
+
 /// Parse and validate an existing `BENCH_router.json` body before merging
 /// new rows into it.
 ///
@@ -185,6 +189,13 @@ pub const PERFBENCH_SCHEMA: &str = "fcn-perfbench/2";
 /// Returns `(bench_id, raw_line)` pairs in file order, or a message naming
 /// the offending line and how to recover.
 pub fn validate_bench_rows(body: &str) -> Result<Vec<(String, String)>, String> {
+    validate_rows(body, PERFBENCH_SCHEMA)
+}
+
+/// [`validate_bench_rows`] generalized over the expected schema tag, so the
+/// `faults` curve file shares the same line-numbered validation discipline
+/// as the perfbench trajectory.
+pub fn validate_rows(body: &str, expected_schema: &str) -> Result<Vec<(String, String)>, String> {
     let mut rows = Vec::new();
     for (idx, line) in body.lines().enumerate() {
         let lineno = idx + 1;
@@ -202,15 +213,15 @@ pub fn validate_bench_rows(body: &str) -> Result<Vec<(String, String)>, String> 
             }
             Err(_) => {
                 return Err(format!(
-                    "bench rows line {lineno}: missing `schema` field (pre-{PERFBENCH_SCHEMA} \
-                     row); delete the file and re-run `perfbench` at full scale to regenerate"
+                    "bench rows line {lineno}: missing `schema` field (pre-{expected_schema} \
+                     row); delete the file and re-run the binary at full scale to regenerate"
                 ))
             }
         };
-        if schema != PERFBENCH_SCHEMA {
+        if schema != expected_schema {
             return Err(format!(
                 "bench rows line {lineno}: schema {schema:?} does not match this binary's \
-                 {PERFBENCH_SCHEMA:?}; delete the file and re-run `perfbench` to regenerate"
+                 {expected_schema:?}; delete the file and re-run the binary to regenerate"
             ));
         }
         let bench = match serde::value_field(&v, "bench") {
@@ -367,7 +378,16 @@ mod tests {
         let err = validate_bench_rows(body).unwrap_err();
         assert!(err.contains("line 1"), "{err}");
         assert!(err.contains("missing `schema`"), "{err}");
-        assert!(err.contains("re-run `perfbench`"), "{err}");
+        assert!(err.contains("re-run the binary"), "{err}");
+    }
+
+    #[test]
+    fn validate_rows_is_schema_parameterized() {
+        let body = format!("{{\"schema\":\"{FAULTS_SCHEMA}\",\"bench\":\"mesh2@0.05\"}}\n");
+        assert_eq!(validate_rows(&body, FAULTS_SCHEMA).unwrap().len(), 1);
+        let err = validate_rows(&body, PERFBENCH_SCHEMA).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(err.contains(FAULTS_SCHEMA), "{err}");
     }
 
     #[test]

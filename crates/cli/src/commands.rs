@@ -4,18 +4,62 @@ use std::io::Write;
 
 use fcn_bandwidth::{
     audit_bottleneck_freeness, flux_upper_bound, theorem6_sandwich, BandwidthEstimator,
+    DegradedSweep,
 };
 use fcn_core::{
     build_witness, direct_emulation, fig1_data, generate_table, max_host_size, numeric_host_size,
     slowdown_lower_bound, table1_spec, table2_spec, table3_spec, EmulationConfig, Lemma9Config,
 };
-use fcn_routing::{saturation_throughput, SteadyConfig};
+use fcn_routing::{saturation_throughput, RouterConfig, SteadyConfig};
 use fcn_topology::{Family, Machine};
 
 use crate::args::{Args, ParseError};
 
 type Out<'a> = &'a mut dyn Write;
-type CmdResult = Result<(), String>;
+
+/// A typed command failure, mapped to the process exit code: `Run` is a
+/// domain error (exit 1 — unknown family, failed verification), `Io` is an
+/// I/O or schema error (exit 2 — unreadable snapshot, invalid metrics
+/// file), matching `perfbench`'s validation conventions.
+#[derive(Debug)]
+pub enum CmdError {
+    /// Domain failure; exit code 1.
+    Run(String),
+    /// I/O or schema failure; exit code 2.
+    Io(String),
+}
+
+impl CmdError {
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CmdError::Run(_) => 1,
+            CmdError::Io(_) => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for CmdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CmdError::Run(m) | CmdError::Io(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl From<String> for CmdError {
+    fn from(m: String) -> Self {
+        CmdError::Run(m)
+    }
+}
+
+impl From<&str> for CmdError {
+    fn from(m: &str) -> Self {
+        CmdError::Run(m.to_string())
+    }
+}
+
+type CmdResult = Result<(), CmdError>;
 
 /// Usage text.
 pub fn usage() -> String {
@@ -24,7 +68,8 @@ pub fn usage() -> String {
 USAGE:
   fcnemu machines
   fcnemu build   <family> <size> [--seed N] [--format summary|dot|edges|json]
-  fcnemu beta    <family> <size> [--trials N] [--steady] [--seed N] [--jobs N] [--verbose]
+  fcnemu beta    <family> <size> [--trials N] [--steady] [--seed N] [--jobs N] [--max-ticks N] [--verbose]
+  fcnemu faults  <family> <size> [--rates R1,R2,..] [--trials N] [--seed N] [--fault-seed N] [--jobs N] [--quick] [--verbose]
   fcnemu bound   <guest-family> <host-family> [--n N] [--m M]
   fcnemu emulate <guest-family> <n> <host-family> <m> [--steps N]
   fcnemu audit   <family> <size> [--seed N] [--jobs N]
@@ -64,6 +109,7 @@ pub fn dispatch(args: &Args, out: Out) -> CmdResult {
             "machines" => cmd_machines(out),
             "build" => cmd_build(args, out)?,
             "beta" => cmd_beta(args, out)?,
+            "faults" => cmd_faults(args, out)?,
             "bound" => cmd_bound(args, out)?,
             "emulate" => cmd_emulate(args, out)?,
             "audit" => cmd_audit(args, out)?,
@@ -76,10 +122,10 @@ pub fn dispatch(args: &Args, out: Out) -> CmdResult {
                 let _ = writeln!(out, "{}", usage());
                 Ok(())
             }
-            other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+            other => Err(format!("unknown command {other:?}\n\n{}", usage()).into()),
         })
     })();
-    r.map_err(|e| e.to_string())?
+    r.map_err(|e| CmdError::Run(e.to_string()))?
 }
 
 fn cmd_machines(out: Out) -> CmdResult {
@@ -135,7 +181,7 @@ fn cmd_build(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
             "json" => {
                 let _ = writeln!(out, "{}", fcn_multigraph::to_json(m.graph()));
             }
-            other => return Err(format!("unknown format {other:?}")),
+            other => return Err(format!("unknown format {other:?}").into()),
         }
         Ok(())
     })())
@@ -152,15 +198,23 @@ fn cmd_beta(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
     // Worker threads for the trials×multipliers grid; 0 = one per hardware
     // thread. The estimate is bit-identical for every value.
     let jobs = args.flag("jobs", 1usize)?;
+    // Router tick budget; 0 keeps the default. Cells that exhaust it are
+    // reported (under --verbose) instead of silently depressing the plateau.
+    let max_ticks = args.flag("max-ticks", 0u64)?;
     let steady = args.has("steady");
     let verbose = args.has("verbose");
     Ok((|| -> CmdResult {
         let m = build(&id, size, seed)?;
         let t = m.symmetric_traffic();
+        let mut router = RouterConfig::default();
+        if max_ticks > 0 {
+            router.max_ticks = max_ticks;
+        }
         let est = BandwidthEstimator {
             trials,
             seed,
             jobs,
+            router,
             ..Default::default()
         };
         // Caller-owned plan cache so --verbose can report its effectiveness;
@@ -208,6 +262,119 @@ fn cmd_beta(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
                 trials,
                 b.samples.len()
             );
+            // Typed-abort accounting: cells that hit the tick budget are a
+            // measurement hazard (they depress the plateau), so surface them
+            // loudly. Printed only when non-zero, keeping the byte pin on
+            // fault-free runs.
+            let aborted = b.samples.iter().filter(|s| !s.completed).count();
+            if aborted > 0 {
+                let _ = writeln!(
+                    out,
+                    "WARNING       : {aborted}/{} cells hit the tick budget \
+                     (max-ticks {}); raise --max-ticks",
+                    b.samples.len(),
+                    router.max_ticks
+                );
+            }
+        }
+        Ok(())
+    })())
+}
+
+/// `fcnemu faults`: the β-vs-fault-rate curve for one machine — the intact
+/// estimator re-run against a deterministic fault plane at each rate.
+fn cmd_faults(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
+    let id = args.pos(0, "family")?.to_string();
+    let size: usize = args
+        .pos(1, "size")?
+        .parse()
+        .map_err(|_| ParseError("size must be a positive integer".into()))?;
+    let trials = args.flag("trials", 3usize)?;
+    let seed = args.flag("seed", 0xbeadu64)?;
+    let fault_seed = args.flag("fault-seed", 0xfa17u64)?;
+    let jobs = args.flag("jobs", 1usize)?;
+    let quick = args.has("quick");
+    let verbose = args.has("verbose");
+    let rates_flag = args.flags.get("rates").cloned();
+    Ok((|| -> CmdResult {
+        let fault_rates: Vec<f64> = match rates_flag {
+            Some(s) => s
+                .split(',')
+                .map(|r| {
+                    r.trim()
+                        .parse::<f64>()
+                        .map_err(|_| CmdError::Run(format!("--rates: {r:?} is not a number")))
+                })
+                .collect::<Result<_, _>>()?,
+            None if quick => vec![0.0, 0.05, 0.10],
+            None => vec![0.0, 0.02, 0.05, 0.10, 0.20],
+        };
+        if fault_rates.iter().any(|r| !(0.0..=1.0).contains(r)) {
+            return Err(format!("--rates: rates must lie in [0, 1], got {fault_rates:?}").into());
+        }
+        let m = build(&id, size, seed)?;
+        let sweep = DegradedSweep {
+            fault_rates,
+            fault_seed,
+            multipliers: if quick { vec![2, 4] } else { vec![2, 4, 8] },
+            trials: if quick { trials.min(2) } else { trials },
+            seed,
+            jobs,
+            ..Default::default()
+        };
+        let points = sweep.sweep_symmetric(&m);
+        let _ = writeln!(out, "machine    : {} (n = {})", m.name(), m.processors());
+        let _ = writeln!(
+            out,
+            "fault seed : {:#x} ({} trials x {} batch sizes per rate)",
+            fault_seed,
+            sweep.trials,
+            sweep.multipliers.len()
+        );
+        let _ = writeln!(
+            out,
+            "{:>6} {:>8} {:>8} {:>8} {:>6} {:>6} {:>7} {:>8} {:>7} {:>7} {:>6}",
+            "rate",
+            "β̂",
+            "mean",
+            "deliver",
+            "dead-n",
+            "dead-l",
+            "outages",
+            "strand",
+            "unreach",
+            "replan",
+            "abort"
+        );
+        for p in &points {
+            let _ = writeln!(
+                out,
+                "{:>6.3} {:>8.3} {:>8.3} {:>7.1}% {:>6} {:>6} {:>7} {:>8} {:>7} {:>7} {:>6}",
+                p.fault_rate,
+                p.rate,
+                p.mean_rate,
+                100.0 * p.delivery_fraction(),
+                p.dead_nodes,
+                p.dead_links,
+                p.outages,
+                p.stranded,
+                p.unreachable,
+                p.replans,
+                p.aborted_cells
+            );
+        }
+        if verbose {
+            for p in &points {
+                for (i, s) in p.samples.iter().enumerate() {
+                    if !s.sample.completed {
+                        let _ = writeln!(
+                            out,
+                            "WARNING: rate {:.3} cell {i} aborted ({}) after {} ticks",
+                            p.fault_rate, s.abort, s.sample.ticks
+                        );
+                    }
+                }
+            }
         }
         Ok(())
     })())
@@ -422,7 +589,7 @@ fn cmd_table(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
             "1" => table1_spec(&[1, 2, 3]),
             "2" => table2_spec(&[1, 2, 3]),
             "3" => table3_spec(&[1, 2, 3]),
-            other => return Err(format!("unknown table {other:?} (expected 1, 2 or 3)")),
+            other => return Err(format!("unknown table {other:?} (expected 1, 2 or 3)").into()),
         };
         let table = generate_table(spec, &[size]);
         let _ = write!(out, "{}", table.render());
@@ -470,10 +637,10 @@ fn cmd_metrics(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
         .cloned()
         .unwrap_or_else(|| "table".into());
     Ok((|| -> CmdResult {
-        let text =
-            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| CmdError::Io(format!("cannot read {path:?}: {e}")))?;
         let snap = fcn_telemetry::MetricsSnapshot::from_jsonl(&text)
-            .map_err(|e| format!("invalid metrics snapshot {path:?}: {e}"))?;
+            .map_err(|e| CmdError::Io(format!("invalid metrics snapshot {path:?}: {e}")))?;
         match format.as_str() {
             "prom" => {
                 let _ = write!(out, "{}", snap.to_prometheus());
@@ -504,7 +671,7 @@ fn cmd_metrics(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
                     }
                 }
             }
-            other => return Err(format!("unknown format {other:?} (table, prom or jsonl)")),
+            other => return Err(format!("unknown format {other:?} (table, prom or jsonl)").into()),
         }
         Ok(())
     })())
@@ -729,10 +896,72 @@ mod tests {
         )
         .unwrap();
         let (code, out) = run_s(&format!("metrics {} --format prom", bad.to_str().unwrap()));
-        assert_eq!(code, 1);
+        assert_eq!(code, 2, "schema errors are I/O-class failures: {out}");
         assert!(out.contains("schema"), "{out}");
         let (code, out) = run_s("metrics /no/such/file.jsonl");
-        assert_eq!(code, 1);
+        assert_eq!(code, 2, "unreadable snapshots exit 2: {out}");
         assert!(out.contains("cannot read"), "{out}");
+    }
+
+    #[test]
+    fn metrics_out_write_failure_exits_two() {
+        let _gate = METRICS_GATE.lock().unwrap();
+        let (code, out) = run_s("machines --metrics-out /no/such/dir/metrics.jsonl");
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("cannot write metrics"), "{out}");
+    }
+
+    #[test]
+    fn faults_renders_a_curve_and_is_jobs_invariant() {
+        let (code, seq) = run_s("faults mesh2 64 --quick --jobs 1");
+        assert_eq!(code, 0, "{seq}");
+        assert!(seq.contains("fault seed"), "{seq}");
+        assert!(seq.contains(" 0.000"), "{seq}");
+        assert!(seq.contains(" 0.100"), "{seq}");
+        let (code, par) = run_s("faults mesh2 64 --quick --jobs 4");
+        assert_eq!(code, 0, "{par}");
+        assert_eq!(seq, par, "--jobs must not change the faults output");
+    }
+
+    #[test]
+    fn faults_zero_rate_row_matches_intact_beta() {
+        // The rate-0 row of the curve is the intact estimator bit-for-bit:
+        // its β̂ must equal what `beta` prints for the same seed/trials.
+        let (code, beta) = run_s("beta mesh2 64 --trials 2");
+        assert_eq!(code, 0, "{beta}");
+        let measured = beta
+            .lines()
+            .find(|l| l.starts_with("measured"))
+            .unwrap()
+            .split_whitespace()
+            .nth(3)
+            .unwrap()
+            .to_string();
+        let (code, faults) = run_s("faults mesh2 64 --rates 0.0 --trials 2");
+        assert_eq!(code, 0, "{faults}");
+        assert!(
+            faults.contains(&measured),
+            "intact row must show β̂ {measured}: {faults}"
+        );
+    }
+
+    #[test]
+    fn faults_rejects_bad_rates() {
+        let (code, out) = run_s("faults mesh2 64 --rates nope");
+        assert_eq!(code, 1);
+        assert!(out.contains("not a number"), "{out}");
+        let (code, out) = run_s("faults mesh2 64 --rates 1.5");
+        assert_eq!(code, 1);
+        assert!(out.contains("must lie in"), "{out}");
+    }
+
+    #[test]
+    fn beta_accepts_max_ticks() {
+        let (code, plain) = run_s("beta mesh2 64 --trials 2");
+        assert_eq!(code, 0, "{plain}");
+        let (code, budget) = run_s("beta mesh2 64 --trials 2 --max-ticks 1000000");
+        assert_eq!(code, 0, "{budget}");
+        // A generous explicit budget changes nothing.
+        assert_eq!(plain, budget);
     }
 }

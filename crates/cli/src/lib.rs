@@ -9,6 +9,7 @@ pub mod args;
 pub mod commands;
 
 pub use args::{Args, ParseError};
+pub use commands::CmdError;
 
 /// Entry point shared by `main` and tests: parse and dispatch, returning
 /// the process exit code and writing the report to `out`.
@@ -38,11 +39,14 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> i32 {
         reg.set_enabled(true);
         base
     });
+    // Typed failures map to exit codes: domain errors (unknown family,
+    // failed verification) exit 1, I/O and schema errors exit 2 — the same
+    // convention `perfbench` uses for snapshot validation.
     let code = match commands::dispatch(&args, out) {
         Ok(()) => 0,
         Err(e) => {
             let _ = writeln!(out, "error: {e}");
-            1
+            e.exit_code()
         }
     };
     if let (Some(path), Some(base)) = (metrics_out, baseline) {
@@ -53,8 +57,10 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> i32 {
         match std::fs::write(&path, delta.to_jsonl()) {
             Ok(()) => eprintln!("metrics snapshot written to {path}"),
             Err(e) => {
+                // I/O failure writing the snapshot: exit 2, like every
+                // other metrics I/O error.
                 let _ = writeln!(out, "error: cannot write metrics to {path:?}: {e}");
-                return 1;
+                return 2;
             }
         }
     }

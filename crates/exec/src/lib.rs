@@ -33,11 +33,81 @@
 //! costs one relaxed load per `run` call.
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use fcn_telemetry::LocalShard;
+
+/// Domain separator for deterministic retry seeds: retry attempt `k` of job
+/// `i` re-runs with `job_seed(base ⊕ job_seed(RETRY_STREAM, k), i)`, so the
+/// retry schedule is a pure function of `(base seed, job index, attempt)` —
+/// reproducible on any worker count, yet decorrelated from the failing draw.
+pub const RETRY_STREAM: u64 = 0x7e72_a110_0000_0001;
+
+/// The seed for attempt `attempt` (0 = first try) of job `job_index`.
+///
+/// Attempt 0 is exactly [`job_seed`]`(base_seed, job_index)` — a zero-retry
+/// [`Pool::try_run_seeded`] draws the same seeds as [`Pool::run_seeded`].
+#[inline]
+pub fn retry_seed(base_seed: u64, job_index: u64, attempt: u32) -> u64 {
+    if attempt == 0 {
+        job_seed(base_seed, job_index)
+    } else {
+        job_seed(
+            base_seed ^ job_seed(RETRY_STREAM, attempt as u64),
+            job_index,
+        )
+    }
+}
+
+/// Lock a mutex, recovering from poison: a panicking *job* must not turn
+/// into a cascading double-panic in the pool's bookkeeping. The data under
+/// these locks is per-slot (each job writes only its own index), so a
+/// poisoned lock's contents are still well-formed for every other slot.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Render a panic payload as text (panics carry `&str` or `String` in
+/// practice; anything else is reported opaquely).
+fn payload_text(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        p.downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic payload".to_string())
+    }
+}
+
+/// A job that panicked (every configured attempt), caught and reported as
+/// data instead of aborting the sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// Index of the failing job.
+    pub index: usize,
+    /// Stringified panic payload of the *last* attempt.
+    pub payload: String,
+    /// Attempts made (1 = no retries configured).
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job {} panicked after {} attempt{}: {}",
+            self.index,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.payload
+        )
+    }
+}
+
+impl std::error::Error for JobError {}
 
 /// SplitMix64 finalizer over a base seed and a job index.
 ///
@@ -171,10 +241,10 @@ impl Pool {
                             // job i's delta.
                             let shard = fcn_telemetry::take_shard();
                             if !shard.is_empty() {
-                                job_shards.lock().expect("pool shards poisoned")[i] = Some(shard);
+                                relock(&job_shards)[i] = Some(shard);
                             }
                         }
-                        slots.lock().expect("pool slots poisoned")[i] = Some(value);
+                        relock(&slots)[i] = Some(value);
                     }
                     if tele_on {
                         let lifetime = saturating_nanos(spawned);
@@ -185,7 +255,9 @@ impl Pool {
             }
         });
         if tele_on {
-            let shards = job_shards.into_inner().expect("pool shards poisoned");
+            let shards = job_shards
+                .into_inner()
+                .unwrap_or_else(|poison| poison.into_inner());
             fcn_telemetry::with_shard(|s| {
                 for shard in shards.into_iter().flatten() {
                     s.merge(&shard);
@@ -205,10 +277,83 @@ impl Pool {
         }
         slots
             .into_inner()
-            .expect("pool slots poisoned")
+            .unwrap_or_else(|poison| poison.into_inner())
             .into_iter()
-            .map(|slot| slot.expect("job produced no result"))
+            .enumerate()
+            .map(|(i, slot)| {
+                // A missing slot means job `i`'s closure unwound before
+                // writing its result; name the culprit instead of the old
+                // anonymous double-panic. (Reachable only if the caller's
+                // closure swallows its own unwind bookkeeping —
+                // `try_run`/`try_run_seeded` never leave holes.)
+                slot.unwrap_or_else(|| panic!("job {i} panicked and produced no result"))
+            })
             .collect()
+    }
+
+    /// [`Pool::run`] with per-job panic isolation: a panicking job becomes
+    /// a typed [`JobError`] naming the job index instead of unwinding
+    /// through the pool (first failing index wins, deterministically —
+    /// never "whichever thread crashed first"). Successful results are
+    /// bit-identical to [`Pool::run`].
+    pub fn try_run<T, F>(&self, count: usize, f: F) -> Result<Vec<T>, JobError>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        collect_first_error(self.run(count, |i| {
+            catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|p| {
+                record_job_panic();
+                JobError {
+                    index: i,
+                    payload: payload_text(p.as_ref()),
+                    attempts: 1,
+                }
+            })
+        }))
+    }
+
+    /// [`Pool::run_seeded`] with panic isolation *and* deterministic seeded
+    /// retry: a job that panics is re-run up to `retries` more times, each
+    /// attempt with [`retry_seed`]`(base_seed, index, attempt)` — a fresh
+    /// but fully reproducible seed, so a crash caused by one unlucky draw
+    /// is retried identically at `--jobs 1` and `--jobs 64`. Jobs that
+    /// exhaust every attempt surface as the lowest-index [`JobError`].
+    ///
+    /// With `retries = 0` and no panics this is bit-identical to
+    /// [`Pool::run_seeded`].
+    pub fn try_run_seeded<T, F>(
+        &self,
+        count: usize,
+        base_seed: u64,
+        retries: u32,
+        f: F,
+    ) -> Result<Vec<T>, JobError>
+    where
+        T: Send,
+        F: Fn(usize, u64) -> T + Sync,
+    {
+        collect_first_error(self.run(count, |i| {
+            let mut payload = String::new();
+            for attempt in 0..=retries {
+                if attempt > 0 && fcn_telemetry::global().enabled() {
+                    fcn_telemetry::with_shard(|s| s.inc("exec_job_retries_total"));
+                }
+                let seed = retry_seed(base_seed, i as u64, attempt);
+                match catch_unwind(AssertUnwindSafe(|| f(i, seed))) {
+                    Ok(v) => return Ok(v),
+                    Err(p) => {
+                        record_job_panic();
+                        payload = payload_text(p.as_ref());
+                    }
+                }
+            }
+            Err(JobError {
+                index: i,
+                payload,
+                attempts: retries + 1,
+            })
+        }))
     }
 
     /// Run `count` jobs, each receiving `(index, job_seed(base_seed, index))`.
@@ -222,6 +367,148 @@ impl Pool {
         F: Fn(usize, u64) -> T + Sync,
     {
         self.run(count, |i| f(i, job_seed(base_seed, i as u64)))
+    }
+}
+
+/// Fold per-job results into all-or-first-error, by job index (so the
+/// reported failure is deterministic regardless of completion order).
+fn collect_first_error<T>(results: Vec<Result<T, JobError>>) -> Result<Vec<T>, JobError> {
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+/// Bump the job-panic counter into this worker's shard (merged in job-index
+/// order like every other metric, so panic counts are worker-count
+/// independent).
+fn record_job_panic() {
+    if fcn_telemetry::global().enabled() {
+        fcn_telemetry::with_shard(|s| s.inc("exec_job_panics_total"));
+    }
+}
+
+/// A shared cancellation flag: cloned into workers/watchdogs, checked by
+/// long loops at a natural granularity (the router checks once per tick via
+/// `route_compiled_gated`). Raising it is idempotent and never unsafe —
+/// consumers stop at their next check with a typed `Cancelled` outcome.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raise the flag. All clones observe it.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Has the flag been raised?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// The underlying flag, for consumers that poll a raw
+    /// `&AtomicBool` (e.g. `fcn_routing::route_compiled_gated`).
+    pub fn flag(&self) -> &AtomicBool {
+        &self.0
+    }
+}
+
+/// A wall-clock watchdog: arms a timer on a helper thread and raises a
+/// [`CancelToken`] if the timer expires before the watchdog is dropped.
+///
+/// Dropping the watchdog disarms it (condvar wakeup + join — no dangling
+/// thread, no spurious late cancellation), so the usual shape is
+///
+/// ```
+/// use fcn_exec::Watchdog;
+/// use std::time::Duration;
+///
+/// let dog = Watchdog::arm(Duration::from_secs(3600));
+/// let cancel = dog.token().clone();
+/// // ... long sweep passing `cancel.flag()` into route_compiled_gated ...
+/// assert!(!dog.fired());
+/// drop(dog); // disarms
+/// ```
+///
+/// Firing is inherently wall-clock dependent and therefore *not* part of
+/// the determinism envelope; the telemetry counter
+/// `exec_watchdog_fired_total` records it as an exceptional event.
+#[derive(Debug)]
+pub struct Watchdog {
+    disarm: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    token: CancelToken,
+}
+
+impl Watchdog {
+    /// Arm a watchdog with a fresh token.
+    pub fn arm(timeout: Duration) -> Watchdog {
+        Watchdog::arm_token(CancelToken::new(), timeout)
+    }
+
+    /// Arm a watchdog that cancels an existing `token` on expiry.
+    pub fn arm_token(token: CancelToken, timeout: Duration) -> Watchdog {
+        let disarm = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair = Arc::clone(&disarm);
+        let fire = token.clone();
+        let handle = std::thread::spawn(move || {
+            let (lock, cv) = &*pair;
+            let deadline = Instant::now() + timeout;
+            let mut disarmed = relock(lock);
+            loop {
+                if *disarmed {
+                    return;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (g, _) = cv
+                    .wait_timeout(disarmed, deadline - now)
+                    .unwrap_or_else(|poison| poison.into_inner());
+                disarmed = g;
+            }
+            drop(disarmed);
+            fire.cancel();
+            if fcn_telemetry::global().enabled() {
+                fcn_telemetry::with_shard(|s| s.inc("exec_watchdog_fired_total"));
+                fcn_telemetry::flush_thread_shard(fcn_telemetry::global());
+            }
+        });
+        Watchdog {
+            disarm,
+            handle: Some(handle),
+            token,
+        }
+    }
+
+    /// The token this watchdog will cancel.
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// Did the watchdog expire (i.e. is its token cancelled)?
+    pub fn fired(&self) -> bool {
+        self.token.is_cancelled()
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        {
+            let (lock, cv) = &*self.disarm;
+            *relock(lock) = true;
+            cv.notify_all();
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -321,5 +608,103 @@ mod tests {
         let pool = Pool::new(4);
         let out = pool.run(data.len(), |i| data[i] * 2);
         assert_eq!(out[31], 62);
+    }
+
+    #[test]
+    fn retry_seed_attempt_zero_matches_job_seed() {
+        for i in 0..16u64 {
+            assert_eq!(retry_seed(0xfeed, i, 0), job_seed(0xfeed, i));
+            assert_ne!(retry_seed(0xfeed, i, 1), job_seed(0xfeed, i));
+            assert_ne!(retry_seed(0xfeed, i, 1), retry_seed(0xfeed, i, 2));
+        }
+    }
+
+    #[test]
+    fn try_run_reports_the_lowest_failing_index() {
+        for jobs in [1, 4] {
+            let pool = Pool::new(jobs);
+            let err = pool
+                .try_run(32, |i| {
+                    if i == 7 || i == 21 {
+                        panic!("boom at {i}");
+                    }
+                    i * 2
+                })
+                .unwrap_err();
+            assert_eq!(err.index, 7, "jobs={jobs}");
+            assert_eq!(err.attempts, 1);
+            assert!(err.payload.contains("boom at 7"), "{}", err.payload);
+            assert!(err.to_string().contains("job 7 panicked"));
+        }
+    }
+
+    #[test]
+    fn try_run_matches_run_when_nothing_panics() {
+        let pool = Pool::new(3);
+        let ok = pool.try_run(20, |i| i + 1).unwrap();
+        assert_eq!(ok, pool.run(20, |i| i + 1));
+        let seeded = pool.try_run_seeded(20, 9, 0, |_, s| s).unwrap();
+        assert_eq!(seeded, pool.run_seeded(20, 9, |_, s| s));
+    }
+
+    #[test]
+    fn seeded_retry_is_deterministic_across_worker_counts() {
+        // Job 5 panics on its first-attempt seed and succeeds on the
+        // deterministic retry seed; every worker count must agree on the
+        // final output bytes.
+        let work = |i: usize, seed: u64| {
+            if i == 5 && seed == retry_seed(0xabc, 5, 0) {
+                panic!("flaky draw");
+            }
+            seed ^ (i as u64)
+        };
+        let seq = Pool::sequential()
+            .try_run_seeded(12, 0xabc, 2, work)
+            .unwrap();
+        for jobs in [2, 4, 8] {
+            let par = Pool::new(jobs).try_run_seeded(12, 0xabc, 2, work).unwrap();
+            assert_eq!(par, seq, "jobs={jobs}");
+        }
+        assert_eq!(seq[5], retry_seed(0xabc, 5, 1) ^ 5);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_attempt_count() {
+        let err = Pool::new(2)
+            .try_run_seeded(4, 1, 3, |i, _| {
+                if i == 2 {
+                    panic!("always fails");
+                }
+                i
+            })
+            .unwrap_err();
+        assert_eq!((err.index, err.attempts), (2, 4));
+    }
+
+    #[test]
+    fn watchdog_fires_and_cancels_token() {
+        let dog = Watchdog::arm(Duration::from_millis(10));
+        let token = dog.token().clone();
+        let t0 = Instant::now();
+        while !token.is_cancelled() {
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "watchdog never fired"
+            );
+            std::thread::yield_now();
+        }
+        assert!(dog.fired());
+    }
+
+    #[test]
+    fn dropped_watchdog_does_not_fire() {
+        let token = CancelToken::new();
+        let dog = Watchdog::arm_token(token.clone(), Duration::from_secs(3600));
+        assert!(!dog.fired());
+        drop(dog); // must disarm + join promptly, not hang for an hour
+        assert!(!token.is_cancelled());
+        // The flag view is shared with clones.
+        token.cancel();
+        assert!(token.flag().load(Ordering::Relaxed));
     }
 }

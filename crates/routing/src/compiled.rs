@@ -24,6 +24,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use fcn_faults::FaultPlan;
 use fcn_multigraph::NodeId;
 use fcn_topology::Machine;
 
@@ -57,6 +58,19 @@ pub enum RouteError {
         /// Index of the packet whose path is malformed.
         packet: usize,
     },
+    /// No surviving route exists between a demand's endpoints once a
+    /// [`fcn_faults::FaultPlan`]'s dead wires and nodes are removed — the
+    /// fault-aware planner's typed "this demand is stranded" outcome
+    /// (produced by [`crate::native::plan_routes_faulted`], never by an
+    /// intact machine).
+    Unreachable {
+        /// Demand source.
+        src: NodeId,
+        /// Demand destination.
+        dst: NodeId,
+        /// Index of the demand that cannot be satisfied.
+        packet: usize,
+    },
 }
 
 impl fmt::Display for RouteError {
@@ -72,6 +86,12 @@ impl fmt::Display for RouteError {
             ),
             RouteError::NoWire { from, to, packet } => {
                 write!(f, "packet {packet}: no wire {from} -> {to}")
+            }
+            RouteError::Unreachable { src, dst, packet } => {
+                write!(
+                    f,
+                    "packet {packet}: {src} -> {dst} unreachable in the degraded host"
+                )
             }
         }
     }
@@ -117,6 +137,40 @@ pub struct CompiledNet {
     /// unlimited — the common case (meshes, trees, hypercubic machines),
     /// which the engine serves with a budget-free fast path.
     unit: bool,
+    /// Fault overlay compiled by [`CompiledNet::apply_faults`]. `None` for
+    /// intact machines *and* for `apply_faults(&FaultPlan::none())` — the
+    /// transparency pin: an empty plan leaves the net `==` the original.
+    faults: Option<Box<FaultOverlay>>,
+}
+
+/// Per-wire fault state resolved against a [`CompiledNet`]'s wire ids.
+///
+/// Kept out-of-line (boxed, optional) so intact machines pay one pointer of
+/// storage and one `None` branch on the engine's *budgeted* send path only
+/// (the unit fast path never sees an overlay: faulted nets clear `unit`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct FaultOverlay {
+    /// Permanently dead directed wires (both directions of a dead link).
+    wire_dead: Vec<bool>,
+    /// CSR of transient outage windows per wire: wire `w`'s windows are
+    /// `win_offsets[w]..win_offsets[w+1]`.
+    win_offsets: Vec<u32>,
+    /// Window opening ticks (a wire's capacity drops from `start`...).
+    win_start: Vec<u64>,
+    /// Window closing ticks (...until just before `end`).
+    win_end: Vec<u64>,
+    /// Capacity during the window.
+    win_cap: Vec<u32>,
+    /// True when at least one wire is permanently dead (enables the
+    /// engine's injection-time stranding scan).
+    any_dead: bool,
+    /// First tick by which every window has closed — beyond this the net
+    /// behaves like its permanent part, which bounds router termination.
+    last_window_end: u64,
+    /// Dead directed wires (telemetry/reporting).
+    dead_wires: u32,
+    /// Dead nodes (telemetry/reporting).
+    dead_nodes: u32,
 }
 
 impl CompiledNet {
@@ -150,7 +204,153 @@ impl CompiledNet {
             wire_cap,
             send_cap,
             unit,
+            faults: None,
         }
+    }
+
+    /// Compile a [`FaultPlan`] into a faulted copy of this net.
+    ///
+    /// The wire CSR is **unchanged** — dead wires stay in the arrays,
+    /// flagged in the overlay — so a [`PacketBatch`] compiled against the
+    /// intact net remains valid against the faulted one (and vice versa).
+    /// Dead nodes additionally get a zero send budget. The transparency
+    /// pin: applying [`FaultPlan::none`] (or any empty plan) returns a net
+    /// `==` to `self`, so empty plans are byte-invisible to the engine.
+    pub fn apply_faults(&self, plan: &FaultPlan) -> CompiledNet {
+        if plan.is_empty() {
+            return self.clone();
+        }
+        let wires = self.wire_count();
+        let mut wire_dead = vec![false; wires];
+        let mut dead_wires = 0u32;
+        for (w, dead) in wire_dead.iter_mut().enumerate() {
+            if plan.link_dead(self.wire_from[w], self.wire_to[w]) {
+                *dead = true;
+                dead_wires += 1;
+            }
+        }
+        // Resolve outages to directed wires, then CSR them by wire id.
+        let mut events: Vec<(u32, u64, u64, u32)> = Vec::new();
+        for o in plan.outages() {
+            for (a, b) in [(o.u, o.v), (o.v, o.u)] {
+                if let Some(w) = self.wire_between(a, b) {
+                    events.push((w, o.start, o.end, o.capacity));
+                }
+            }
+        }
+        events.sort_unstable();
+        let mut win_offsets = Vec::with_capacity(wires + 1);
+        let mut win_start = Vec::with_capacity(events.len());
+        let mut win_end = Vec::with_capacity(events.len());
+        let mut win_cap = Vec::with_capacity(events.len());
+        win_offsets.push(0u32);
+        let mut cursor = 0usize;
+        for w in 0..wires as u32 {
+            while cursor < events.len() && events[cursor].0 == w {
+                let (_, s, e, c) = events[cursor];
+                win_start.push(s);
+                win_end.push(e);
+                win_cap.push(c);
+                cursor += 1;
+            }
+            win_offsets.push(win_start.len() as u32);
+        }
+        let mut send_cap = self.send_cap.clone();
+        let mut dead_nodes = 0u32;
+        for &u in plan.dead_nodes() {
+            if (u as usize) < send_cap.len() {
+                send_cap[u as usize] = 0;
+                dead_nodes += 1;
+            }
+        }
+        if fcn_telemetry::global().enabled() {
+            let windows = win_start.len() as u64;
+            fcn_telemetry::with_shard(|s| {
+                s.inc("fault_plans_applied_total");
+                s.add("fault_dead_wires_total", dead_wires as u64);
+                s.add("fault_dead_nodes_total", dead_nodes as u64);
+                s.add("fault_outage_windows_total", windows);
+            });
+        }
+        let overlay = FaultOverlay {
+            any_dead: dead_wires > 0,
+            last_window_end: plan.last_outage_end(),
+            wire_dead,
+            win_offsets,
+            win_start,
+            win_end,
+            win_cap,
+            dead_wires,
+            dead_nodes,
+        };
+        CompiledNet {
+            send_cap,
+            // Faulted nets always take the budgeted send path: transient
+            // windows and zero send budgets need per-tick capacity checks.
+            unit: false,
+            faults: Some(Box::new(overlay)),
+            ..self.clone()
+        }
+    }
+
+    /// True when this net carries a fault overlay (non-empty plan applied).
+    #[inline]
+    pub fn is_faulted(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// True when at least one wire is permanently dead — the engine's cue
+    /// to scan paths for stranded packets at injection time.
+    #[inline]
+    pub(crate) fn has_dead_wires(&self) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.any_dead)
+    }
+
+    /// Is wire `w` permanently dead under the applied fault plan?
+    #[inline]
+    pub fn wire_dead(&self, w: u32) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.wire_dead[w as usize])
+    }
+
+    /// Per-tick capacity of wire `w` at tick `tick`, after fault gating:
+    /// 0 for dead wires, the window capacity inside an outage window, and
+    /// the static link multiplicity otherwise.
+    #[inline]
+    pub(crate) fn effective_wire_capacity(&self, w: u32, tick: u64) -> u32 {
+        let base = self.wire_cap[w as usize];
+        match &self.faults {
+            None => base,
+            Some(f) => {
+                if f.wire_dead[w as usize] {
+                    return 0;
+                }
+                let lo = f.win_offsets[w as usize] as usize;
+                let hi = f.win_offsets[w as usize + 1] as usize;
+                let mut cap = base;
+                for i in lo..hi {
+                    if f.win_start[i] <= tick && tick < f.win_end[i] {
+                        cap = cap.min(f.win_cap[i]);
+                    }
+                }
+                cap
+            }
+        }
+    }
+
+    /// `(dead nodes, dead directed wires, outage windows)` of the applied
+    /// fault plan — all zeros for intact nets.
+    pub fn fault_summary(&self) -> (u32, u32, usize) {
+        match &self.faults {
+            None => (0, 0, 0),
+            Some(f) => (f.dead_nodes, f.dead_wires, f.win_start.len()),
+        }
+    }
+
+    /// First tick by which every transient outage window has closed.
+    pub fn last_fault_window_end(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.last_window_end)
     }
 
     /// [`CompiledNet::compile`] wrapped for sharing across sweep batches

@@ -34,6 +34,7 @@
 use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use fcn_multigraph::NodeId;
 use fcn_telemetry::LocalHistogram;
@@ -65,6 +66,34 @@ impl Default for RouterConfig {
     }
 }
 
+/// Why a routing run ended — every run terminates with exactly one of
+/// these (the router never silently spins: permanently-blocked packets are
+/// stranded at injection, transient outage windows are finite, and
+/// `max_ticks`/cancellation are hard stops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AbortCause {
+    /// Every packet was delivered.
+    Completed,
+    /// The `max_ticks` safety valve fired with routable packets in flight.
+    MaxTicks,
+    /// Every *routable* packet was delivered, but some packets' paths
+    /// crossed permanently dead wires and could never be injected.
+    Stranded,
+    /// A caller-supplied cancellation flag (watchdog, Ctrl-C) was raised.
+    Cancelled,
+}
+
+impl std::fmt::Display for AbortCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AbortCause::Completed => "completed",
+            AbortCause::MaxTicks => "max-ticks",
+            AbortCause::Stranded => "stranded",
+            AbortCause::Cancelled => "cancelled",
+        })
+    }
+}
+
 /// Result of routing one batch.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RoutingOutcome {
@@ -80,6 +109,11 @@ pub struct RoutingOutcome {
     pub max_queue: usize,
     /// Total wire traversals performed.
     pub total_hops: u64,
+    /// Packets never injected because their path crosses a permanently
+    /// dead wire (always 0 on intact machines).
+    pub stranded: usize,
+    /// Why the run ended.
+    pub abort: AbortCause,
 }
 
 impl RoutingOutcome {
@@ -172,6 +206,9 @@ struct RunTele {
     /// Packet-ticks spent waiting: packets that sat in a wire queue over a
     /// tick without crossing (occupancy minus that tick's crossings).
     stalled: u64,
+    /// Wire-visits whose capacity was reduced by a fault (dead wire or an
+    /// open outage window) during the send phase.
+    faults_gated: u64,
 }
 
 /// Uniform view over the per-wire queue pool of one discipline, so the tick
@@ -252,6 +289,21 @@ pub fn route_compiled(
     cfg: RouterConfig,
     scratch: &mut RouterScratch,
 ) -> RoutingOutcome {
+    route_compiled_gated(net, batch, cfg, scratch, None)
+}
+
+/// [`route_compiled`] with an optional cancellation flag, checked once per
+/// tick (one relaxed load). When the flag is raised the run stops at the
+/// next tick boundary with [`AbortCause::Cancelled`] — the graceful-stop
+/// hook used by `fcn_exec::Watchdog`. `cancel: None` is byte-identical to
+/// [`route_compiled`].
+pub fn route_compiled_gated(
+    net: &CompiledNet,
+    batch: &PacketBatch,
+    cfg: RouterConfig,
+    scratch: &mut RouterScratch,
+    cancel: Option<&AtomicBool>,
+) -> RoutingOutcome {
     scratch.prepare(net.node_count(), batch.len());
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     for _ in 0..batch.len() {
@@ -271,9 +323,25 @@ pub fn route_compiled(
             grow_and_clear(&mut pool, net.wire_count(), VecDeque::new);
             let mut q = FifoQueues(&mut pool);
             let out = if unit {
-                run_ticks::<_, true, DISC_FIFO>(net, batch, cfg, &mut q, scratch, tele.as_mut())
+                run_ticks::<_, true, DISC_FIFO>(
+                    net,
+                    batch,
+                    cfg,
+                    &mut q,
+                    scratch,
+                    tele.as_mut(),
+                    cancel,
+                )
             } else {
-                run_ticks::<_, false, DISC_FIFO>(net, batch, cfg, &mut q, scratch, tele.as_mut())
+                run_ticks::<_, false, DISC_FIFO>(
+                    net,
+                    batch,
+                    cfg,
+                    &mut q,
+                    scratch,
+                    tele.as_mut(),
+                    cancel,
+                )
             };
             scratch.fifo = pool;
             out
@@ -283,7 +351,15 @@ pub fn route_compiled(
             grow_and_clear(&mut pool, net.wire_count(), Vec::new);
             let mut q = PrioQueues(&mut pool);
             let out = if unit {
-                run_ticks::<_, true, DISC_FARTHEST>(net, batch, cfg, &mut q, scratch, tele.as_mut())
+                run_ticks::<_, true, DISC_FARTHEST>(
+                    net,
+                    batch,
+                    cfg,
+                    &mut q,
+                    scratch,
+                    tele.as_mut(),
+                    cancel,
+                )
             } else {
                 run_ticks::<_, false, DISC_FARTHEST>(
                     net,
@@ -292,6 +368,7 @@ pub fn route_compiled(
                     &mut q,
                     scratch,
                     tele.as_mut(),
+                    cancel,
                 )
             };
             scratch.prio = pool;
@@ -302,9 +379,25 @@ pub fn route_compiled(
             grow_and_clear(&mut pool, net.wire_count(), Vec::new);
             let mut q = PrioQueues(&mut pool);
             let out = if unit {
-                run_ticks::<_, true, DISC_RANDOM>(net, batch, cfg, &mut q, scratch, tele.as_mut())
+                run_ticks::<_, true, DISC_RANDOM>(
+                    net,
+                    batch,
+                    cfg,
+                    &mut q,
+                    scratch,
+                    tele.as_mut(),
+                    cancel,
+                )
             } else {
-                run_ticks::<_, false, DISC_RANDOM>(net, batch, cfg, &mut q, scratch, tele.as_mut())
+                run_ticks::<_, false, DISC_RANDOM>(
+                    net,
+                    batch,
+                    cfg,
+                    &mut q,
+                    scratch,
+                    tele.as_mut(),
+                    cancel,
+                )
             };
             scratch.prio = pool;
             out
@@ -328,6 +421,20 @@ fn publish_run(out: &RoutingOutcome, tele: &RunTele, scratch_runs: u64) {
         s.add("router_stalled_packet_ticks_total", tele.stalled);
         if !out.completed {
             s.inc("router_aborts_total");
+        }
+        // Per-cause abort accounting (`fcnemu beta --verbose` surfaces
+        // these so max_ticks aborts never fold silently into a rate).
+        match out.abort {
+            AbortCause::Completed => {}
+            AbortCause::MaxTicks => s.inc("router_abort_max_ticks_total"),
+            AbortCause::Stranded => s.inc("router_abort_stranded_total"),
+            AbortCause::Cancelled => s.inc("router_abort_cancelled_total"),
+        }
+        if out.stranded > 0 {
+            s.add("router_stranded_packets_total", out.stranded as u64);
+        }
+        if tele.faults_gated > 0 {
+            s.add("router_faults_gated_total", tele.faults_gated);
         }
         s.record("router_run_max_queue", out.max_queue as u64);
         s.record_histogram("router_queue_occupancy", &tele.occupancy);
@@ -386,6 +493,7 @@ impl Clearable for Vec<u64> {
 /// tracked as `(remaining, cursor)` columns instead of the reference's
 /// vertex position: an arrival touches one `wire_ids` slot and one
 /// wire-tail slot instead of re-deriving its location from the path arrays.
+#[allow(clippy::too_many_arguments)]
 fn run_ticks<Q: WireQueues, const UNIT: bool, const DISC: u8>(
     net: &CompiledNet,
     batch: &PacketBatch,
@@ -393,6 +501,7 @@ fn run_ticks<Q: WireQueues, const UNIT: bool, const DISC: u8>(
     queues: &mut Q,
     scr: &mut RouterScratch,
     mut tele: Option<&mut RunTele>,
+    cancel: Option<&AtomicBool>,
 ) -> RoutingOutcome {
     let total = batch.len();
     // Smaller key pops first; FarthestFirst inverts remaining hops so
@@ -414,10 +523,22 @@ fn run_ticks<Q: WireQueues, const UNIT: bool, const DISC: u8>(
     // Injection: every packet enqueues on its first wire at tick 0. Queue
     // lengths only grow here, so tracking the max per push matches the
     // reference engine's post-injection scan.
+    //
+    // Fault gating: a packet whose precompiled path crosses a permanently
+    // dead wire can never be delivered — it is *stranded* here (typed
+    // outcome) rather than left to spin the loop to `max_ticks`. The scan
+    // only runs when the net actually has dead wires, so intact machines
+    // take the exact pre-fault-plane injection path.
+    let mut stranded = 0usize;
+    let strand_scan = net.has_dead_wires();
     for pid in 0..total {
         let hops = batch.hops(pid);
         if hops == 0 {
             delivered += 1;
+            continue;
+        }
+        if strand_scan && batch.wires(pid).iter().any(|&w| net.wire_dead(w)) {
+            stranded += 1;
             continue;
         }
         let wb = batch.wire_base(pid);
@@ -435,8 +556,19 @@ fn run_ticks<Q: WireQueues, const UNIT: bool, const DISC: u8>(
         }
     }
 
+    let routable = total - stranded;
     let mut ticks = 0u64;
-    while delivered < total && ticks < cfg.max_ticks {
+    let mut cancelled = false;
+    let mut gated = 0u64;
+    while delivered < routable && ticks < cfg.max_ticks {
+        // Graceful-stop hook: one relaxed load per tick when a watchdog or
+        // signal handler armed a flag; `None` compiles to nothing observable.
+        if let Some(c) = cancel {
+            if c.load(Ordering::Relaxed) {
+                cancelled = true;
+                break;
+            }
+        }
         ticks += 1;
         scr.arrivals.clear();
         // Send phase: each active node pushes packets subject to per-wire
@@ -495,7 +627,18 @@ fn run_ticks<Q: WireQueues, const UNIT: bool, const DISC: u8>(
                     if queues.is_empty(w) {
                         continue;
                     }
-                    let cap = (net.wire_capacity(w as u32) as u64).min(budget);
+                    // Transient-fault gating: inside an outage window the
+                    // wire's capacity is reduced (usually to zero — queued
+                    // packets wait the window out). For intact nets this is
+                    // the static multiplicity, bit-for-bit.
+                    let cap_now = net.effective_wire_capacity(w as u32, ticks - 1);
+                    if cap_now < net.wire_capacity(w as u32) {
+                        gated += 1;
+                    }
+                    if cap_now == 0 {
+                        continue;
+                    }
+                    let cap = (cap_now as u64).min(budget);
                     let mut sent = 0u64;
                     while sent < cap {
                         match queues.pop(w) {
@@ -564,13 +707,27 @@ fn run_ticks<Q: WireQueues, const UNIT: bool, const DISC: u8>(
         scr.arrivals = arrivals;
     }
 
+    if let Some(t) = tele {
+        t.faults_gated += gated;
+    }
+    let abort = if cancelled {
+        AbortCause::Cancelled
+    } else if delivered < routable {
+        AbortCause::MaxTicks
+    } else if stranded > 0 {
+        AbortCause::Stranded
+    } else {
+        AbortCause::Completed
+    };
     RoutingOutcome {
         ticks,
         delivered,
         total,
-        completed: delivered == total,
+        completed: abort == AbortCause::Completed,
         max_queue,
         total_hops,
+        stranded,
+        abort,
     }
 }
 
@@ -851,6 +1008,15 @@ pub mod reference {
             completed: delivered == total,
             max_queue,
             total_hops,
+            // The reference engine predates the fault plane and only ever
+            // routes intact machines: nothing strands, and the two exit
+            // conditions map onto the first two abort causes.
+            stranded: 0,
+            abort: if delivered == total {
+                AbortCause::Completed
+            } else {
+                AbortCause::MaxTicks
+            },
         }
     }
 }

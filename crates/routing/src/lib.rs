@@ -33,15 +33,16 @@ pub mod steady;
 pub use cache::PlanCache;
 pub use compiled::{CompiledNet, PacketBatch, RouteError};
 pub use engine::{
-    route_batch, route_compiled, route_compiled_pooled, try_route_batch, RouterConfig,
-    RouterScratch, RoutingOutcome,
+    route_batch, route_compiled, route_compiled_gated, route_compiled_pooled, try_route_batch,
+    AbortCause, RouterConfig, RouterScratch, RoutingOutcome,
 };
 pub use harness::{
     measure_rate, measure_rate_ctx, measure_rate_with, plateau_rate, route_traffic,
     route_traffic_ctx, route_traffic_with, saturation_sweep, RateSample, RouteCtx,
 };
 pub use native::{
-    de_bruijn_path, plan_batch, plan_routes, plan_routes_cached, shuffle_exchange_path,
+    de_bruijn_path, plan_batch, plan_routes, plan_routes_cached, plan_routes_degraded,
+    plan_routes_faulted, shuffle_exchange_path, DegradedPlan,
 };
 pub use oracle::PathOracle;
 pub use packet::{PacketPath, QueueDiscipline, Strategy};

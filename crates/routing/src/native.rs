@@ -9,6 +9,7 @@
 //! policy; callers that want to *ablate* the scheme can still construct a
 //! [`PathOracle`] directly.
 
+use fcn_faults::FaultPlan;
 use fcn_multigraph::NodeId;
 use fcn_topology::{Machine, RoutePolicy};
 
@@ -104,6 +105,169 @@ pub fn plan_batch(
 ) -> Result<PacketBatch, RouteError> {
     let paths = plan_routes_cached(machine, demands, strategy, seed, cache);
     PacketBatch::compile(net, &paths)
+}
+
+/// Outcome of planning a batch against a [`FaultPlan`]-degraded machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedPlan {
+    /// Routes for every *routable* demand, in input order (unreachable
+    /// demands are simply absent).
+    pub paths: Vec<PacketPath>,
+    /// Indices (into the demand slice) of demands with no surviving route:
+    /// a dead endpoint, or endpoints in different surviving components.
+    pub unreachable: Vec<usize>,
+    /// Demands whose native route crossed a fault and were successfully
+    /// re-routed by BFS on the degraded graph.
+    pub replans: u64,
+}
+
+/// Fault-aware [`plan_routes_cached`]: plan `demands` around the dead wires
+/// and nodes of `fault_plan`, degrading gracefully per policy.
+///
+/// * **Empty plan** — delegates to [`plan_routes_cached`] untouched (the
+///   transparency pin: zero overhead, bit-identical output).
+/// * **BFS policies** (shortest-path, prefix-restricted, Valiant) — the
+///   oracle runs on [`FaultPlan::degrade_graph`], so every emitted route
+///   avoids dead wires by construction. A failed Valiant route (e.g. a dead
+///   random intermediate) falls back to a direct BFS route, counted as a
+///   replan.
+/// * **Arithmetic policies** (de Bruijn / shuffle-exchange bit correction,
+///   X-tree levels) — the native route is computed first; when it crosses a
+///   fault, the demand is re-planned by seeded BFS on the degraded graph
+///   (counted in [`DegradedPlan::replans`]).
+///
+/// Demands with a permanently dead endpoint are always unreachable, even
+/// the trivial `s == s` ones — a dead processor originates nothing.
+/// Attaching a [`PlanCache`] is safe: the degraded graph's fingerprint
+/// differs from the intact one's, so cached trees never cross over.
+pub fn plan_routes_degraded(
+    machine: &Machine,
+    demands: &[(NodeId, NodeId)],
+    strategy: Strategy,
+    seed: u64,
+    fault_plan: &FaultPlan,
+    cache: Option<&PlanCache>,
+) -> DegradedPlan {
+    if fault_plan.is_empty() {
+        return DegradedPlan {
+            paths: plan_routes_cached(machine, demands, strategy, seed, cache),
+            unreachable: Vec::new(),
+            replans: 0,
+        };
+    }
+    let degraded = fault_plan.degrade_graph(machine.graph());
+    let policy = machine.route_policy();
+    let limit = match policy {
+        RoutePolicy::RestrictToPrefix(p) => Some(p),
+        _ => None,
+    };
+    let oracle = |lim: Option<usize>| {
+        let o = match lim {
+            Some(p) => PathOracle::with_node_limit(&degraded, p, seed),
+            None => PathOracle::new(&degraded, seed),
+        };
+        match cache {
+            Some(c) => o.with_cache(c),
+            None => o,
+        }
+    };
+    // Phase 1 — candidate routes. Arithmetic policies compute their native
+    // route on the intact topology (to be fault-checked below); every other
+    // policy plans directly on the degraded graph and is fault-free by
+    // construction.
+    let arithmetic = matches!(
+        (strategy, policy),
+        (
+            Strategy::ShortestPath,
+            RoutePolicy::DeBruijnBits { .. }
+                | RoutePolicy::ShuffleExchangeBits { .. }
+                | RoutePolicy::XTreeLevels { .. }
+        )
+    );
+    let mut candidates: Vec<Option<PacketPath>> = if arithmetic {
+        plan_routes_cached(machine, demands, strategy, seed, cache)
+            .into_iter()
+            .map(Some)
+            .collect()
+    } else {
+        oracle(limit).try_routes(demands, strategy)
+    };
+    // Phase 2 — fault-check and repair. A blocked or missing candidate is
+    // re-planned by direct BFS on the degraded graph; per-source BFS
+    // seeding keeps the repair a pure function of `(seed, demand)`,
+    // independent of which other demands needed repair.
+    let mut needs_bfs: Vec<usize> = Vec::new();
+    for (i, cand) in candidates.iter_mut().enumerate() {
+        let (s, d) = demands[i];
+        if fault_plan.node_dead(s) || fault_plan.node_dead(d) {
+            *cand = None; // dead endpoint: never routable
+            continue;
+        }
+        let blocked = match cand {
+            Some(p) => fault_plan.path_blocked(&p.path),
+            None => true,
+        };
+        if blocked {
+            *cand = None;
+            needs_bfs.push(i);
+        }
+    }
+    let mut replans = 0u64;
+    if !needs_bfs.is_empty() {
+        let sub: Vec<(NodeId, NodeId)> = needs_bfs.iter().map(|&i| demands[i]).collect();
+        let repaired = oracle(limit).try_routes(&sub, Strategy::ShortestPath);
+        for (&i, r) in needs_bfs.iter().zip(repaired) {
+            if r.is_some() {
+                replans += 1;
+            }
+            candidates[i] = r;
+        }
+    }
+    // Phase 3 — split routable from stranded.
+    let mut paths = Vec::with_capacity(candidates.len());
+    let mut unreachable = Vec::new();
+    for (i, cand) in candidates.into_iter().enumerate() {
+        match cand {
+            Some(p) => paths.push(p),
+            None => unreachable.push(i),
+        }
+    }
+    if fcn_telemetry::global().enabled() && (replans > 0 || !unreachable.is_empty()) {
+        let dropped = unreachable.len() as u64;
+        fcn_telemetry::with_shard(|s| {
+            s.add("planner_replans_total", replans);
+            s.add("planner_unreachable_total", dropped);
+        });
+    }
+    DegradedPlan {
+        paths,
+        unreachable,
+        replans,
+    }
+}
+
+/// Strict fault-aware planning: like [`plan_routes_degraded`] but an
+/// unreachable demand is a typed [`RouteError::Unreachable`] (carrying the
+/// first stranded demand) instead of being dropped. Use this when the
+/// caller requires every demand delivered.
+pub fn plan_routes_faulted(
+    machine: &Machine,
+    demands: &[(NodeId, NodeId)],
+    strategy: Strategy,
+    seed: u64,
+    fault_plan: &FaultPlan,
+    cache: Option<&PlanCache>,
+) -> Result<Vec<PacketPath>, RouteError> {
+    let planned = plan_routes_degraded(machine, demands, strategy, seed, fault_plan, cache);
+    if let Some(&i) = planned.unreachable.first() {
+        let (src, dst) = demands[i];
+        return Err(RouteError::Unreachable {
+            src,
+            dst,
+            packet: i,
+        });
+    }
+    Ok(planned.paths)
 }
 
 /// The classical de Bruijn route: shift in the destination's bits, most

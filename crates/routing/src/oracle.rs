@@ -94,19 +94,46 @@ impl<'g> PathOracle<'g> {
     /// Compute routes for the given demands under a strategy.
     ///
     /// Output order matches input order.
+    ///
+    /// # Panics
+    /// Panics when some demand has no path in the host (possible only on
+    /// disconnected graphs — e.g. a [`fcn_faults::FaultPlan`]-degraded one);
+    /// use [`PathOracle::try_routes`] there.
     pub fn routes(&mut self, demands: &[(NodeId, NodeId)], strategy: Strategy) -> Vec<PacketPath> {
+        self.try_routes(demands, strategy)
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| {
+                p.unwrap_or_else(|| {
+                    let (s, d) = demands[i];
+                    panic!("no path {s} -> {d} in host")
+                })
+            })
+            .collect()
+    }
+
+    /// [`PathOracle::routes`] surfacing unreachable demands as `None`
+    /// instead of panicking — the fault-aware entry point: on a
+    /// degraded graph a demand whose endpoints fall in different surviving
+    /// components has no route. Reachable demands' routes are bit-identical
+    /// to [`PathOracle::routes`] (same BFS trees, same RNG draws, in the
+    /// same order).
+    pub fn try_routes(
+        &mut self,
+        demands: &[(NodeId, NodeId)],
+        strategy: Strategy,
+    ) -> Vec<Option<PacketPath>> {
         match strategy {
-            Strategy::ShortestPath => self.direct_routes(demands),
+            Strategy::ShortestPath => self
+                .legs_grouped(demands)
+                .into_iter()
+                .map(|leg| leg.map(PacketPath::new))
+                .collect(),
             Strategy::Valiant => self.valiant_routes(demands),
         }
     }
 
-    fn direct_routes(&mut self, demands: &[(NodeId, NodeId)]) -> Vec<PacketPath> {
-        let legs = self.legs_grouped(demands);
-        legs.into_iter().map(PacketPath::new).collect()
-    }
-
-    fn valiant_routes(&mut self, demands: &[(NodeId, NodeId)]) -> Vec<PacketPath> {
+    fn valiant_routes(&mut self, demands: &[(NodeId, NodeId)]) -> Vec<Option<PacketPath>> {
         let n = (self.graph.node_count().min(self.node_limit)) as NodeId;
         let intermediates: Vec<NodeId> = (0..demands.len())
             .map(|_| self.rng.random_range(0..n))
@@ -125,21 +152,23 @@ impl<'g> PathOracle<'g> {
         let leg2 = self.legs_grouped(&second);
         leg1.into_iter()
             .zip(leg2)
-            .map(|(mut a, b)| {
+            .map(|(a, b)| {
+                let (mut a, b) = (a?, b?);
                 debug_assert_eq!(*a.last().unwrap(), b[0]);
                 a.extend_from_slice(&b[1..]);
-                PacketPath::new(a)
+                Some(PacketPath::new(a))
             })
             .collect()
     }
 
     /// Shortest-path legs for all demands, one BFS per distinct source,
     /// trees dropped eagerly (unless cached). Returns raw vertex sequences
-    /// in input order.
-    fn legs_grouped(&mut self, demands: &[(NodeId, NodeId)]) -> Vec<Vec<NodeId>> {
+    /// in input order; `None` marks demands with no path (disconnected or
+    /// degraded hosts).
+    fn legs_grouped(&mut self, demands: &[(NodeId, NodeId)]) -> Vec<Option<Vec<NodeId>>> {
         let mut order: Vec<usize> = (0..demands.len()).collect();
         order.sort_by_key(|&i| demands[i].0);
-        let mut out: Vec<Vec<NodeId>> = vec![Vec::new(); demands.len()];
+        let mut out: Vec<Option<Vec<NodeId>>> = vec![None; demands.len()];
         let mut current_src: Option<NodeId> = None;
         let mut parent: Arc<Vec<NodeId>> = Arc::new(Vec::new());
         for &i in &order {
@@ -149,10 +178,9 @@ impl<'g> PathOracle<'g> {
                 current_src = Some(s);
             }
             if s == d {
-                out[i] = vec![s];
+                out[i] = Some(vec![s]);
             } else {
-                out[i] = path_from_parents(&parent, s, d)
-                    .unwrap_or_else(|| panic!("no path {s} -> {d} in host"));
+                out[i] = path_from_parents(&parent, s, d);
             }
         }
         out

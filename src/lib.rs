@@ -18,7 +18,10 @@
 //!   host-size tables (Tables 1–3) and executable emulation strategies;
 //! * [`exec`] — deterministic fork-join pool powering the parallel sweeps
 //!   (`--jobs N`), with per-job seeds that make results independent of
-//!   scheduling order.
+//!   scheduling order;
+//! * [`faults`] — the deterministic fault plane: seeded [`faults::FaultPlan`]s
+//!   that kill wires and processors reproducibly, feeding the degraded-β
+//!   sweeps and the router's typed abort causes.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +45,7 @@ pub use fcn_asymptotics as asymptotics;
 pub use fcn_bandwidth as bandwidth;
 pub use fcn_core as core;
 pub use fcn_exec as exec;
+pub use fcn_faults as faults;
 pub use fcn_multigraph as multigraph;
 pub use fcn_routing as routing;
 pub use fcn_topology as topology;
@@ -52,6 +56,7 @@ pub mod prelude {
     pub use fcn_bandwidth::{BandwidthEstimate, BandwidthEstimator, FluxBound};
     pub use fcn_core::prelude::*;
     pub use fcn_exec::Pool;
+    pub use fcn_faults::{FaultPlan, FaultSpec};
     pub use fcn_multigraph::{Multigraph, Traffic};
     pub use fcn_routing::{RouterConfig, RoutingOutcome};
     pub use fcn_topology::{Family, Machine, Topology};
