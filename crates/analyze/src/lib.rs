@@ -1,0 +1,178 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! # fcn-analyze — the workspace invariant checker
+//!
+//! Every number in the reproduced Tables 1–4 is bit-for-bit reproducible at
+//! any `--jobs N`; the invariants that guarantee this (seeded RNG only, no
+//! wall clock in simulation paths, no hash-order iteration, typed errors,
+//! versioned JSON schemas, one telemetry name table, justified atomics)
+//! used to live in reviewers' heads. This crate makes them machine-checked:
+//! a rustc-`tidy`-style, dependency-free, line/token-level pass over the
+//! whole workspace.
+//!
+//! * Diagnostics: `path:line: [RULE-ID] message`; `--format json` emits the
+//!   validated [`report::REPORT_SCHEMA`] JSONL report.
+//! * Suppression: `// fcn-allow: RULE-ID reason` on the offending line or
+//!   the line above (an empty reason does not count).
+//! * Baseline: `fcn-analyze.baseline` at the workspace root grandfathers
+//!   findings by `(path, rule, message)`; the committed baseline is empty
+//!   and the CI `analysis` job keeps it that way.
+//! * Exit codes: 0 clean, 1 new findings, 2 I/O or usage error.
+//!
+//! See DESIGN.md "§ Static analysis & enforced invariants" for the rule
+//! table and the rationale tying each rule to a determinism pin.
+
+pub mod report;
+pub mod rules;
+pub mod source;
+pub mod walk;
+
+use std::path::Path;
+
+use report::{Finding, Totals};
+use source::SourceFile;
+
+/// Outcome of one analysis run.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Findings that survived suppressions, the baseline, and `--rule`
+    /// filtering, sorted by `(path, line, rule)`.
+    pub findings: Vec<Finding>,
+    /// Run counters (drives the report header and the exit code).
+    pub totals: Totals,
+}
+
+/// Analyze in-memory sources (the unit-test entry point; the walker and CLI
+/// both funnel here so fixtures and the real workspace share one code path).
+pub fn analyze_sources(
+    sources: &[(String, String)],
+    rule_filter: &[String],
+    baseline: &[String],
+) -> Analysis {
+    let files: Vec<SourceFile> = sources
+        .iter()
+        .map(|(p, text)| SourceFile::parse(p, text))
+        .collect();
+
+    let mut raw: Vec<Finding> = Vec::new();
+    for sf in &files {
+        raw.extend(rules::check_file(sf));
+    }
+    raw.extend(rules::check_workspace(&files));
+
+    if !rule_filter.is_empty() {
+        raw.retain(|f| rule_filter.iter().any(|r| r == f.rule));
+    }
+
+    let by_path = |p: &str| files.iter().find(|f| f.path == p);
+    let mut suppressed = 0usize;
+    let mut baselined = 0usize;
+    let mut kept: Vec<Finding> = Vec::new();
+    for f in raw {
+        let masked = by_path(&f.path)
+            .map(|sf| {
+                sf.suppressions
+                    .iter()
+                    .filter(|s| !s.reason.is_empty())
+                    .any(|s| {
+                        s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line) && {
+                            s.used.set(true);
+                            true
+                        }
+                    })
+            })
+            .unwrap_or(false);
+        if masked {
+            suppressed += 1;
+            continue;
+        }
+        if baseline.contains(&f.baseline_key()) {
+            baselined += 1;
+            continue;
+        }
+        kept.push(f);
+    }
+    kept.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
+    kept.dedup();
+    let totals = Totals {
+        files: files.len(),
+        findings: kept.len(),
+        suppressed,
+        baselined,
+    };
+    Analysis {
+        findings: kept,
+        totals,
+    }
+}
+
+/// Analyze the on-disk workspace rooted at `root`, optionally restricted to
+/// `paths` (root-relative prefixes).
+pub fn analyze_workspace(
+    root: &Path,
+    paths: &[String],
+    rule_filter: &[String],
+    baseline: &[String],
+) -> std::io::Result<Analysis> {
+    let mut sources = walk::collect_sources(root)?;
+    if !paths.is_empty() {
+        let norm: Vec<String> = paths
+            .iter()
+            .map(|p| p.trim_start_matches("./").trim_end_matches('/').to_string())
+            .collect();
+        sources.retain(|(p, _)| {
+            norm.iter()
+                .any(|q| p == q || p.starts_with(&format!("{q}/")))
+        });
+    }
+    Ok(analyze_sources(&sources, rule_filter, baseline))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(path: &str, body: &str) -> (String, String) {
+        (path.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn rule_filter_restricts_output() {
+        let sources = vec![src(
+            "crates/routing/src/x.rs",
+            "use std::collections::HashMap;\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        )];
+        let all = analyze_sources(&sources, &[], &[]);
+        assert!(all.findings.iter().any(|f| f.rule == "DET-HASH"));
+        assert!(all.findings.iter().any(|f| f.rule == "ERR-UNWRAP"));
+        let only = analyze_sources(&sources, &["DET-HASH".to_string()], &[]);
+        assert!(only.findings.iter().all(|f| f.rule == "DET-HASH"));
+        assert_eq!(only.totals.findings, only.findings.len());
+    }
+
+    #[test]
+    fn baseline_masks_by_key_not_line() {
+        let sources = vec![src(
+            "crates/routing/src/x.rs",
+            "\n\nuse std::collections::HashMap;\n",
+        )];
+        let first = analyze_sources(&sources, &[], &[]);
+        assert_eq!(first.totals.findings, 1);
+        let keys: Vec<String> = first.findings.iter().map(|f| f.baseline_key()).collect();
+        let second = analyze_sources(&sources, &[], &keys);
+        assert_eq!(second.totals.findings, 0);
+        assert_eq!(second.totals.baselined, 1);
+    }
+
+    #[test]
+    fn empty_reason_suppression_does_not_mask() {
+        let sources = vec![src(
+            "crates/routing/src/x.rs",
+            "use std::collections::HashMap; // fcn-allow: DET-HASH\n",
+        )];
+        let got = analyze_sources(&sources, &[], &[]);
+        assert_eq!(got.totals.findings, 1, "reason-less allow is ignored");
+    }
+}

@@ -1,0 +1,92 @@
+//! Workspace file discovery.
+//!
+//! Collects every `.rs` file under the workspace root, skipping `target/`,
+//! `vendor/` (the shims are externally-specified API surface, not simulation
+//! code), and VCS internals. Paths are normalized to forward-slash,
+//! root-relative form so findings and baselines are machine-independent.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", ".github", "node_modules"];
+
+/// Recursively collect `.rs` files under `root`, returning
+/// `(relative_path, contents)` pairs sorted by path.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut files = Vec::new();
+    let mut stack: Vec<PathBuf> = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("")
+                .to_string();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_str()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let text = fs::read_to_string(&path)?;
+                files.push((relative(root, &path), text));
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Root-relative, forward-slash path.
+pub fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Find the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace_and_skips_vendor() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("inside the fcn workspace");
+        let files = collect_sources(&root).expect("workspace readable");
+        assert!(files.iter().any(|(p, _)| p == "crates/analyze/src/walk.rs"));
+        assert!(!files.iter().any(|(p, _)| p.starts_with("vendor/")));
+        assert!(!files.iter().any(|(p, _)| p.contains("/target/")));
+        let mut sorted = files.iter().map(|(p, _)| p.clone()).collect::<Vec<_>>();
+        sorted.sort();
+        assert_eq!(
+            sorted,
+            files.iter().map(|(p, _)| p.clone()).collect::<Vec<_>>(),
+            "deterministic order"
+        );
+    }
+}

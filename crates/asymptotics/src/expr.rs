@@ -30,9 +30,13 @@ use crate::rational::Rational;
 /// ```
 #[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Asym {
+    /// Leading constant (always positive).
     pub coeff: f64,
+    /// Exponent of `n`.
     pub pow_n: Rational,
+    /// Exponent of `lg n`.
     pub pow_lg: Rational,
+    /// Exponent of `lg lg n`.
     pub pow_lglg: Rational,
 }
 
@@ -72,22 +76,26 @@ impl Asym {
         Asym::one().with_pow_lg(Rational::new(num, den))
     }
 
+    /// This class with leading constant `c`.
     pub fn with_coeff(mut self, c: f64) -> Self {
         assert!(c > 0.0, "asymptotic coefficient must be positive");
         self.coeff = c;
         self
     }
 
+    /// This class with `n`-exponent `p`.
     pub fn with_pow_n(mut self, p: Rational) -> Self {
         self.pow_n = p;
         self
     }
 
+    /// This class with `lg n`-exponent `p`.
     pub fn with_pow_lg(mut self, p: Rational) -> Self {
         self.pow_lg = p;
         self
     }
 
+    /// This class with `lg lg n`-exponent `p`.
     pub fn with_pow_lglg(mut self, p: Rational) -> Self {
         self.pow_lglg = p;
         self

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! # fcn-asymptotics
 //!
 //! Exact symbolic algebra over growth expressions `c · n^a · (lg n)^b ·

@@ -30,7 +30,9 @@ fn gcd(a: i64, b: i64) -> i64 {
 }
 
 impl Rational {
+    /// The rational 0/1.
     pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational 1/1.
     pub const ONE: Rational = Rational { num: 1, den: 1 };
 
     /// Construct `num/den` in lowest terms.
@@ -52,34 +54,42 @@ impl Rational {
         Rational { num: n, den: 1 }
     }
 
+    /// Numerator in lowest terms (sign-carrying).
     pub fn numerator(self) -> i64 {
         self.num
     }
 
+    /// Denominator in lowest terms (always positive).
     pub fn denominator(self) -> i64 {
         self.den
     }
 
+    /// Is this exactly zero?
     pub fn is_zero(self) -> bool {
         self.num == 0
     }
 
+    /// Is this strictly positive?
     pub fn is_positive(self) -> bool {
         self.num > 0
     }
 
+    /// Is this strictly negative?
     pub fn is_negative(self) -> bool {
         self.num < 0
     }
 
+    /// Does this reduce to an integer (denominator 1)?
     pub fn is_integer(self) -> bool {
         self.den == 1
     }
 
+    /// Nearest `f64` value.
     pub fn to_f64(self) -> f64 {
         self.num as f64 / self.den as f64
     }
 
+    /// Absolute value.
     pub fn abs(self) -> Self {
         Rational {
             num: self.num.abs(),

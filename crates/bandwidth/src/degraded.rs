@@ -143,7 +143,7 @@ impl DegradedSweep {
         assert!(self.trials >= 1, "at least one trial");
         assert!(!self.multipliers.is_empty(), "at least one multiplier");
         assert!(!self.fault_rates.is_empty(), "at least one fault rate");
-        let _span = fcn_telemetry::Span::enter("degraded_beta_sweep");
+        let _span = fcn_telemetry::Span::enter(fcn_telemetry::names::SPAN_DEGRADED_BETA_SWEEP);
         let n = traffic.n();
         let m_len = self.multipliers.len();
         let cells = self.trials * m_len;
@@ -223,6 +223,7 @@ impl DegradedSweep {
             Some(cache),
         );
         let batch = PacketBatch::compile(net, &dp.paths)
+            // fcn-allow: ERR-UNWRAP the fault-aware planner only emits paths along surviving wires, so compile cannot reject them
             .unwrap_or_else(|e| panic!("degraded planner produced unroutable path: {e}"));
         let outcome = route_compiled_pooled(net, &batch, self.router);
         // "Completed" here means the router *terminated with a typed
@@ -280,13 +281,25 @@ impl DegradedSweep {
         if fcn_telemetry::global().enabled() {
             let cell_ticks: u64 = samples.iter().map(|s| s.sample.ticks).sum();
             fcn_telemetry::with_shard(|s| {
-                s.inc("degraded_points_total");
-                s.add("degraded_cells_total", samples.len() as u64);
-                s.add("degraded_stranded_total", stranded as u64);
-                s.add("degraded_unreachable_total", unreachable as u64);
-                s.add("degraded_replans_total", replans);
-                s.add("degraded_aborted_cells_total", aborted_cells as u64);
-                s.add("degraded_cell_ticks_total", cell_ticks);
+                s.inc(fcn_telemetry::names::DEGRADED_POINTS_TOTAL);
+                s.add(
+                    fcn_telemetry::names::DEGRADED_CELLS_TOTAL,
+                    samples.len() as u64,
+                );
+                s.add(
+                    fcn_telemetry::names::DEGRADED_STRANDED_TOTAL,
+                    stranded as u64,
+                );
+                s.add(
+                    fcn_telemetry::names::DEGRADED_UNREACHABLE_TOTAL,
+                    unreachable as u64,
+                );
+                s.add(fcn_telemetry::names::DEGRADED_REPLANS_TOTAL, replans);
+                s.add(
+                    fcn_telemetry::names::DEGRADED_ABORTED_CELLS_TOTAL,
+                    aborted_cells as u64,
+                );
+                s.add(fcn_telemetry::names::DEGRADED_CELL_TICKS_TOTAL, cell_ticks);
             });
         }
         DegradedPoint {

@@ -83,8 +83,8 @@ pub fn flux_upper_bound(
         let samples = 2000usize;
         let mut d_sum = 0u64;
         let mut d_cnt = 0u64;
-        let mut cache: std::collections::HashMap<fcn_multigraph::NodeId, Vec<u32>> =
-            std::collections::HashMap::new();
+        let mut cache: std::collections::BTreeMap<fcn_multigraph::NodeId, Vec<u32>> =
+            std::collections::BTreeMap::new();
         for _ in 0..samples {
             let (s, t) = traffic.sample(&mut rng);
             let dist = cache
@@ -158,6 +158,7 @@ pub fn flux_upper_bound(
         }
     }
 
+    // fcn-allow: ERR-UNWRAP the bisection-cut candidate is pushed unconditionally above, so `best` is always Some
     best.expect("at least one flux bound always exists")
 }
 

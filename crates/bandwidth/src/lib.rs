@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! # fcn-bandwidth
 //!
 //! Communication-bandwidth estimation for fixed-connection machines,

@@ -110,7 +110,7 @@ impl BandwidthEstimator {
         cache: &PlanCache,
     ) -> BandwidthEstimate {
         assert!(self.trials >= 1 && !self.multipliers.is_empty());
-        let _span = fcn_telemetry::Span::enter("bandwidth_estimate");
+        let _span = fcn_telemetry::Span::enter(fcn_telemetry::names::SPAN_BANDWIDTH_ESTIMATE);
         let n = traffic.n();
         let m_len = self.multipliers.len();
         let cells = self.trials * m_len;
@@ -167,13 +167,25 @@ impl BandwidthEstimator {
     fn publish(&self, samples: &[RateSample], complete_trials: u64) {
         let cell_ticks: u64 = samples.iter().map(|s| s.ticks).sum();
         fcn_telemetry::with_shard(|s| {
-            s.inc("bandwidth_estimates_total");
-            s.add("bandwidth_trials_total", self.trials as u64);
-            s.add("bandwidth_complete_trials_total", complete_trials);
-            s.add("bandwidth_cells_total", samples.len() as u64);
-            s.add("bandwidth_saturation_ticks_total", cell_ticks);
+            s.inc(fcn_telemetry::names::BANDWIDTH_ESTIMATES_TOTAL);
+            s.add(
+                fcn_telemetry::names::BANDWIDTH_TRIALS_TOTAL,
+                self.trials as u64,
+            );
+            s.add(
+                fcn_telemetry::names::BANDWIDTH_COMPLETE_TRIALS_TOTAL,
+                complete_trials,
+            );
+            s.add(
+                fcn_telemetry::names::BANDWIDTH_CELLS_TOTAL,
+                samples.len() as u64,
+            );
+            s.add(
+                fcn_telemetry::names::BANDWIDTH_SATURATION_TICKS_TOTAL,
+                cell_ticks,
+            );
             for sample in samples {
-                s.record("bandwidth_cell_ticks", sample.ticks);
+                s.record(fcn_telemetry::names::BANDWIDTH_CELL_TICKS, sample.ticks);
             }
         });
     }

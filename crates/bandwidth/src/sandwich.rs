@@ -20,7 +20,9 @@ use crate::operational::{BandwidthEstimate, BandwidthEstimator};
 /// One machine-size data point of the Table 4 reproduction.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BandwidthSandwich {
+    /// Machine instance name, e.g. `mesh2(8x8)`.
     pub machine: String,
+    /// Family key, e.g. `mesh2`.
     pub family: String,
     /// Processor count.
     pub n: usize,
@@ -61,7 +63,9 @@ pub fn sandwich(machine: &Machine, estimator: &BandwidthEstimator, seed: u64) ->
 /// Sweep a family across target sizes and fit the measured-β exponents.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FamilySweep {
+    /// Family key, e.g. `mesh2`.
     pub family: String,
+    /// One sandwich row per measured machine size.
     pub rows: Vec<BandwidthSandwich>,
     /// Log-log fit of measured rate vs n (free exponents; informational).
     pub beta_fit: PowerLogFit,
@@ -70,15 +74,18 @@ pub struct FamilySweep {
     /// decomposition over narrow size ranges is ill-conditioned, so we score
     /// the discrete hypotheses instead.
     pub beta_class: Asym,
+    /// RMS residual (lg units) of `beta_class`.
     pub beta_class_residual: f64,
     /// Best-fitting class for the certified flux upper bounds. Flux bounds
     /// are deterministic (cut capacities), so this column is noise-free and
     /// resolves class calls the measured series leaves ambiguous (e.g.
     /// n/lg n vs n^(3/4), which differ by < 13% below n ≈ 4096).
     pub flux_class: Asym,
+    /// RMS residual (lg units) of `flux_class`.
     pub flux_class_residual: f64,
     /// Best-fitting class for the measured diameters (the λ side).
     pub lambda_class: Asym,
+    /// RMS residual (lg units) of `lambda_class`.
     pub lambda_class_residual: f64,
     /// Log-log fit of measured diameter vs n (free; informational).
     pub lambda_fit: PowerLogFit,

@@ -66,7 +66,9 @@ pub fn embedding_lower_bound(machine: &Machine, traffic: &Traffic, seed: u64) ->
 /// The three-sided Theorem 6 certificate for one machine.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Theorem6Certificate {
+    /// Machine instance name.
     pub machine: String,
+    /// Processor count.
     pub n: usize,
     /// Embedding-certified lower bound `E(T)/c`.
     pub embedding_lower: f64,

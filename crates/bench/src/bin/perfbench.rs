@@ -65,6 +65,7 @@ fn timed(reps: usize, mut f: impl FnMut() -> f64) -> (f64, f64) {
     let mut times = Vec::with_capacity(reps);
     let mut rate = 0.0;
     for _ in 0..reps {
+        #[allow(clippy::disallowed_methods)] // bench binary: timing is the product
         let t = Instant::now();
         rate = f();
         times.push(t.elapsed().as_secs_f64() * 1e3);
@@ -181,6 +182,7 @@ fn main() {
     let mut on_ts = Vec::with_capacity(overhead_reps);
     for rep in 0..overhead_reps {
         let mut arm = |samples: &mut Vec<f64>| {
+            #[allow(clippy::disallowed_methods)] // bench binary: timing is the product
             let t = Instant::now();
             let out = route_compiled(&net, &batch, cfg, &mut scratch);
             samples.push(t.elapsed().as_secs_f64() * 1e3);

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! # fcn-bench
 //!
 //! Shared infrastructure for the table/figure regeneration binaries and the
@@ -18,8 +20,11 @@ use serde::Serialize;
 /// `--full`; default is a balanced middle).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
+    /// Smallest grids (CI-friendly; `--quick`).
     Quick,
+    /// Balanced middle (no flag).
     Default,
+    /// Paper-scale grids (`--full`).
     Full,
 }
 
@@ -35,8 +40,11 @@ pub enum Scale {
 /// never changes a record either.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunOpts {
+    /// Grid scale selected by `--quick`/`--full`.
     pub scale: Scale,
+    /// Worker threads (`--jobs N`; 0 = auto, 1 = sequential).
     pub jobs: usize,
+    /// `--metrics-out PATH`: enable telemetry and write a snapshot there.
     pub metrics_out: Option<String>,
 }
 
@@ -278,7 +286,8 @@ pub fn write_records<T: Serialize>(name: &str, records: &[T]) -> std::io::Result
     let path = dir.join(format!("{name}.jsonl"));
     let mut f = fs::File::create(&path)?;
     for r in records {
-        let line = serde_json::to_string(r).expect("record serializes");
+        let line = serde_json::to_string(r)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
         writeln!(f, "{line}")?;
     }
     Ok(path)

@@ -9,8 +9,11 @@ use std::fmt;
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Args {
+    /// Subcommand name (first argument).
     pub command: String,
+    /// Positional arguments after the subcommand.
     pub positionals: Vec<String>,
+    /// `--flag[=value]` pairs (bare flags store `"true"`).
     pub flags: BTreeMap<String, String>,
 }
 
@@ -42,8 +45,8 @@ impl Args {
                 // `--flag=value` or `--flag value` or bare boolean flag.
                 if let Some((k, v)) = name.split_once('=') {
                     flags.insert(k.to_string(), v.to_string());
-                } else if it.peek().is_some_and(|n| !n.starts_with("--")) {
-                    flags.insert(name.to_string(), it.next().unwrap().clone());
+                } else if let Some(v) = it.next_if(|n| !n.starts_with("--")) {
+                    flags.insert(name.to_string(), v.clone());
                 } else {
                     flags.insert(name.to_string(), "true".to_string());
                 }

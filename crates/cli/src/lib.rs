@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! # fcn-cli
 //!
 //! Library backing the `fcnemu` command-line tool: a tiny hand-rolled

@@ -22,7 +22,9 @@ use serde::{Deserialize, Serialize};
 /// A circuit node: which guest vertex it represents and its copy number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CircuitNode {
+    /// Guest vertex this node represents.
     pub vertex: NodeId,
+    /// Copy number among the vertex's redundant copies.
     pub copy: u32,
 }
 

@@ -24,8 +24,11 @@ use serde::{Deserialize, Serialize};
 /// Configuration shared by the emulation strategies.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct EmulationConfig {
+    /// Router configuration for sampled guest steps.
     pub router: RouterConfig,
+    /// Path-planning strategy.
     pub strategy: Strategy,
+    /// Base seed for planning and routing randomness.
     pub seed: u64,
     /// How many distinct guest steps to route as samples (the per-step
     /// demand set is identical up to routing randomness; sampling more
@@ -47,10 +50,15 @@ impl Default for EmulationConfig {
 /// Measured outcome of emulating `guest_steps` guest steps.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EmulationReport {
+    /// Guest machine name.
     pub guest: String,
+    /// Host machine name.
     pub host: String,
+    /// Guest processor count `n`.
     pub guest_n: usize,
+    /// Host processor count `m`.
     pub host_m: usize,
+    /// Guest steps emulated.
     pub guest_steps: u64,
     /// Host ticks spent computing guest operations (serially per host
     /// processor; one guest operation = one tick).
@@ -100,7 +108,7 @@ pub fn direct_emulation(
         for &s in &assign {
             loads[s as usize] += 1;
         }
-        loads.iter().copied().max().unwrap()
+        loads.iter().copied().max().unwrap_or(0)
     };
 
     // Demands of one guest step: each guest edge {u,v} sends u->v and v->u.

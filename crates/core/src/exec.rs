@@ -82,15 +82,20 @@ pub fn reference_run(graph: &Multigraph, steps: u32, seed: u64) -> Vec<u64> {
 /// Outcome of a semantic verification.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct VerificationReport {
+    /// Strategy verified.
     pub strategy: String,
+    /// Guest processor count.
     pub guest_n: usize,
+    /// Host processor count.
     pub hosts: usize,
+    /// Guest steps executed.
     pub steps: u32,
     /// Values exchanged between host processors over the whole run.
     pub values_communicated: u64,
     /// Guest-operation executions performed (redundant strategies repeat
     /// some; `work_ratio` = this over `n·steps`).
     pub operations: u64,
+    /// Did the emulated final state equal the sequential reference?
     pub matches_reference: bool,
 }
 
@@ -260,6 +265,7 @@ pub fn verify_block_emulation(
                         .all(|(&x, &l)| x >= l - (valid - 1) && x < l + b as isize + (valid - 1));
                     if in_bounds && within_margin {
                         // Gather neighbors from the local copy.
+                        // fcn-allow: ERR-UNWRAP the margin arithmetic guarantees validity: cells within `valid-1` of the owned block are fresh
                         let own = local[local_index(&coords)].expect("cell valid at this step");
                         let mut nb: Vec<(u64, u32)> = Vec::with_capacity(2 * kk);
                         for d in 0..kk {
@@ -270,6 +276,7 @@ pub fn verify_block_emulation(
                                     continue; // guest boundary: no neighbor
                                 }
                                 let val =
+                                    // fcn-allow: ERR-UNWRAP neighbors of a cell inside the margin are themselves within the margin at the previous step
                                     local[local_index(&c2)].expect("neighbor valid at this step");
                                 nb.push((val, 1));
                             }
@@ -291,6 +298,7 @@ pub fn verify_block_emulation(
                 let abs: Vec<isize> = idx.iter().zip(&lo).map(|(&i, &l)| l + i as isize).collect();
                 let gid = id_of(&abs.iter().map(|&x| x as usize).collect::<Vec<_>>(), side);
                 next_global[gid] =
+                    // fcn-allow: ERR-UNWRAP owned cells sit w steps inside the halo, so they are exact after w local steps
                     local[local_index(&abs)].expect("owned cell exact after w steps");
                 if !inc_index(&mut idx, b) {
                     break;

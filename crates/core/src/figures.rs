@@ -20,6 +20,7 @@ use crate::theorem::slowdown_lower_bound;
 /// One point of the Figure 1 curves.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct Fig1Point {
+    /// Host size (continuous axis).
     pub m: f64,
     /// Load-induced slowdown `n/m`.
     pub load_bound: f64,
@@ -30,9 +31,13 @@ pub struct Fig1Point {
 /// The Figure 1 data set for one guest/host family pair at guest size `n`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fig1Data {
+    /// Guest family name.
     pub guest: String,
+    /// Host family name.
     pub host: String,
+    /// Guest size the curves are drawn at.
     pub n: f64,
+    /// Curve samples, ordered by `m`.
     pub points: Vec<Fig1Point>,
     /// Host size where the two bounds cross (the largest efficient host).
     pub crossover_m: f64,
@@ -80,8 +85,11 @@ pub fn fig1_data(guest: &Family, host: &Family, n: f64, points: usize) -> Fig1Da
 /// concrete sizes, to overlay on the analytic curves.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fig1Measured {
+    /// Host size of this measured point.
     pub m: usize,
+    /// Slowdown measured by routed emulation.
     pub measured_slowdown: f64,
+    /// The analytic lower bound at this `m`.
     pub predicted_lower_bound: f64,
 }
 

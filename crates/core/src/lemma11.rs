@@ -11,7 +11,7 @@
 //! [`collapse_preservation`] executes exactly that: embeds `γ` into `C`,
 //! collapses, and measures every quantity the proof counts.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use fcn_multigraph::{collapse, Embedding, Multigraph, NodeId, Traffic};
 use rand::rngs::StdRng;
@@ -82,7 +82,7 @@ pub fn collapse_preservation(
     let collapsed = collapse(c, assign, num_supers);
 
     // ξ: collapsed γ-edges between distinct supers.
-    let mut xi: HashMap<(NodeId, NodeId), u64> = HashMap::new();
+    let mut xi: BTreeMap<(NodeId, NodeId), u64> = BTreeMap::new();
     let mut self_collapsed = 0u64;
     let mut gamma_edges = 0u64;
     for e in gamma_graph.edges() {
@@ -100,7 +100,7 @@ pub fn collapse_preservation(
     // Collapse the γ-paths and measure per-unit-capacity congestion on M:
     // the load on an M edge divided by its multiplicity (number of parallel
     // C wires collapsed into it).
-    let mut m_load: HashMap<(NodeId, NodeId), u64> = HashMap::new();
+    let mut m_load: BTreeMap<(NodeId, NodeId), u64> = BTreeMap::new();
     for (e, path) in embedding.guest_edges.iter().zip(&embedding.paths) {
         // Skip γ-edges that collapse to self-loops: they need no M wires.
         if assign[e.u as usize] == assign[e.v as usize] {

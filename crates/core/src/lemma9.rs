@@ -22,7 +22,7 @@
 //! Congestion is accounted per circuit edge without materializing the
 //! `Θ(n²t²)` γ-edges individually.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use fcn_multigraph::{bfs_parents, path_from_parents, Embedding, Multigraph, NodeId};
 use rand::rngs::StdRng;
@@ -50,6 +50,7 @@ impl Default for Lemma9Config {
 /// Everything the proof claims, measured.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Lemma9Witness {
+    /// Guest size.
     pub n: usize,
     /// Λ(G): the guest diameter (the `K_n`-dilation scale).
     pub lambda: u32,
@@ -133,11 +134,12 @@ pub fn build_witness_in_circuit(
     // chosen identity-predecessor and per-neighbor routing predecessors.
     // For each level i in [1, t]: pred[i][j] = (arc sources by guest vertex)
     // — we precompute, per node, a map vertex -> source index.
-    let mut pred: Vec<Vec<std::collections::HashMap<NodeId, u32>>> = Vec::with_capacity(t as usize);
+    let mut pred: Vec<Vec<std::collections::BTreeMap<NodeId, u32>>> =
+        Vec::with_capacity(t as usize);
     for i in 0..t {
         let nodes_above = circuit.level(i + 1).len();
-        let mut maps: Vec<std::collections::HashMap<NodeId, u32>> =
-            vec![std::collections::HashMap::new(); nodes_above];
+        let mut maps: Vec<std::collections::BTreeMap<NodeId, u32>> =
+            vec![std::collections::BTreeMap::new(); nodes_above];
         let from_level = circuit.level(i);
         for &(f, to) in circuit.arcs_at(i) {
             let fv = from_level[f as usize].vertex;
@@ -167,6 +169,7 @@ pub fn build_witness_in_circuit(
             }
             below[v] = *pred[i as usize][above as usize]
                 .get(&(v as NodeId))
+                // fcn-allow: ERR-UNWRAP shallow-circuit construction wires an identity input at every level
                 .expect("valid circuit: identity input exists");
         }
         rep[i as usize] = below;
@@ -174,10 +177,10 @@ pub fn build_witness_in_circuit(
 
     // Mirrors the canonical construction, but congestion keys are concrete
     // circuit node indices (level, node-index pairs).
-    let mut congestion: HashMap<(u32, u32, u32), u64> = HashMap::new();
+    let mut congestion: BTreeMap<(u32, u32, u32), u64> = BTreeMap::new();
     let mut cone_paths = 0usize;
     let mut gamma_edges = 0u64;
-    let mut used_nodes: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+    let mut used_nodes: std::collections::BTreeSet<(u32, u32)> = std::collections::BTreeSet::new();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let kn = fcn_multigraph::Traffic::symmetric(n).to_multigraph();
     let kn_embedding = Embedding::shortest_paths(&kn, g, (0..n as NodeId).collect(), &mut rng);
@@ -194,6 +197,7 @@ pub fn build_witness_in_circuit(
             if d > cutoff {
                 continue;
             }
+            // fcn-allow: ERR-UNWRAP BFS reached v (dist is finite), so the parent chain is complete
             let path = path_from_parents(&parent, u, v).expect("connected");
             for level in l_min..=t {
                 let terminal_level = level - d;
@@ -210,6 +214,7 @@ pub fn build_witness_in_circuit(
                     // w[1] sits at level gap.
                     let nxt = *pred[gap as usize][cur as usize]
                         .get(&w[1])
+                        // fcn-allow: ERR-UNWRAP cone construction added a routing input for every shortest-path arc
                         .expect("valid circuit: routing input exists");
                     *congestion.entry((gap, nxt, cur)).or_insert(0) += bundle;
                     cur = nxt;
@@ -220,6 +225,7 @@ pub fn build_witness_in_circuit(
                 for i in (0..terminal_level).rev() {
                     let nxt = *pred[i as usize][q as usize]
                         .get(&v)
+                        // fcn-allow: ERR-UNWRAP identity chains run unbroken from the terminal level to level 0
                         .expect("valid circuit: identity input exists");
                     *congestion.entry((i, nxt, q)).or_insert(0) += i as u64 + 1;
                     q = nxt;
@@ -274,10 +280,11 @@ pub fn build_witness(g: &Multigraph, cfg: Lemma9Config) -> Lemma9Witness {
     // embedding paths that "witness β(G)".
     // Congestion accumulators: key = (gap level, lower vertex, upper vertex)
     // for the circuit edge between (x, gap) and (y, gap+1).
-    let mut congestion: HashMap<(u32, NodeId, NodeId), u64> = HashMap::new();
+    let mut congestion: BTreeMap<(u32, NodeId, NodeId), u64> = BTreeMap::new();
     let mut cone_paths = 0usize;
     let mut gamma_edges = 0u64;
-    let mut used_nodes: std::collections::HashSet<(NodeId, u32)> = std::collections::HashSet::new();
+    let mut used_nodes: std::collections::BTreeSet<(NodeId, u32)> =
+        std::collections::BTreeSet::new();
 
     for u in 0..n as NodeId {
         let (dist, parent) = bfs_parents(g, u);
@@ -291,6 +298,7 @@ pub fn build_witness(g: &Multigraph, cfg: Lemma9Config) -> Lemma9Witness {
                 continue; // long embedding path: not a cone path
             }
             // Extract the path once; reuse for every S-level.
+            // fcn-allow: ERR-UNWRAP BFS reached v (dist is finite), so the parent chain is complete
             let path = path_from_parents(&parent, u, v).expect("connected");
             for level in l_min..=t {
                 let terminal_level = level - d;

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! # fcn-core
 //!
 //! The primary contribution of Kruskal & Rappoport (SPAA'94), made

@@ -32,6 +32,7 @@ use serde::{Deserialize, Serialize};
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CommPattern {
+    /// Pattern name, e.g. `fft(16)`.
     pub name: String,
     /// Processes communicating.
     pub n: usize,
@@ -175,7 +176,9 @@ impl CommPattern {
 /// Lemma 8 applied to a pattern on a host: execution-time bounds.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PatternExecution {
+    /// Pattern name.
     pub pattern: String,
+    /// Host machine name.
     pub host: String,
     /// Messages in the pattern.
     pub messages: u64,
@@ -185,6 +188,7 @@ pub struct PatternExecution {
     pub ticks_measured: u64,
     /// Congestion of the embedding witness (`O(c + Λ)` routing exists).
     pub witness_congestion: u64,
+    /// Dilation of the embedding witness.
     pub witness_dilation: u32,
 }
 

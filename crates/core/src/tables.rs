@@ -20,7 +20,9 @@ pub struct TableSpec {
     pub id: String,
     /// Paper caption.
     pub caption: String,
+    /// Guest families, one table row each.
     pub guests: Vec<Family>,
+    /// Host families, one table column each.
     pub hosts: Vec<Family>,
 }
 
@@ -106,6 +108,7 @@ fn standard_hosts(dims: &[u8]) -> Vec<Family> {
 /// A fully generated table.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GeneratedTable {
+    /// The spec this table was generated from.
     pub spec: TableSpec,
     /// Row-major: one cell per (guest, host) pair.
     pub cells: Vec<HostSizeCell>,

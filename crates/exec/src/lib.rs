@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! Deterministic fork-join execution for sweep workloads.
 //!
 //! The workspace's hot paths — saturation sweeps over `trials ×
@@ -200,14 +202,17 @@ impl Pool {
             // Sequential: jobs record straight into the caller's shard, which
             // is by definition the single-threaded reference the parallel
             // path must reproduce.
+            // Wall clock allowed: busy-nanos telemetry, excluded from
+            // determinism comparisons.
+            #[allow(clippy::disallowed_methods)]
             let start = Instant::now();
             let out: Vec<T> = (0..count).map(f).collect();
             let busy = saturating_nanos(start);
             fcn_telemetry::with_shard(|s| {
-                s.inc("exec_runs_total");
-                s.add("exec_jobs_total", count as u64);
-                s.set_gauge("exec_workers_last", 1);
-                s.add("exec_worker_busy_nanos_total", busy);
+                s.inc(fcn_telemetry::names::EXEC_RUNS_TOTAL);
+                s.add(fcn_telemetry::names::EXEC_JOBS_TOTAL, count as u64);
+                s.set_gauge(fcn_telemetry::names::EXEC_WORKERS_LAST, 1);
+                s.add(fcn_telemetry::names::EXEC_WORKER_BUSY_NANOS_TOTAL, busy);
             });
             return out;
         }
@@ -225,13 +230,20 @@ impl Pool {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
+                    // Wall clock allowed: busy/idle-nanos telemetry only.
+                    #[allow(clippy::disallowed_methods)]
                     let spawned = Instant::now();
                     let mut busy = 0u64;
                     loop {
+                        // ordering: the only requirement is that each worker
+                        // claims a distinct index, which the atomic RMW gives
+                        // regardless of ordering; no other memory is
+                        // published through this counter.
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= count {
                             break;
                         }
+                        #[allow(clippy::disallowed_methods)] // telemetry timing only
                         let job_start = tele_on.then(Instant::now);
                         let value = f(i);
                         if let Some(t0) = job_start {
@@ -247,6 +259,9 @@ impl Pool {
                         relock(&slots)[i] = Some(value);
                     }
                     if tele_on {
+                        // ordering: commutative additions summed across
+                        // workers; the reads below happen after the scope
+                        // join, which already synchronizes.
                         let lifetime = saturating_nanos(spawned);
                         busy_nanos.fetch_add(busy, Ordering::Relaxed);
                         idle_nanos.fetch_add(lifetime.saturating_sub(busy), Ordering::Relaxed);
@@ -262,15 +277,18 @@ impl Pool {
                 for shard in shards.into_iter().flatten() {
                     s.merge(&shard);
                 }
-                s.inc("exec_runs_total");
-                s.add("exec_jobs_total", count as u64);
-                s.set_gauge("exec_workers_last", workers as u64);
+                s.inc(fcn_telemetry::names::EXEC_RUNS_TOTAL);
+                s.add(fcn_telemetry::names::EXEC_JOBS_TOTAL, count as u64);
+                s.set_gauge(fcn_telemetry::names::EXEC_WORKERS_LAST, workers as u64);
+                // ordering: the thread scope above already joined every
+                // worker, so these reads observe the final totals; the
+                // atomics only resolved cross-worker additions.
                 s.add(
-                    "exec_worker_busy_nanos_total",
+                    fcn_telemetry::names::EXEC_WORKER_BUSY_NANOS_TOTAL,
                     busy_nanos.load(Ordering::Relaxed),
                 );
                 s.add(
-                    "exec_worker_idle_nanos_total",
+                    fcn_telemetry::names::EXEC_WORKER_IDLE_NANOS_TOTAL,
                     idle_nanos.load(Ordering::Relaxed),
                 );
             });
@@ -286,6 +304,7 @@ impl Pool {
                 // anonymous double-panic. (Reachable only if the caller's
                 // closure swallows its own unwind bookkeeping —
                 // `try_run`/`try_run_seeded` never leave holes.)
+                // fcn-allow: ERR-UNWRAP deliberate panic propagation: re-raises a swallowed job panic with the job named
                 slot.unwrap_or_else(|| panic!("job {i} panicked and produced no result"))
             })
             .collect()
@@ -337,7 +356,9 @@ impl Pool {
             let mut payload = String::new();
             for attempt in 0..=retries {
                 if attempt > 0 && fcn_telemetry::global().enabled() {
-                    fcn_telemetry::with_shard(|s| s.inc("exec_job_retries_total"));
+                    fcn_telemetry::with_shard(|s| {
+                        s.inc(fcn_telemetry::names::EXEC_JOB_RETRIES_TOTAL)
+                    });
                 }
                 let seed = retry_seed(base_seed, i as u64, attempt);
                 match catch_unwind(AssertUnwindSafe(|| f(i, seed))) {
@@ -385,7 +406,7 @@ fn collect_first_error<T>(results: Vec<Result<T, JobError>>) -> Result<Vec<T>, J
 /// independent).
 fn record_job_panic() {
     if fcn_telemetry::global().enabled() {
-        fcn_telemetry::with_shard(|s| s.inc("exec_job_panics_total"));
+        fcn_telemetry::with_shard(|s| s.inc(fcn_telemetry::names::EXEC_JOB_PANICS_TOTAL));
     }
 }
 
@@ -404,11 +425,14 @@ impl CancelToken {
 
     /// Raise the flag. All clones observe it.
     pub fn cancel(&self) {
+        // ordering: monotone best-effort stop hint — no data is published
+        // through the flag, and a tick of staleness only delays the stop.
         self.0.store(true, Ordering::Relaxed);
     }
 
     /// Has the flag been raised?
     pub fn is_cancelled(&self) -> bool {
+        // ordering: see `cancel` — a stale read is benign by design.
         self.0.load(Ordering::Relaxed)
     }
 
@@ -459,12 +483,16 @@ impl Watchdog {
         let fire = token.clone();
         let handle = std::thread::spawn(move || {
             let (lock, cv) = &*pair;
+            // Wall clock allowed: the watchdog *is* a wall-clock device;
+            // it cancels runaway runs and never feeds simulated state.
+            #[allow(clippy::disallowed_methods)]
             let deadline = Instant::now() + timeout;
             let mut disarmed = relock(lock);
             loop {
                 if *disarmed {
                     return;
                 }
+                #[allow(clippy::disallowed_methods)] // watchdog deadline check
                 let now = Instant::now();
                 if now >= deadline {
                     break;
@@ -477,7 +505,9 @@ impl Watchdog {
             drop(disarmed);
             fire.cancel();
             if fcn_telemetry::global().enabled() {
-                fcn_telemetry::with_shard(|s| s.inc("exec_watchdog_fired_total"));
+                fcn_telemetry::with_shard(|s| {
+                    s.inc(fcn_telemetry::names::EXEC_WATCHDOG_FIRED_TOTAL)
+                });
                 fcn_telemetry::flush_thread_shard(fcn_telemetry::global());
             }
         });
@@ -596,8 +626,11 @@ mod tests {
             // Index-order merge keeps the *last* job's gauge, exactly like
             // sequential execution.
             assert_eq!(par.gauge("exectest_last_index"), Some(39), "jobs={jobs}");
-            assert_eq!(par.counter("exec_jobs_total"), 40);
-            assert_eq!(par.gauge("exec_workers_last"), Some(jobs as u64));
+            assert_eq!(par.counter(fcn_telemetry::names::EXEC_JOBS_TOTAL), 40);
+            assert_eq!(
+                par.gauge(fcn_telemetry::names::EXEC_WORKERS_LAST),
+                Some(jobs as u64)
+            );
         }
         tele::global().set_enabled(false);
     }
@@ -682,6 +715,9 @@ mod tests {
     }
 
     #[test]
+    // Testing the watchdog *is* measuring wall time (one of clippy.toml's
+    // sanctioned sites); the deadline guards against a hung test, not output.
+    #[allow(clippy::disallowed_methods)]
     fn watchdog_fires_and_cancels_token() {
         let dog = Watchdog::arm(Duration::from_millis(10));
         let token = dog.token().clone();

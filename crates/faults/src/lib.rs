@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! # fcn-faults — the deterministic fault plane
 //!
 //! The paper's bandwidth `β` is defined operationally as the delivery rate
@@ -41,7 +43,7 @@
 //!   never strand: windows are finite, so the router always terminates
 //!   with a typed outcome.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use fcn_exec::job_seed;
 use fcn_multigraph::{Multigraph, MultigraphBuilder, NodeId};
@@ -178,7 +180,7 @@ impl FaultPlan {
                 dead_nodes.push(u);
             }
         }
-        let dead_set: HashSet<NodeId> = dead_nodes.iter().copied().collect();
+        let dead_set: BTreeSet<NodeId> = dead_nodes.iter().copied().collect();
         let mut dead_links = Vec::new();
         let mut outages = Vec::new();
         for e in graph.edges() {

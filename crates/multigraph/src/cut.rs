@@ -22,6 +22,7 @@ use crate::traffic::Traffic;
 /// A two-sided vertex cut: `side[u] == true` puts `u` in `S`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Cut {
+    /// `side[v]` is the side of node `v` (`true` = S-side).
     pub side: Vec<bool>,
 }
 

@@ -11,7 +11,7 @@
 //! dilation `δ` and average dilation `δ̄` — exactly the quantities of the
 //! paper's `C(H,G)`, `Λ(H,G)`, `λ(H,G)` definitions at finite size.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::seq::SliceRandom;
 use rand::{Rng, RngExt};
@@ -70,7 +70,7 @@ impl Embedding {
             assert!((h as usize) < host.node_count(), "phi maps out of range");
         }
         let guest_edges: Vec<EdgeRef> = guest.edges().collect();
-        let mut trees: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        let mut trees: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
         let mut paths = Vec::with_capacity(guest_edges.len());
         for e in &guest_edges {
             let (src, dst) = (phi[e.u as usize], phi[e.v as usize]);
@@ -85,6 +85,7 @@ impl Embedding {
                 .entry(src)
                 .or_insert_with(|| bfs_parents_shuffled(host, src, rng));
             let p = path_from_parents(parent, src, dst)
+                // fcn-allow: ERR-UNWRAP documented precondition: callers embed into connected hosts
                 .unwrap_or_else(|| panic!("host disconnects images {src} and {dst}"));
             paths.push(p);
         }
@@ -140,9 +141,11 @@ impl Embedding {
             }
             // Leg 1: src -> w is the reverse of the tree path w -> src.
             let mut leg1 = path_from_parents(&parent, w, src)
+                // fcn-allow: ERR-UNWRAP documented precondition: callers embed into connected hosts
                 .unwrap_or_else(|| panic!("host disconnects {w} and {src}"));
             leg1.reverse();
             let leg2 = path_from_parents(&parent, w, dst)
+                // fcn-allow: ERR-UNWRAP documented precondition: callers embed into connected hosts
                 .unwrap_or_else(|| panic!("host disconnects {w} and {dst}"));
             leg1.extend_from_slice(&leg2[1..]);
             paths[i] = leg1;
@@ -187,7 +190,7 @@ impl Embedding {
             if p.is_empty() {
                 return Err(format!("empty path for edge {e:?}"));
             }
-            if *p.first().unwrap() != src || *p.last().unwrap() != dst {
+            if p.first() != Some(&src) || p.last() != Some(&dst) {
                 return Err(format!("path endpoints do not match φ for {e:?}"));
             }
             for w in p.windows(2) {
@@ -201,8 +204,8 @@ impl Embedding {
 
     /// Per-host-edge load: map from unordered host edge to total guest
     /// multiplicity crossing it.
-    pub fn edge_loads(&self) -> HashMap<(NodeId, NodeId), u64> {
-        let mut loads: HashMap<(NodeId, NodeId), u64> = HashMap::new();
+    pub fn edge_loads(&self) -> BTreeMap<(NodeId, NodeId), u64> {
+        let mut loads: BTreeMap<(NodeId, NodeId), u64> = BTreeMap::new();
         for (e, p) in self.guest_edges.iter().zip(&self.paths) {
             for w in p.windows(2) {
                 let key = (w[0].min(w[1]), w[0].max(w[1]));

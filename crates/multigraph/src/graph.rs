@@ -25,8 +25,11 @@ pub type NodeId = u32;
 /// [`Multigraph::edges`]. Self-loops have `u == v`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct EdgeRef {
+    /// Lower endpoint (canonical order `u <= v`).
     pub u: NodeId,
+    /// Upper endpoint.
     pub v: NodeId,
+    /// Number of parallel links on this edge.
     pub multiplicity: u32,
 }
 

@@ -59,15 +59,38 @@ pub fn from_edge_list(text: &str) -> Result<Multigraph, String> {
     Ok(b.build())
 }
 
-/// JSON round-trip helpers (serde is derived on `Multigraph`; these are the
-/// ergonomic entry points).
-pub fn to_json(g: &Multigraph) -> String {
-    serde_json::to_string(g).expect("multigraph serializes")
+/// Schema tag stamped on the JSON envelope emitted by [`to_json`] and
+/// required by [`from_json`] — the workspace convention (`fcn-*/N`) for
+/// every machine-readable artifact.
+pub const JSON_SCHEMA: &str = "fcn-multigraph/1";
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct JsonEnvelope {
+    schema: String,
+    graph: Multigraph,
 }
 
-/// Parse a JSON-serialized multigraph.
+/// Render as a tagged JSON envelope:
+/// `{"schema":"fcn-multigraph/1","graph":{…}}`.
+pub fn to_json(g: &Multigraph) -> String {
+    let env = JsonEnvelope {
+        schema: JSON_SCHEMA.to_string(),
+        graph: g.clone(),
+    };
+    // fcn-allow: ERR-UNWRAP serializing a derived struct of integers and strings cannot fail
+    serde_json::to_string(&env).expect("multigraph envelope serializes")
+}
+
+/// Parse a JSON-serialized multigraph, validating the schema tag.
 pub fn from_json(s: &str) -> Result<Multigraph, String> {
-    serde_json::from_str(s).map_err(|e| e.to_string())
+    let env: JsonEnvelope = serde_json::from_str(s).map_err(|e| e.to_string())?;
+    if env.schema != JSON_SCHEMA {
+        return Err(format!(
+            "wrong schema tag {:?} (want {JSON_SCHEMA:?})",
+            env.schema
+        ));
+    }
+    Ok(env.graph)
 }
 
 #[cfg(test)]
@@ -115,7 +138,19 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let g = sample();
-        let back = from_json(&to_json(&g)).unwrap();
+        let text = to_json(&g);
+        assert!(text.contains("\"schema\":\"fcn-multigraph/1\""));
+        let back = from_json(&text).unwrap();
         assert_eq!(g, back);
+    }
+
+    #[test]
+    fn json_rejects_untagged_and_wrong_tag() {
+        let g = sample();
+        let text = to_json(&g);
+        let wrong = text.replace("fcn-multigraph/1", "fcn-multigraph/9");
+        let err = from_json(&wrong).unwrap_err();
+        assert!(err.contains("schema tag"), "{err}");
+        assert!(from_json("{\"nodes\":4,\"edges\":[]}").is_err());
     }
 }

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! # fcn-multigraph
 //!
 //! Multigraph substrate for the Kruskal–Rappoport (SPAA'94) reproduction.

@@ -168,6 +168,7 @@ impl Traffic {
                 }
                 (u, v)
             }
+            // fcn-allow: ERR-UNWRAP the Pairs constructor asserts a nonempty list
             TrafficKind::Pairs(p) => *p.choose(rng).expect("nonempty pair list"),
         }
     }

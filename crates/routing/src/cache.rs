@@ -22,14 +22,14 @@
 //! shard under the `plan_cache_*` names (surfaced by `fcnemu beta
 //! --verbose` and `--metrics-out`).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use fcn_multigraph::NodeId;
 use fcn_telemetry::Counter;
 
 /// Key of one memoized BFS parent tree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct PlanKey {
     /// [`fcn_multigraph::Multigraph::fingerprint`] of the host graph.
     graph: u64,
@@ -44,7 +44,7 @@ struct PlanKey {
 /// A memoizing store for BFS parent trees, shared across planning calls.
 #[derive(Debug)]
 pub struct PlanCache {
-    map: Mutex<HashMap<PlanKey, Arc<Vec<NodeId>>>>,
+    map: Mutex<BTreeMap<PlanKey, Arc<Vec<NodeId>>>>,
     capacity: usize,
     hits: Counter,
     misses: Counter,
@@ -63,7 +63,7 @@ impl PlanCache {
     /// A cache that stops inserting past `capacity` entries.
     pub fn with_capacity(capacity: usize) -> Self {
         PlanCache {
-            map: Mutex::new(HashMap::new()),
+            map: Mutex::new(BTreeMap::new()),
             capacity,
             hits: Counter::new(),
             misses: Counter::new(),
@@ -90,7 +90,16 @@ impl PlanCache {
 
     /// Trees currently stored.
     pub fn entries(&self) -> usize {
-        self.map.lock().expect("plan cache poisoned").len()
+        self.lock_map().len()
+    }
+
+    /// Lock the tree map, recovering from a poisoned mutex: the guarded
+    /// state is a plain map that is never left half-edited (inserts are
+    /// single calls), so a panic elsewhere cannot corrupt it.
+    fn lock_map(&self) -> std::sync::MutexGuard<'_, BTreeMap<PlanKey, Arc<Vec<NodeId>>>> {
+        self.map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Fraction of lookups served from the cache.
@@ -112,10 +121,13 @@ impl PlanCache {
         }
         let entries = self.entries() as u64;
         fcn_telemetry::with_shard(|s| {
-            s.add("plan_cache_hits_total", self.hits());
-            s.add("plan_cache_misses_total", self.misses());
-            s.add("plan_cache_evictions_total", self.evictions());
-            s.set_gauge("plan_cache_entries", entries);
+            s.add(fcn_telemetry::names::PLAN_CACHE_HITS_TOTAL, self.hits());
+            s.add(fcn_telemetry::names::PLAN_CACHE_MISSES_TOTAL, self.misses());
+            s.add(
+                fcn_telemetry::names::PLAN_CACHE_EVICTIONS_TOTAL,
+                self.evictions(),
+            );
+            s.set_gauge(fcn_telemetry::names::PLAN_CACHE_ENTRIES, entries);
         });
     }
 
@@ -139,19 +151,13 @@ impl PlanCache {
             source,
             bfs_seed,
         };
-        if let Some(hit) = self
-            .map
-            .lock()
-            .expect("plan cache poisoned")
-            .get(&key)
-            .cloned()
-        {
+        if let Some(hit) = self.lock_map().get(&key).cloned() {
             self.hits.inc();
             return hit;
         }
         self.misses.inc();
         let fresh = Arc::new(compute());
-        let mut map = self.map.lock().expect("plan cache poisoned");
+        let mut map = self.lock_map();
         if let Some(raced) = map.get(&key) {
             return raced.clone();
         }

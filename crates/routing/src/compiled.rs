@@ -266,10 +266,16 @@ impl CompiledNet {
         if fcn_telemetry::global().enabled() {
             let windows = win_start.len() as u64;
             fcn_telemetry::with_shard(|s| {
-                s.inc("fault_plans_applied_total");
-                s.add("fault_dead_wires_total", dead_wires as u64);
-                s.add("fault_dead_nodes_total", dead_nodes as u64);
-                s.add("fault_outage_windows_total", windows);
+                s.inc(fcn_telemetry::names::FAULT_PLANS_APPLIED_TOTAL);
+                s.add(
+                    fcn_telemetry::names::FAULT_DEAD_WIRES_TOTAL,
+                    dead_wires as u64,
+                );
+                s.add(
+                    fcn_telemetry::names::FAULT_DEAD_NODES_TOTAL,
+                    dead_nodes as u64,
+                );
+                s.add(fcn_telemetry::names::FAULT_OUTAGE_WINDOWS_TOTAL, windows);
             });
         }
         let overlay = FaultOverlay {

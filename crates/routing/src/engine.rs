@@ -49,6 +49,7 @@ use crate::packet::{PacketPath, QueueDiscipline};
 /// Router configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RouterConfig {
+    /// Contention-resolution discipline for wire queues.
     pub discipline: QueueDiscipline,
     /// Seed for random ranks.
     pub seed: u64,
@@ -413,37 +414,55 @@ pub fn route_compiled_gated(
 /// Called only when the registry is enabled at run start.
 fn publish_run(out: &RoutingOutcome, tele: &RunTele, scratch_runs: u64) {
     fcn_telemetry::with_shard(|s| {
-        s.inc("router_runs_total");
-        s.add("router_ticks_total", out.ticks);
-        s.add("router_delivered_total", out.delivered as u64);
-        s.add("router_packets_total", out.total as u64);
-        s.add("router_hops_total", out.total_hops);
-        s.add("router_stalled_packet_ticks_total", tele.stalled);
+        s.inc(fcn_telemetry::names::ROUTER_RUNS_TOTAL);
+        s.add(fcn_telemetry::names::ROUTER_TICKS_TOTAL, out.ticks);
+        s.add(
+            fcn_telemetry::names::ROUTER_DELIVERED_TOTAL,
+            out.delivered as u64,
+        );
+        s.add(fcn_telemetry::names::ROUTER_PACKETS_TOTAL, out.total as u64);
+        s.add(fcn_telemetry::names::ROUTER_HOPS_TOTAL, out.total_hops);
+        s.add(
+            fcn_telemetry::names::ROUTER_STALLED_PACKET_TICKS_TOTAL,
+            tele.stalled,
+        );
         if !out.completed {
-            s.inc("router_aborts_total");
+            s.inc(fcn_telemetry::names::ROUTER_ABORTS_TOTAL);
         }
         // Per-cause abort accounting (`fcnemu beta --verbose` surfaces
         // these so max_ticks aborts never fold silently into a rate).
         match out.abort {
             AbortCause::Completed => {}
-            AbortCause::MaxTicks => s.inc("router_abort_max_ticks_total"),
-            AbortCause::Stranded => s.inc("router_abort_stranded_total"),
-            AbortCause::Cancelled => s.inc("router_abort_cancelled_total"),
+            AbortCause::MaxTicks => s.inc(fcn_telemetry::names::ROUTER_ABORT_MAX_TICKS_TOTAL),
+            AbortCause::Stranded => s.inc(fcn_telemetry::names::ROUTER_ABORT_STRANDED_TOTAL),
+            AbortCause::Cancelled => s.inc(fcn_telemetry::names::ROUTER_ABORT_CANCELLED_TOTAL),
         }
         if out.stranded > 0 {
-            s.add("router_stranded_packets_total", out.stranded as u64);
+            s.add(
+                fcn_telemetry::names::ROUTER_STRANDED_PACKETS_TOTAL,
+                out.stranded as u64,
+            );
         }
         if tele.faults_gated > 0 {
-            s.add("router_faults_gated_total", tele.faults_gated);
+            s.add(
+                fcn_telemetry::names::ROUTER_FAULTS_GATED_TOTAL,
+                tele.faults_gated,
+            );
         }
-        s.record("router_run_max_queue", out.max_queue as u64);
-        s.record_histogram("router_queue_occupancy", &tele.occupancy);
+        s.record(
+            fcn_telemetry::names::ROUTER_RUN_MAX_QUEUE,
+            out.max_queue as u64,
+        );
+        s.record_histogram(
+            fcn_telemetry::names::ROUTER_QUEUE_OCCUPANCY,
+            &tele.occupancy,
+        );
         // Scratch-pool reuse: a scratch's first run is a creation, every
         // later run is an arena reuse (zero allocations after warm-up).
         if scratch_runs == 1 {
-            s.inc("router_scratch_created_total");
+            s.inc(fcn_telemetry::names::ROUTER_SCRATCH_CREATED_TOTAL);
         } else {
-            s.inc("router_scratch_reused_total");
+            s.inc(fcn_telemetry::names::ROUTER_SCRATCH_REUSED_TOTAL);
         }
     });
 }
@@ -563,6 +582,8 @@ fn run_ticks<Q: WireQueues, const UNIT: bool, const DISC: u8>(
     while delivered < routable && ticks < cfg.max_ticks {
         // Graceful-stop hook: one relaxed load per tick when a watchdog or
         // signal handler armed a flag; `None` compiles to nothing observable.
+        // ordering: the flag is a monotone stop hint carrying no data; a
+        // stale read merely runs one more tick before stopping.
         if let Some(c) = cancel {
             if c.load(Ordering::Relaxed) {
                 cancelled = true;
@@ -765,6 +786,7 @@ pub fn route_batch(
     packets: Vec<PacketPath>,
     cfg: RouterConfig,
 ) -> RoutingOutcome {
+    // fcn-allow: ERR-UNWRAP documented panicking wrapper; `try_route_batch` is the typed-error entry point
     try_route_batch(machine, &packets, cfg).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -872,6 +894,7 @@ pub mod reference {
             let hi = wire_offsets[u as usize + 1];
             lo + wire_to[lo..hi]
                 .binary_search(&v)
+                // fcn-allow: ERR-UNWRAP compile() already verified every hop is a host wire, so the search always succeeds
                 .unwrap_or_else(|_| panic!("no wire {u} -> {v}"))
         };
         let mut queues: Vec<WireQueue> = (0..wire_to.len())

@@ -93,6 +93,7 @@ impl<'a> RouteCtx<'a> {
     /// paths.
     pub fn route_paths(&self, paths: &[PacketPath], cfg: RouterConfig) -> RoutingOutcome {
         let batch = PacketBatch::compile(&self.net, paths)
+            // fcn-allow: ERR-UNWRAP documented panicking wrapper over planner output; `try_route_batch` covers untrusted paths
             .unwrap_or_else(|e| panic!("planner produced unroutable path: {e}"));
         route_compiled_pooled(&self.net, &batch, cfg)
     }

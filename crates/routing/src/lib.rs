@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! # fcn-routing
 //!
 //! A synchronous, unit-capacity, store-and-forward packet-routing simulator

@@ -235,8 +235,8 @@ pub fn plan_routes_degraded(
     if fcn_telemetry::global().enabled() && (replans > 0 || !unreachable.is_empty()) {
         let dropped = unreachable.len() as u64;
         fcn_telemetry::with_shard(|s| {
-            s.add("planner_replans_total", replans);
-            s.add("planner_unreachable_total", dropped);
+            s.add(fcn_telemetry::names::PLANNER_REPLANS_TOTAL, replans);
+            s.add(fcn_telemetry::names::PLANNER_UNREACHABLE_TOTAL, dropped);
         });
     }
     DegradedPlan {

@@ -64,6 +64,7 @@ pub struct PathOracle<'g> {
 }
 
 impl<'g> PathOracle<'g> {
+    /// An oracle over `graph` whose BFS tie-breaks derive from `seed`.
     pub fn new(graph: &'g Multigraph, seed: u64) -> Self {
         PathOracle {
             graph,
@@ -106,6 +107,7 @@ impl<'g> PathOracle<'g> {
             .map(|(i, p)| {
                 p.unwrap_or_else(|| {
                     let (s, d) = demands[i];
+                    // fcn-allow: ERR-UNWRAP documented panicking wrapper; `try_routes` is the Option-returning entry point
                     panic!("no path {s} -> {d} in host")
                 })
             })
@@ -154,7 +156,7 @@ impl<'g> PathOracle<'g> {
             .zip(leg2)
             .map(|(a, b)| {
                 let (mut a, b) = (a?, b?);
-                debug_assert_eq!(*a.last().unwrap(), b[0]);
+                debug_assert_eq!(a.last(), b.first());
                 a.extend_from_slice(&b[1..]);
                 Some(PacketPath::new(a))
             })

@@ -19,17 +19,23 @@ pub struct PacketPath {
 }
 
 impl PacketPath {
+    /// A packet path over the given node walk.
+    ///
+    /// # Panics
+    /// Panics if `path` is empty.
     pub fn new(path: Vec<NodeId>) -> Self {
         assert!(!path.is_empty(), "packet path cannot be empty");
         PacketPath { path }
     }
 
+    /// Source node (first hop).
     pub fn src(&self) -> NodeId {
         self.path[0]
     }
 
+    /// Destination node (last hop).
     pub fn dst(&self) -> NodeId {
-        *self.path.last().unwrap()
+        self.path[self.path.len() - 1]
     }
 
     /// Number of wire traversals this packet needs.

@@ -29,7 +29,9 @@ pub struct SteadyConfig {
     pub measure_ticks: u64,
     /// Router configuration.
     pub router: RouterConfig,
+    /// Path-planning strategy.
     pub strategy: Strategy,
+    /// Base seed for traffic sampling and planning.
     pub seed: u64,
 }
 

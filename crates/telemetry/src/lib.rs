@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! # fcn-telemetry — deterministic observability for the fcn-emu workspace
 //!
 //! A zero-overhead-when-disabled metrics subsystem: atomic counters, gauges,
@@ -27,6 +29,7 @@
 //!    --format prom`).
 
 pub mod hist;
+pub mod names;
 pub mod registry;
 pub mod shard;
 pub mod snapshot;

@@ -26,6 +26,8 @@ impl Counter {
     /// Add `v`.
     #[inline]
     pub fn add(&self, v: u64) {
+        // ordering: counters are commutative u64 additions with no
+        // cross-metric invariants; Relaxed is sufficient and cheapest.
         self.0.fetch_add(v, Ordering::Relaxed);
     }
 
@@ -38,6 +40,8 @@ impl Counter {
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
+        // ordering: snapshot reads tolerate torn cross-metric views; each
+        // individual u64 load is atomic regardless.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -55,18 +59,23 @@ impl Gauge {
     /// Set the value.
     #[inline]
     pub fn set(&self, v: u64) {
+        // ordering: last-write-wins gauge; no other memory is published
+        // through this store, so Relaxed cannot be observed inconsistently.
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Raise the value to at least `v`.
     #[inline]
     pub fn raise_to(&self, v: u64) {
+        // ordering: fetch_max is idempotent and order-insensitive; Relaxed
+        // races only reorder equivalent maxima.
         self.0.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
+        // ordering: observational read; staleness is acceptable by design.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -101,6 +110,9 @@ impl Histogram {
     /// Record one observation.
     #[inline]
     pub fn record(&self, v: u64) {
+        // ordering: bucket/count/sum are independent commutative additions;
+        // readers tolerate mid-record skew (count may trail buckets by one),
+        // so no release/acquire pairing is needed.
         self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.0.count.fetch_add(1, Ordering::Relaxed);
         self.0.sum.fetch_add(v, Ordering::Relaxed);
@@ -108,6 +120,8 @@ impl Histogram {
 
     /// Merge a whole [`LocalHistogram`] (a worker shard) in one pass.
     pub fn merge_local(&self, local: &LocalHistogram) {
+        // ordering: same argument as `record` — all additions commute and
+        // no reader requires a consistent cross-field cut.
         for (slot, &n) in self.0.buckets.iter().zip(local.buckets.iter()) {
             if n != 0 {
                 slot.fetch_add(n, Ordering::Relaxed);
@@ -120,6 +134,8 @@ impl Histogram {
     /// A plain copy of the current contents.
     pub fn load(&self) -> LocalHistogram {
         let mut out = LocalHistogram::new();
+        // ordering: observational copy; snapshots are taken after the pool
+        // has flushed shards, when no writer races remain.
         for (o, b) in out.buckets.iter_mut().zip(self.0.buckets.iter()) {
             *o = b.load(Ordering::Relaxed);
         }
@@ -177,12 +193,18 @@ impl MetricsRegistry {
     /// Whether expensive collection paths should run.
     #[inline]
     pub fn enabled(&self) -> bool {
+        // ordering: the switch is a monotone hint read once per run; a
+        // stale read only delays collection by one run and never changes
+        // simulated output (telemetry_determinism pins this).
         self.enabled.load(Ordering::Relaxed)
     }
 
     /// Flip the collection switch. Enabling or disabling never changes a
     /// simulated bit — pinned by `crates/routing/tests/telemetry_determinism.rs`.
     pub fn set_enabled(&self, on: bool) {
+        // ordering: flipped only at run boundaries on the coordinator
+        // thread, before workers spawn / after they join — the thread
+        // creation edge already publishes the value.
         self.enabled.store(on, Ordering::Relaxed);
     }
 
@@ -191,7 +213,7 @@ impl MetricsRegistry {
         assert_name(name);
         self.counters
             .lock()
-            .expect("registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .entry(name.to_string())
             .or_default()
             .clone()
@@ -202,7 +224,7 @@ impl MetricsRegistry {
         assert_name(name);
         self.gauges
             .lock()
-            .expect("registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .entry(name.to_string())
             .or_default()
             .clone()
@@ -213,7 +235,7 @@ impl MetricsRegistry {
         assert_name(name);
         self.histograms
             .lock()
-            .expect("registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .entry(name.to_string())
             .or_default()
             .clone()
@@ -224,21 +246,21 @@ impl MetricsRegistry {
         let counters = self
             .counters
             .lock()
-            .expect("registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(k, c)| (k.clone(), c.get()))
             .collect();
         let gauges = self
             .gauges
             .lock()
-            .expect("registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(k, g)| (k.clone(), g.get()))
             .collect();
         let histograms = self
             .histograms
             .lock()
-            .expect("registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(k, h)| (k.clone(), h.load()))
             .collect();

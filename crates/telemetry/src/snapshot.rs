@@ -34,6 +34,12 @@ pub struct MetricsSnapshot {
     pub histograms: BTreeMap<String, LocalHistogram>,
 }
 
+/// Render one JSONL line from a hand-built [`Value`] tree.
+fn render_line(v: &Value) -> String {
+    // fcn-allow: ERR-UNWRAP hand-built `serde_json::Value` trees (string keys, integer leaves) always serialize
+    serde_json::to_string(v).expect("value renders")
+}
+
 fn obj(entries: Vec<(&str, Value)>) -> Value {
     Value::Object(
         entries
@@ -123,14 +129,14 @@ impl MetricsSnapshot {
             ("gauges", Value::UInt(self.gauges.len() as u64)),
             ("histograms", Value::UInt(self.histograms.len() as u64)),
         ]);
-        lines.push(serde_json::to_string(&header).expect("header renders"));
+        lines.push(render_line(&header));
         for (k, v) in &self.counters {
             let line = obj(vec![
                 ("kind", Value::String("counter".to_string())),
                 ("name", Value::String(k.clone())),
                 ("value", Value::UInt(*v)),
             ]);
-            lines.push(serde_json::to_string(&line).expect("counter renders"));
+            lines.push(render_line(&line));
         }
         for (k, v) in &self.gauges {
             let line = obj(vec![
@@ -138,7 +144,7 @@ impl MetricsSnapshot {
                 ("name", Value::String(k.clone())),
                 ("value", Value::UInt(*v)),
             ]);
-            lines.push(serde_json::to_string(&line).expect("gauge renders"));
+            lines.push(render_line(&line));
         }
         for (k, h) in &self.histograms {
             let buckets = Value::Array(h.buckets.iter().map(|&b| Value::UInt(b)).collect());
@@ -149,7 +155,7 @@ impl MetricsSnapshot {
                 ("sum", Value::UInt(h.sum)),
                 ("buckets", buckets),
             ]);
-            lines.push(serde_json::to_string(&line).expect("histogram renders"));
+            lines.push(render_line(&line));
         }
         let mut out = lines.join("\n");
         out.push('\n');

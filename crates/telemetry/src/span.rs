@@ -37,6 +37,9 @@ impl Span {
     /// registry is enabled.
     #[inline]
     pub fn enter(name: &'static str) -> Self {
+        // Wall clock allowed: spans exist to measure wall time, and
+        // span durations are excluded from determinism comparisons.
+        #[allow(clippy::disallowed_methods)]
         let start = if global().enabled() {
             Some(Instant::now())
         } else {

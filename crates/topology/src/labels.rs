@@ -178,6 +178,7 @@ fn butterfly_dims(n: usize) -> (u32, usize) {
             return (g, rows);
         }
     }
+    // fcn-allow: ERR-UNWRAP documented precondition: label decoding is only called on sizes produced by the builders
     panic!("not a butterfly node count: {n}");
 }
 
@@ -188,6 +189,7 @@ fn ccc_dims(n: usize) -> (u32, usize) {
             return (g, rows);
         }
     }
+    // fcn-allow: ERR-UNWRAP documented precondition: label decoding is only called on sizes produced by the builders
     panic!("not a CCC node count: {n}");
 }
 

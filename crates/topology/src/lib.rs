@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! # fcn-topology
 //!
 //! Generators and analytic properties for the fixed-connection network

@@ -27,16 +27,25 @@ pub enum RoutePolicy {
     RestrictToPrefix(usize),
     /// de Bruijn bit-shift routing: shift in the destination's bits, one
     /// edge per bit.
-    DeBruijnBits { g: u32 },
+    DeBruijnBits {
+        /// Address width (the graph has `2^g` nodes).
+        g: u32,
+    },
     /// Shuffle-exchange bit-correction routing: alternate shuffle steps
     /// with exchange corrections.
-    ShuffleExchangeBits { g: u32 },
+    ShuffleExchangeBits {
+        /// Address width (the graph has `2^g` nodes).
+        g: u32,
+    },
     /// X-Tree level-balanced routing: each pair crosses at a uniformly
     /// random tree level (climb, walk the level's sibling links, descend).
     /// BFS shortest paths push all far traffic over the root and saturate
     /// at Θ(1); spreading across levels realizes the Θ(lg n) of the level
     /// highways.
-    XTreeLevels { depth: u32 },
+    XTreeLevels {
+        /// Tree depth (levels are `0..=depth`).
+        depth: u32,
+    },
 }
 
 /// Per-node forwarding capacity per tick.
@@ -136,6 +145,7 @@ impl Machine {
         self.route_policy
     }
 
+    /// The machine family this instance belongs to.
     pub fn family(&self) -> Family {
         self.family
     }
@@ -145,6 +155,7 @@ impl Machine {
         &self.name
     }
 
+    /// The interconnection multigraph.
     pub fn graph(&self) -> &Multigraph {
         &self.graph
     }

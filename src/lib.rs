@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! # fcn-emu — Bandwidth-Based Lower Bounds on Slowdown for Efficient
 //! # Emulations of Fixed-Connection Networks
 //!
