@@ -1,4 +1,4 @@
-//! The rule set: seven token-level invariant checks.
+//! The rule set: eight token-level invariant checks.
 //!
 //! | id | invariant it pins |
 //! |----|-------------------|
@@ -9,6 +9,7 @@
 //! | `SCHEMA-TAG` | every JSON emitter stamps a versioned `fcn-*/N` tag |
 //! | `TEL-NAME`   | telemetry metric names come from one const table |
 //! | `ATOMIC-DOC` | every atomic `Ordering::` carries a justification |
+//! | `SHARD-MERGE`| cross-shard buffers drain only through the merge helper |
 //!
 //! Rules run over the scrubbed planes of [`SourceFile`]; matches inside
 //! strings, comments, and `#[cfg(test)]` regions never fire (except where a
@@ -67,7 +68,17 @@ pub const RULES: &[(&str, &str)] = &[
         "ATOMIC-DOC",
         "every atomic Ordering:: use carries an `// ordering:` justification comment",
     ),
+    (
+        "SHARD-MERGE",
+        "cross-shard boundary buffers iterate only through merge_outboxes: direct .msgs \
+         access elsewhere in fcn-routing can replay arrivals in shard order, not \
+         activation order",
+    ),
 ];
+
+/// The one file allowed to touch a boundary `Outbox`'s message buffer
+/// directly: the canonical boundary-exchange merge itself.
+pub const SHARD_MERGE_ALLOWLIST: &[&str] = &["crates/routing/src/boundary.rs"];
 
 /// True if `id` names a known rule.
 pub fn known_rule(id: &str) -> bool {
@@ -410,6 +421,38 @@ fn atomic_doc(sf: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// SHARD-MERGE: cross-shard boundary buffers drained outside the canonical
+/// merge. The sharded router's bit-identity proof hinges on exactly one
+/// traversal order for boundary messages — the activation-key merge in
+/// `boundary.rs`. `Outbox`'s fields are private precisely so `.msgs` can
+/// only appear there; this rule keeps it that way when fields move or a
+/// future buffer forgets the encapsulation.
+fn shard_merge(sf: &SourceFile, out: &mut Vec<Finding>) {
+    if sf.kind != FileKind::Lib || sf.crate_name != "routing" {
+        return;
+    }
+    if SHARD_MERGE_ALLOWLIST.contains(&sf.path.as_str()) {
+        return;
+    }
+    for (i, line) in sf.lines.iter().enumerate() {
+        let ln = i + 1;
+        if sf.is_test_line(ln) {
+            continue;
+        }
+        if !token_hits(&line.code, ".msgs").is_empty() {
+            out.push(finding(
+                sf,
+                ln,
+                "SHARD-MERGE",
+                "direct access to a cross-shard boundary buffer (`.msgs`) outside \
+                 boundary.rs: iterate via merge_outboxes so arrivals replay in \
+                 activation order, never shard order"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
 /// Run every per-file rule over `sf`.
 pub fn check_file(sf: &SourceFile) -> Vec<Finding> {
     let mut out = Vec::new();
@@ -420,6 +463,7 @@ pub fn check_file(sf: &SourceFile) -> Vec<Finding> {
     schema_tag_file(sf, &mut out);
     tel_name(sf, &mut out);
     atomic_doc(sf, &mut out);
+    shard_merge(sf, &mut out);
     out
 }
 

@@ -28,8 +28,8 @@ use fcn_exec::{job_seed, Pool};
 use fcn_faults::{FaultPlan, FaultSpec};
 use fcn_multigraph::Traffic;
 use fcn_routing::{
-    plan_routes_degraded, plateau_rate, route_compiled_pooled, AbortCause, CompiledNet,
-    PacketBatch, PlanCache, RateSample, RouterConfig, Strategy,
+    plan_routes_degraded, plateau_rate, route_sharded_pooled, AbortCause, CompiledNet, PacketBatch,
+    PlanCache, RateSample, RouterConfig, Strategy,
 };
 use fcn_topology::Machine;
 use serde::{Deserialize, Serialize};
@@ -58,6 +58,9 @@ pub struct DegradedSweep {
     /// Worker threads; `0` means one per hardware thread. Bit-identical for
     /// every value.
     pub jobs: usize,
+    /// Router shard count per cell (`1` = sequential engine). Bit-identical
+    /// for every value, including on faulted nets.
+    pub shards: usize,
 }
 
 impl Default for DegradedSweep {
@@ -71,6 +74,7 @@ impl Default for DegradedSweep {
             trials: 3,
             seed: 0xbead,
             jobs: 1,
+            shards: 1,
         }
     }
 }
@@ -195,6 +199,12 @@ impl DegradedSweep {
         self
     }
 
+    /// This sweep with a different router shard count (builder-style).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
     /// One grid cell: draw demands, plan around the faults, route on the
     /// faulted net.
     #[allow(clippy::too_many_arguments)]
@@ -225,7 +235,7 @@ impl DegradedSweep {
         let batch = PacketBatch::compile(net, &dp.paths)
             // fcn-allow: ERR-UNWRAP the fault-aware planner only emits paths along surviving wires, so compile cannot reject them
             .unwrap_or_else(|e| panic!("degraded planner produced unroutable path: {e}"));
-        let outcome = route_compiled_pooled(net, &batch, self.router);
+        let outcome = route_sharded_pooled(net, &batch, self.router, self.shards);
         // "Completed" here means the router *terminated with a typed
         // outcome* — everything routable was delivered — even if some
         // packets were stranded by dead wires. Only hitting the tick budget
@@ -387,6 +397,19 @@ mod tests {
         for jobs in [2, 4] {
             let par = quick_sweep(&[0.0, 0.2]).with_jobs(jobs).sweep(&m, &t);
             assert_eq!(par, seq, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn sweep_is_shard_count_invariant() {
+        // Faulted nets exercise the sharded router's stranding scan and
+        // fault-gated budgeted sends; the curve must not move.
+        let m = Machine::mesh(2, 8);
+        let t = m.symmetric_traffic();
+        let seq = quick_sweep(&[0.0, 0.2]).sweep(&m, &t);
+        for shards in [2, 4] {
+            let sh = quick_sweep(&[0.0, 0.2]).with_shards(shards).sweep(&m, &t);
+            assert_eq!(sh, seq, "shards={shards}");
         }
     }
 

@@ -52,6 +52,10 @@ pub struct BandwidthEstimator {
     /// sequential (the default), `0` means one per hardware thread. The
     /// estimate is bit-identical for every value.
     pub jobs: usize,
+    /// Router shard count for each cell's tick loop: `1` (the default) is
+    /// the sequential engine, `K ≥ 2` runs the deterministic sharded
+    /// router. The estimate is bit-identical for every value.
+    pub shards: usize,
 }
 
 impl Default for BandwidthEstimator {
@@ -63,6 +67,7 @@ impl Default for BandwidthEstimator {
             trials: 3,
             seed: 0xbead,
             jobs: 1,
+            shards: 1,
         }
     }
 }
@@ -115,7 +120,9 @@ impl BandwidthEstimator {
         let m_len = self.multipliers.len();
         let cells = self.trials * m_len;
         let pool = Pool::new(self.jobs);
-        let ctx = RouteCtx::from_net(machine, net.clone()).with_cache(cache);
+        let ctx = RouteCtx::from_net(machine, net.clone())
+            .with_cache(cache)
+            .with_shards(self.shards);
         let samples: Vec<RateSample> = pool.run(cells, |cell| {
             let trial = cell / m_len;
             let mi = cell % m_len;
@@ -200,6 +207,12 @@ impl BandwidthEstimator {
         self.jobs = jobs;
         self
     }
+
+    /// This estimator with a different router shard count (builder-style).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +264,18 @@ mod tests {
             assert_eq!(par.rate, seq.rate, "jobs={jobs}");
             assert_eq!(par.samples, seq.samples, "jobs={jobs}");
             assert_eq!(par.complete_trials, seq.complete_trials);
+        }
+    }
+
+    #[test]
+    fn sharded_estimate_matches_sequential() {
+        let m = Machine::mesh(2, 8);
+        let seq = quick().estimate_symmetric(&m);
+        for shards in [2, 4] {
+            let sh = quick().with_shards(shards).estimate_symmetric(&m);
+            assert_eq!(sh.rate, seq.rate, "shards={shards}");
+            assert_eq!(sh.samples, seq.samples, "shards={shards}");
+            assert_eq!(sh.complete_trials, seq.complete_trials);
         }
     }
 

@@ -19,7 +19,8 @@ use fcn_bandwidth::BandwidthEstimator;
 use fcn_bench::{banner, fmt, RunOpts, Scale, PERFBENCH_SCHEMA};
 use fcn_routing::engine::reference;
 use fcn_routing::{
-    plan_routes, route_compiled, CompiledNet, PacketBatch, RouterConfig, RouterScratch, Strategy,
+    plan_routes, route_compiled, route_sharded_pooled, CompiledNet, PacketBatch, RouterConfig,
+    RouterScratch, Strategy,
 };
 use fcn_topology::Machine;
 use serde::Serialize;
@@ -30,8 +31,9 @@ struct Row {
     /// Row-format version ([`PERFBENCH_SCHEMA`]); the binary refuses to
     /// merge with a file whose rows carry a different (or no) tag.
     schema: String,
-    /// Benchmark id (`route_reference`, `route_compiled`, `estimator_grid`,
-    /// `planner`, `telemetry_overhead`).
+    /// Benchmark id (`route_reference`, `route_compiled`,
+    /// `route_sharded_k{K}`, `estimator_grid`, `planner`,
+    /// `telemetry_overhead`).
     bench: String,
     /// Machine the benchmark ran on.
     machine: String,
@@ -39,10 +41,12 @@ struct Row {
     n: usize,
     /// Median wall time of the repetitions, in milliseconds.
     median_ms: f64,
-    /// Bench-specific throughput: delivery rate (router benches), β̂
-    /// (estimator), packets planned per millisecond (planner), or the
-    /// disabled-telemetry/no-telemetry-baseline time ratio
-    /// (`telemetry_overhead`; `< 1.01` is the "<1 % off overhead" budget).
+    /// Bench-specific throughput: delivery rate (router benches),
+    /// node-ticks simulated per second (`route_sharded_k{K}` — the scaling
+    /// curve's y-axis), β̂ (estimator), packets planned per millisecond
+    /// (planner), or the disabled-telemetry/no-telemetry-baseline time
+    /// ratio (`telemetry_overhead`; `< 1.01` is the "<1 % off overhead"
+    /// budget).
     rate: f64,
 }
 
@@ -138,6 +142,38 @@ fn main() {
         "speedup         : {:.2}x (reference / compiled)",
         ref_ms / cmp_ms
     );
+
+    // Sharded-router scaling: the same batch through `route_sharded_pooled`
+    // at K ∈ {1, 2, 4, 8}, reported as node-ticks simulated per second so
+    // shard counts are comparable on one axis. The outcome is asserted
+    // bit-identical to the sequential run at every K; the *throughput*
+    // curve depends on the host's core count — on a single-core runner the
+    // boundary exchange is pure overhead and the curve is flat-to-negative,
+    // which is exactly what the committed numbers should say (see
+    // EXPERIMENTS.md for the schema note).
+    for k in [1usize, 2, 4, 8] {
+        let (sh_ms, ticks) = timed(reps, || {
+            let out = route_sharded_pooled(&net, &batch, cfg, k);
+            assert_eq!(
+                out.rate(),
+                cmp_rate,
+                "sharding must not change a single bit"
+            );
+            out.ticks as f64
+        });
+        let node_ticks_per_sec = n as f64 * ticks / (sh_ms / 1e3);
+        println!(
+            "route_sharded_k{k}: {:>9} ms   {} node-ticks/s",
+            fmt(sh_ms),
+            fmt(node_ticks_per_sec)
+        );
+        rows.push(Row::new(
+            &format!("route_sharded_k{k}"),
+            &machine,
+            sh_ms,
+            node_ticks_per_sec,
+        ));
+    }
 
     // The estimator's full trials × multipliers grid — the workload the
     // tables actually pay for.

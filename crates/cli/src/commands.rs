@@ -68,11 +68,11 @@ pub fn usage() -> String {
 USAGE:
   fcnemu machines
   fcnemu build   <family> <size> [--seed N] [--format summary|dot|edges|json]
-  fcnemu beta    <family> <size> [--trials N] [--steady] [--seed N] [--jobs N] [--max-ticks N] [--verbose]
-  fcnemu faults  <family> <size> [--rates R1,R2,..] [--trials N] [--seed N] [--fault-seed N] [--jobs N] [--quick] [--verbose]
+  fcnemu beta    <family> <size> [--trials N] [--steady] [--seed N] [--jobs N] [--shards N] [--max-ticks N] [--verbose]
+  fcnemu faults  <family> <size> [--rates R1,R2,..] [--trials N] [--seed N] [--fault-seed N] [--jobs N] [--shards N] [--quick] [--verbose]
   fcnemu bound   <guest-family> <host-family> [--n N] [--m M]
   fcnemu emulate <guest-family> <n> <host-family> <m> [--steps N]
-  fcnemu audit   <family> <size> [--seed N] [--jobs N]
+  fcnemu audit   <family> <size> [--seed N] [--jobs N] [--shards N]
   fcnemu witness <family> <size> [--alpha X]
   fcnemu verify  <family> <size> [--hosts M] [--steps N]
   fcnemu table   <1|2|3> [--size N]
@@ -198,6 +198,9 @@ fn cmd_beta(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
     // Worker threads for the trials×multipliers grid; 0 = one per hardware
     // thread. The estimate is bit-identical for every value.
     let jobs = args.flag("jobs", 1usize)?;
+    // Router shard count per cell; 1 is the sequential engine. Like --jobs,
+    // bit-identical for every value.
+    let shards = args.flag("shards", 1usize)?;
     // Router tick budget; 0 keeps the default. Cells that exhaust it are
     // reported (under --verbose) instead of silently depressing the plateau.
     let max_ticks = args.flag("max-ticks", 0u64)?;
@@ -214,6 +217,7 @@ fn cmd_beta(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
             trials,
             seed,
             jobs,
+            shards,
             router,
             ..Default::default()
         };
@@ -293,6 +297,7 @@ fn cmd_faults(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
     let seed = args.flag("seed", 0xbeadu64)?;
     let fault_seed = args.flag("fault-seed", 0xfa17u64)?;
     let jobs = args.flag("jobs", 1usize)?;
+    let shards = args.flag("shards", 1usize)?;
     let quick = args.has("quick");
     let verbose = args.has("verbose");
     let rates_flag = args.flags.get("rates").cloned();
@@ -320,6 +325,7 @@ fn cmd_faults(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
             trials: if quick { trials.min(2) } else { trials },
             seed,
             jobs,
+            shards,
             ..Default::default()
         };
         let points = sweep.sweep_symmetric(&m);
@@ -462,16 +468,18 @@ fn cmd_audit(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
         .map_err(|_| ParseError("size must be a positive integer".into()))?;
     let seed = args.flag("seed", 7u64)?;
     let jobs = args.flag("jobs", 1usize)?;
+    let shards = args.flag("shards", 1usize)?;
     Ok((|| -> CmdResult {
         let m = build(&id, size, seed)?;
-        // Same cheap estimator as `quick_audit`, with the worker count
-        // threaded through: the audit cells run in parallel, the output is
-        // bit-identical for every `--jobs` value.
+        // Same cheap estimator as `quick_audit`, with the worker and shard
+        // counts threaded through: the audit cells run in parallel, the
+        // output is bit-identical for every `--jobs` and `--shards` value.
         let est = BandwidthEstimator {
             multipliers: vec![2, 4],
             trials: 2,
             seed,
             jobs,
+            shards,
             ..Default::default()
         };
         let audit = audit_bottleneck_freeness(&m, &est, seed);
@@ -763,6 +771,24 @@ mod tests {
     }
 
     #[test]
+    fn beta_output_is_shards_invariant() {
+        let (code, seq) = run_s("beta mesh2 64 --trials 2 --shards 1");
+        assert_eq!(code, 0, "{seq}");
+        let (code, sh) = run_s("beta mesh2 64 --trials 2 --shards 4");
+        assert_eq!(code, 0, "{sh}");
+        assert_eq!(seq, sh, "--shards must not change the output");
+    }
+
+    #[test]
+    fn audit_output_is_shards_invariant() {
+        let (code, seq) = run_s("audit tree 31 --shards 1");
+        assert_eq!(code, 0, "{seq}");
+        let (code, sh) = run_s("audit tree 31 --shards 4");
+        assert_eq!(code, 0, "{sh}");
+        assert_eq!(seq, sh, "--shards must not change the output");
+    }
+
+    #[test]
     fn emulate_reports_slowdown() {
         let (code, out) = run_s("emulate de_bruijn 64 mesh2 9 --steps 4");
         assert_eq!(code, 0, "{out}");
@@ -921,6 +947,17 @@ mod tests {
         let (code, par) = run_s("faults mesh2 64 --quick --jobs 4");
         assert_eq!(code, 0, "{par}");
         assert_eq!(seq, par, "--jobs must not change the faults output");
+    }
+
+    #[test]
+    fn faults_output_is_shards_invariant() {
+        // Sharded routing on faulted nets (dead wires, outage windows) is
+        // still byte-identical, all the way out to the rendered curve.
+        let (code, seq) = run_s("faults mesh2 64 --quick --shards 1");
+        assert_eq!(code, 0, "{seq}");
+        let (code, sh) = run_s("faults mesh2 64 --quick --shards 4");
+        assert_eq!(code, 0, "{sh}");
+        assert_eq!(seq, sh, "--shards must not change the faults output");
     }
 
     #[test]

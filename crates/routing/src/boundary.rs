@@ -1,0 +1,186 @@
+//! The sharded router's boundary-exchange buffers and their canonical
+//! ordered merge.
+//!
+//! During a sharded tick, each shard runs its send phase independently and
+//! records every popped packet into an [`Outbox`]. The pops themselves are
+//! order-free (each node's pop set is determined by its queues alone), but
+//! the *global* order in which arrivals are then processed is
+//! load-bearing: it fixes FIFO insertion order and the order nodes are
+//! (re)activated for the next tick. The sequential engine processes
+//! arrivals in the order it scans active nodes, and that scan order is the
+//! order nodes were first activated.
+//!
+//! [`merge_outboxes`] reconstructs exactly that order for any shard count.
+//! Every message in an outbox is tagged (via its run) with the **activation
+//! key** of the node that sent it — the global rank at which the node was
+//! appended to the sequential engine's active list. Per-shard outboxes are
+//! naturally ascending in that key (activation is chronological and
+//! compaction preserves order), so a K-way merge by smallest head key
+//! replays the sequential send order bit for bit. This is the routing
+//! analogue of the telemetry shard merge pinned by
+//! `crates/telemetry/tests/shard_merge.rs`, and the `SHARD-MERGE` analyze
+//! rule keeps every consumer of cross-shard buffers on this one helper.
+
+/// One packet crossing the tick boundary: enough state for the receiving
+/// shard to requeue it without consulting any other shard.
+///
+/// The packet's random rank is *not* carried: ranks are a pure function of
+/// `(config seed, packet id)`, pregenerated once by the leader and shared
+/// read-only with every shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundaryMsg {
+    /// Packet id (index into the batch).
+    pub pid: u32,
+    /// Hops remaining *before* this traversal is applied.
+    pub rem: u32,
+    /// The packet's flat wire-arena cursor (next hop to read).
+    pub cursor: u32,
+}
+
+/// A run of consecutive messages sent by one node: all pops of one active
+/// node during one send phase, tagged with that node's activation key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Run {
+    /// The sending node's global activation rank (see [`crate::shard`]).
+    act_key: u64,
+    /// Number of messages in this run.
+    len: u32,
+}
+
+/// One shard's send-phase output: messages grouped into per-node [`Run`]s,
+/// ascending in activation key by construction.
+///
+/// The message buffer is private; shards append through [`Outbox::push`]
+/// and the leader consumes through [`merge_outboxes`], so no caller can
+/// iterate a cross-shard buffer outside the canonical merge order (enforced
+/// token-wise by the `SHARD-MERGE` analyze rule).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Outbox {
+    runs: Vec<Run>,
+    msgs: Vec<BoundaryMsg>,
+}
+
+impl Outbox {
+    /// Append one message under the sending node's activation key.
+    ///
+    /// Consecutive pushes with the same key extend the current run; a new
+    /// key opens a new run. Keys must arrive in non-decreasing order (the
+    /// send phase walks the active list, which is ascending in activation
+    /// key) — debug-checked here, and what makes the K-way merge correct.
+    #[inline]
+    pub fn push(&mut self, act_key: u64, msg: BoundaryMsg) {
+        match self.runs.last_mut() {
+            Some(run) if run.act_key == act_key => run.len += 1,
+            last => {
+                debug_assert!(
+                    last.is_none_or(|r| r.act_key < act_key),
+                    "outbox activation keys must be pushed in ascending order"
+                );
+                self.runs.push(Run { act_key, len: 1 });
+            }
+        }
+        self.msgs.push(msg);
+    }
+
+    /// Total messages buffered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// True when no messages are buffered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Drop all runs and messages, keeping capacity.
+    pub fn clear(&mut self) {
+        self.runs.clear();
+        self.msgs.clear();
+    }
+}
+
+/// Merge per-shard outboxes into the canonical global send order, invoking
+/// `f(source shard, message)` once per message.
+///
+/// The merge repeatedly takes the whole head run of the shard whose head
+/// run has the smallest activation key. Because every node lives in exactly
+/// one shard, keys never tie across shards, and because each outbox is
+/// ascending in key, the emitted sequence is globally ascending — i.e. the
+/// exact order the 1-shard engine would have produced these sends in. With
+/// a single shard this degenerates to an in-order scan.
+pub fn merge_outboxes<F: FnMut(usize, &BoundaryMsg)>(outboxes: &[Outbox], mut f: F) {
+    // (next run index, next message index) per shard.
+    let mut pos: Vec<(usize, usize)> = vec![(0, 0); outboxes.len()];
+    loop {
+        let mut best: Option<(u64, usize)> = None;
+        for (s, ob) in outboxes.iter().enumerate() {
+            if let Some(run) = ob.runs.get(pos[s].0) {
+                if best.is_none_or(|(k, _)| run.act_key < k) {
+                    best = Some((run.act_key, s));
+                }
+            }
+        }
+        let Some((_, s)) = best else { break };
+        let ob = &outboxes[s];
+        let (run_idx, msg_idx) = pos[s];
+        let len = ob.runs[run_idx].len as usize;
+        for m in &ob.msgs[msg_idx..msg_idx + len] {
+            f(s, m);
+        }
+        pos[s] = (run_idx + 1, msg_idx + len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(pid: u32) -> BoundaryMsg {
+        BoundaryMsg {
+            pid,
+            rem: 1,
+            cursor: 0,
+        }
+    }
+
+    #[test]
+    fn runs_extend_and_split_on_key_changes() {
+        let mut ob = Outbox::default();
+        assert!(ob.is_empty());
+        ob.push(3, msg(0));
+        ob.push(3, msg(1));
+        ob.push(9, msg(2));
+        assert_eq!(ob.len(), 3);
+        let mut seen = Vec::new();
+        merge_outboxes(std::slice::from_ref(&ob), |s, m| seen.push((s, m.pid)));
+        assert_eq!(seen, vec![(0, 0), (0, 1), (0, 2)]);
+        ob.clear();
+        assert!(ob.is_empty());
+    }
+
+    #[test]
+    fn merge_interleaves_shards_by_activation_key() {
+        // Shard 0 activated nodes at ranks 1 and 6; shard 1 at ranks 4 and 5.
+        let mut a = Outbox::default();
+        a.push(1, msg(10));
+        a.push(1, msg(11));
+        a.push(6, msg(12));
+        let mut b = Outbox::default();
+        b.push(4, msg(20));
+        b.push(5, msg(21));
+        let mut seen = Vec::new();
+        merge_outboxes(&[a, b], |s, m| seen.push((s, m.pid)));
+        assert_eq!(seen, vec![(0, 10), (0, 11), (1, 20), (1, 21), (0, 12)]);
+    }
+
+    #[test]
+    fn merge_of_empty_outboxes_is_empty() {
+        let mut calls = 0;
+        merge_outboxes(&[Outbox::default(), Outbox::default()], |_, _| calls += 1);
+        assert_eq!(calls, 0);
+        merge_outboxes(&[], |_, _| calls += 1);
+        assert_eq!(calls, 0);
+    }
+}

@@ -201,15 +201,15 @@ impl RouterScratch {
 /// state — the tick loop never reads it back, so telemetry cannot change a
 /// routed bit.
 #[derive(Debug, Default)]
-struct RunTele {
+pub(crate) struct RunTele {
     /// Per-tick queued-packet count (queue occupancy at tick start).
-    occupancy: LocalHistogram,
+    pub(crate) occupancy: LocalHistogram,
     /// Packet-ticks spent waiting: packets that sat in a wire queue over a
     /// tick without crossing (occupancy minus that tick's crossings).
-    stalled: u64,
+    pub(crate) stalled: u64,
     /// Wire-visits whose capacity was reduced by a fault (dead wire or an
     /// open outage window) during the send phase.
-    faults_gated: u64,
+    pub(crate) faults_gated: u64,
 }
 
 /// Uniform view over the per-wire queue pool of one discipline, so the tick
@@ -411,8 +411,10 @@ pub fn route_compiled_gated(
 }
 
 /// Push one run's router metrics into this thread's telemetry shard.
-/// Called only when the registry is enabled at run start.
-fn publish_run(out: &RoutingOutcome, tele: &RunTele, scratch_runs: u64) {
+/// Called only when the registry is enabled at run start. `scratch_runs`
+/// feeds the scratch-pool reuse counters; the sharded router passes 0
+/// (its workers hold per-shard state, not a pooled [`RouterScratch`]).
+pub(crate) fn publish_run(out: &RoutingOutcome, tele: &RunTele, scratch_runs: u64) {
     fcn_telemetry::with_shard(|s| {
         s.inc(fcn_telemetry::names::ROUTER_RUNS_TOTAL);
         s.add(fcn_telemetry::names::ROUTER_TICKS_TOTAL, out.ticks);
@@ -459,19 +461,21 @@ fn publish_run(out: &RoutingOutcome, tele: &RunTele, scratch_runs: u64) {
         );
         // Scratch-pool reuse: a scratch's first run is a creation, every
         // later run is an arena reuse (zero allocations after warm-up).
+        // Scratch-free runs (the sharded router) pass 0 and record neither.
         if scratch_runs == 1 {
             s.inc(fcn_telemetry::names::ROUTER_SCRATCH_CREATED_TOTAL);
-        } else {
+        } else if scratch_runs > 1 {
             s.inc(fcn_telemetry::names::ROUTER_SCRATCH_REUSED_TOTAL);
         }
     });
 }
 
 /// `const`-generic encodings of [`QueueDiscipline`] so the tick loop's
-/// priority-key computation compiles to straight-line code per discipline.
-const DISC_FIFO: u8 = 0;
-const DISC_FARTHEST: u8 = 1;
-const DISC_RANDOM: u8 = 2;
+/// priority-key computation compiles to straight-line code per discipline
+/// (shared with the sharded router, whose workers monomorphize identically).
+pub(crate) const DISC_FIFO: u8 = 0;
+pub(crate) const DISC_FARTHEST: u8 = 1;
+pub(crate) const DISC_RANDOM: u8 = 2;
 
 /// Resize a queue pool to `wires` entries and empty every queue (capacity is
 /// retained, so steady-state batches allocate nothing). Queues are already

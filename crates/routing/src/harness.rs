@@ -40,6 +40,7 @@ pub struct RouteCtx<'a> {
     machine: &'a Machine,
     net: Arc<CompiledNet>,
     cache: Option<&'a PlanCache>,
+    shards: usize,
 }
 
 impl<'a> RouteCtx<'a> {
@@ -49,6 +50,7 @@ impl<'a> RouteCtx<'a> {
             machine,
             net: CompiledNet::shared(machine),
             cache: None,
+            shards: 1,
         }
     }
 
@@ -60,6 +62,7 @@ impl<'a> RouteCtx<'a> {
             machine,
             net,
             cache: None,
+            shards: 1,
         }
     }
 
@@ -67,6 +70,19 @@ impl<'a> RouteCtx<'a> {
     pub fn with_cache(mut self, cache: &'a PlanCache) -> Self {
         self.cache = Some(cache);
         self
+    }
+
+    /// Route every batch through [`crate::shard::route_sharded_pooled`]
+    /// with `shards` shard workers (`<= 1` keeps the 1-shard engine).
+    /// Outcomes are bit-identical at every shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// The configured shard count (1 = the sequential engine).
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// The machine being routed on.
@@ -95,7 +111,11 @@ impl<'a> RouteCtx<'a> {
         let batch = PacketBatch::compile(&self.net, paths)
             // fcn-allow: ERR-UNWRAP documented panicking wrapper over planner output; `try_route_batch` covers untrusted paths
             .unwrap_or_else(|e| panic!("planner produced unroutable path: {e}"));
-        route_compiled_pooled(&self.net, &batch, cfg)
+        if self.shards > 1 {
+            crate::shard::route_sharded_pooled(&self.net, &batch, cfg, self.shards)
+        } else {
+            route_compiled_pooled(&self.net, &batch, cfg)
+        }
     }
 }
 

@@ -21,8 +21,12 @@
 //!   send budgets for the "weak" machines, pluggable queue disciplines,
 //!   pooled [`RouterScratch`] arenas;
 //! * [`harness`] — batch-rate measurement and saturation sweeps, built
-//!   around the compile-once [`RouteCtx`].
+//!   around the compile-once [`RouteCtx`];
+//! * [`shard`] + [`boundary`] — the K-shard router: shard-local tick phases
+//!   joined by a deterministic boundary exchange, bit-identical to the
+//!   1-shard engine at every shard count.
 
+pub mod boundary;
 pub mod cache;
 pub mod compiled;
 pub mod engine;
@@ -30,8 +34,10 @@ pub mod harness;
 pub mod native;
 pub mod oracle;
 pub mod packet;
+pub mod shard;
 pub mod steady;
 
+pub use boundary::{merge_outboxes, BoundaryMsg, Outbox};
 pub use cache::PlanCache;
 pub use compiled::{CompiledNet, PacketBatch, RouteError};
 pub use engine::{
@@ -48,6 +54,7 @@ pub use native::{
 };
 pub use oracle::PathOracle;
 pub use packet::{PacketPath, QueueDiscipline, Strategy};
+pub use shard::{route_sharded, route_sharded_gated, route_sharded_pooled, ShardPlan, ShardView};
 pub use steady::{
     saturation_throughput, steady_state_rate, steady_state_rate_ctx, SteadyConfig, SteadyOutcome,
 };

@@ -1,0 +1,947 @@
+//! Sharded execution of the compiled router with a deterministic boundary
+//! exchange.
+//!
+//! [`route_sharded`] partitions a [`CompiledNet`]'s node set into K
+//! contiguous shards ([`ShardPlan`]), runs each shard's send phase on its
+//! own persistent worker thread ([`fcn_exec::phased_scope`]), and merges
+//! the per-shard send buffers once per tick through the canonical
+//! [`crate::boundary::merge_outboxes`] helper. The result is **bit-identical**
+//! to [`crate::engine::route_compiled`] for every `(net, batch, config,
+//! plan)` — the differential harness in `tests/sharded_router.rs` pins this
+//! across families × disciplines × shard counts × abort paths.
+//!
+//! ## Why outcomes are shard-count independent
+//!
+//! The sequential engine has exactly two order-sensitive behaviors, both
+//! driven by the order arrivals are processed within a tick: FIFO queue
+//! insertion order, and the order nodes are appended to the active list
+//! (which fixes the next tick's send-phase scan order). Everything else is
+//! order-free: each node's send-phase pop set depends only on its own
+//! queues, and `delivered` / `total_hops` / `stranded` / `max_queue` are
+//! sums or per-push maxima.
+//!
+//! The sharded path therefore reconstructs the sequential arrival order
+//! exactly, via **activation keys**: whenever a node is (re)activated it is
+//! stamped with a globally unique, time-monotone `u64` — the packet id at
+//! injection (tick 0), or `(tick << 32) | global arrival index` afterwards.
+//! A shard's active list is ascending in activation key by construction
+//! (activation is chronological and the send phase's fused compaction
+//! preserves list order), so each shard's send output is a key-ascending
+//! sequence of per-node runs, and a K-way merge by smallest head key
+//! replays the global sequential send order for any K. The leader then
+//! advances every packet in that order — decrementing hops, delivering, or
+//! forwarding the survivor to the shard owning its next wire's tail — and
+//! the per-shard inboxes it builds are themselves in canonical order, so
+//! shard-local FIFO insertions and activations land exactly as the 1-shard
+//! engine's would.
+//!
+//! Random ranks never cross the boundary: they are a pure function of
+//! `(config seed, packet id)`, pregenerated once by the leader and shared
+//! read-only with every worker.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+
+use fcn_exec::phased_scope;
+use fcn_multigraph::NodeId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::boundary::{merge_outboxes, BoundaryMsg, Outbox};
+use crate::compiled::{CompiledNet, PacketBatch};
+use crate::engine::{
+    publish_run, route_compiled_pooled, AbortCause, RouterConfig, RoutingOutcome, RunTele,
+    DISC_FARTHEST, DISC_FIFO, DISC_RANDOM,
+};
+use crate::packet::QueueDiscipline;
+
+/// Cumulative out-wire offset of node `u` (the CSR prefix sum), extended to
+/// `u == n` so shard wire ranges are one subtraction.
+#[inline]
+fn wire_offset(net: &CompiledNet, u: u32) -> usize {
+    if u as usize == net.node_count() {
+        net.wire_count()
+    } else {
+        net.wire_range(u).0
+    }
+}
+
+/// A contiguous node partition of a [`CompiledNet`] into K shards.
+///
+/// Shard `s` owns nodes `bounds[s]..bounds[s+1]`. Because the wire CSR
+/// groups wires by tail node, a contiguous node range owns a contiguous
+/// wire range too: every wire is *owned* by the shard of its tail, and a
+/// wire whose head lives in another shard is a **cut** wire — its arrivals
+/// cross the boundary exchange. Empty shards are permitted (K may exceed
+/// the node count); the plan is pure bookkeeping and draws no randomness,
+/// so planning cannot perturb routing outcomes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// K+1 node boundaries, non-decreasing, `bounds[0] = 0`,
+    /// `bounds[K] = n`.
+    bounds: Vec<u32>,
+    /// Inverse map: owning shard of each node.
+    node_shard: Vec<u32>,
+}
+
+impl ShardPlan {
+    /// Partition `net` into `shards` contiguous node ranges balanced by
+    /// owned-wire count (the send phase's work measure): boundary `s` is
+    /// the smallest node whose cumulative wire offset reaches
+    /// `s/shards` of the total.
+    pub fn balanced(net: &CompiledNet, shards: usize) -> ShardPlan {
+        assert!(shards >= 1, "a shard plan needs at least one shard");
+        let n = net.node_count();
+        let total = net.wire_count();
+        let mut bounds = Vec::with_capacity(shards + 1);
+        bounds.push(0u32);
+        let mut node = 0u32;
+        for s in 1..shards {
+            let target = total * s / shards;
+            while (node as usize) < n && wire_offset(net, node) < target {
+                node += 1;
+            }
+            bounds.push(node);
+        }
+        bounds.push(n as u32);
+        ShardPlan::from_bounds(net, bounds)
+    }
+
+    /// Build a plan from explicit node boundaries (for tests and ablations:
+    /// *any* non-decreasing boundary vector yields bit-identical outcomes).
+    ///
+    /// # Panics
+    /// Panics unless `bounds` starts at 0, ends at `net.node_count()`, and
+    /// is non-decreasing.
+    pub fn from_bounds(net: &CompiledNet, bounds: Vec<u32>) -> ShardPlan {
+        let n = net.node_count();
+        assert!(bounds.len() >= 2, "bounds need at least one shard");
+        assert_eq!(bounds[0], 0, "bounds must start at node 0");
+        assert_eq!(
+            bounds[bounds.len() - 1],
+            n as u32,
+            "bounds must end at the node count"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] <= w[1]),
+            "bounds must be non-decreasing"
+        );
+        let mut node_shard = vec![0u32; n];
+        for s in 0..bounds.len() - 1 {
+            for u in bounds[s]..bounds[s + 1] {
+                node_shard[u as usize] = s as u32;
+            }
+        }
+        ShardPlan { bounds, node_shard }
+    }
+
+    /// Number of shards (≥ 1; empty shards count).
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Number of nodes this plan partitions.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_shard.len()
+    }
+
+    /// The shard owning node `u`.
+    #[inline]
+    pub fn shard_of(&self, u: NodeId) -> u32 {
+        self.node_shard[u as usize]
+    }
+
+    /// Node range `(lo, hi)` of shard `s`.
+    #[inline]
+    pub fn range(&self, s: usize) -> (u32, u32) {
+        (self.bounds[s], self.bounds[s + 1])
+    }
+
+    /// The node boundaries, `shards() + 1` entries.
+    pub fn bounds(&self) -> &[u32] {
+        &self.bounds
+    }
+
+    /// A read-only view of shard `s`'s subgraph within `net`.
+    pub fn view<'a>(&'a self, net: &'a CompiledNet, s: usize) -> ShardView<'a> {
+        assert!(s < self.shards(), "shard index out of range");
+        ShardView {
+            net,
+            plan: self,
+            shard: s,
+        }
+    }
+}
+
+/// One shard's slice of a [`CompiledNet`]: its node range, its owned
+/// (tail-resident) wire range, and the cut classification of each wire.
+///
+/// The partition-invariance suite uses this to check that compiling then
+/// sharding equals sharding then compiling: the union of all views'
+/// wire ranges tiles `0..wire_count` exactly, and every per-wire attribute
+/// read through a view equals the full net's.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardView<'a> {
+    net: &'a CompiledNet,
+    plan: &'a ShardPlan,
+    shard: usize,
+}
+
+impl ShardView<'_> {
+    /// The shard index this view covers.
+    #[inline]
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Node range `(lo, hi)` owned by this shard.
+    #[inline]
+    pub fn node_range(&self) -> (u32, u32) {
+        self.plan.range(self.shard)
+    }
+
+    /// Owned wire range `(lo, hi)`: all wires whose tail lives in this
+    /// shard. Contiguous because the CSR groups wires by tail node.
+    #[inline]
+    pub fn wire_range(&self) -> (u32, u32) {
+        let (nlo, nhi) = self.node_range();
+        (
+            wire_offset(self.net, nlo) as u32,
+            wire_offset(self.net, nhi) as u32,
+        )
+    }
+
+    /// Tail node of owned wire `w` (always inside this shard's node range).
+    #[inline]
+    pub fn wire_tail(&self, w: u32) -> NodeId {
+        debug_assert!(self.owns_wire(w));
+        self.net.wire_tail(w)
+    }
+
+    /// Head node of owned wire `w` (any shard).
+    #[inline]
+    pub fn wire_head(&self, w: u32) -> NodeId {
+        debug_assert!(self.owns_wire(w));
+        self.net.wire_head(w)
+    }
+
+    /// Per-tick capacity of owned wire `w`.
+    #[inline]
+    pub fn wire_capacity(&self, w: u32) -> u32 {
+        debug_assert!(self.owns_wire(w));
+        self.net.wire_capacity(w)
+    }
+
+    /// Per-tick send budget of node `u` (must be in this shard's range).
+    #[inline]
+    pub fn send_budget(&self, u: NodeId) -> u32 {
+        debug_assert_eq!(self.plan.shard_of(u) as usize, self.shard);
+        self.net.send_budget(u)
+    }
+
+    /// Is owned wire `w` a cut wire (head owned by a different shard)?
+    /// Arrivals on cut wires are the boundary exchange's traffic; with one
+    /// shard no wire is cut.
+    #[inline]
+    pub fn is_cut(&self, w: u32) -> bool {
+        debug_assert!(self.owns_wire(w));
+        self.plan.shard_of(self.net.wire_head(w)) as usize != self.shard
+    }
+
+    /// Does this shard own wire `w` (i.e. its tail)?
+    #[inline]
+    pub fn owns_wire(&self, w: u32) -> bool {
+        let (lo, hi) = self.wire_range();
+        lo <= w && w < hi
+    }
+}
+
+/// A queue entry carries the packet's routing state so a shard never reads
+/// another shard's per-packet columns: hops remaining and the flat
+/// wire-arena cursor travel with the packet.
+#[derive(Debug, Clone, Copy)]
+struct FifoEntry {
+    pid: u32,
+    rem: u32,
+    cursor: u32,
+}
+
+/// Priority entry: `key_pid` packs `(key << 32) | pid` exactly like the
+/// engine's [`crate::engine`] priority pool, so the min-scan pops the same
+/// packet the 1-shard run would.
+#[derive(Debug, Clone, Copy)]
+struct PrioEntry {
+    key_pid: u64,
+    rem: u32,
+    cursor: u32,
+}
+
+/// Per-wire queue pool of one discipline, mirroring the engine's
+/// `WireQueues` but carrying `(rem, cursor)` alongside each packet.
+trait ShardQueues {
+    fn with_wires(wires: usize) -> Self;
+    /// Enqueue and return the queue's new length (for max-queue tracking).
+    fn push(&mut self, w: usize, key: u32, pid: u32, rem: u32, cursor: u32) -> usize;
+    fn pop(&mut self, w: usize) -> Option<(u32, u32, u32)>;
+    fn is_empty(&self, w: usize) -> bool;
+}
+
+struct ShardFifo(Vec<VecDeque<FifoEntry>>);
+
+impl ShardQueues for ShardFifo {
+    fn with_wires(wires: usize) -> Self {
+        ShardFifo((0..wires).map(|_| VecDeque::new()).collect())
+    }
+    #[inline]
+    fn push(&mut self, w: usize, _key: u32, pid: u32, rem: u32, cursor: u32) -> usize {
+        let q = &mut self.0[w];
+        q.push_back(FifoEntry { pid, rem, cursor });
+        q.len()
+    }
+    #[inline]
+    fn pop(&mut self, w: usize) -> Option<(u32, u32, u32)> {
+        self.0[w].pop_front().map(|e| (e.pid, e.rem, e.cursor))
+    }
+    #[inline]
+    fn is_empty(&self, w: usize) -> bool {
+        self.0[w].is_empty()
+    }
+}
+
+/// Unsorted priority pool, popped by linear min-scan + `swap_remove` — the
+/// same pop order as the engine's pool because packed values are distinct.
+struct ShardPrio(Vec<Vec<PrioEntry>>);
+
+impl ShardQueues for ShardPrio {
+    fn with_wires(wires: usize) -> Self {
+        ShardPrio((0..wires).map(|_| Vec::new()).collect())
+    }
+    #[inline]
+    fn push(&mut self, w: usize, key: u32, pid: u32, rem: u32, cursor: u32) -> usize {
+        let q = &mut self.0[w];
+        q.push(PrioEntry {
+            key_pid: ((key as u64) << 32) | pid as u64,
+            rem,
+            cursor,
+        });
+        q.len()
+    }
+    #[inline]
+    fn pop(&mut self, w: usize) -> Option<(u32, u32, u32)> {
+        let q = &mut self.0[w];
+        if q.is_empty() {
+            return None;
+        }
+        let mut best = 0usize;
+        for i in 1..q.len() {
+            if q[i].key_pid < q[best].key_pid {
+                best = i;
+            }
+        }
+        let e = q.swap_remove(best);
+        Some((e.key_pid as u32, e.rem, e.cursor))
+    }
+    #[inline]
+    fn is_empty(&self, w: usize) -> bool {
+        self.0[w].is_empty()
+    }
+}
+
+/// Priority key per discipline — byte-identical to the engine's `key_of`.
+#[inline]
+fn key_of<const DISC: u8>(remaining: u32, rank: u32) -> u32 {
+    match DISC {
+        DISC_FIFO => 0,
+        DISC_FARTHEST => u32::MAX - remaining,
+        _ => rank,
+    }
+}
+
+/// One packet forwarded to its destination shard after the leader's merge:
+/// requeue state plus the wire to queue on and the activation key to stamp
+/// if the tail node is not yet active.
+#[derive(Debug, Clone, Copy)]
+struct Inbound {
+    pid: u32,
+    rem: u32,
+    cursor: u32,
+    wire: u32,
+    act: u64,
+}
+
+/// Leader → worker phase requests. Per-worker request queues are FIFO
+/// (`std::sync::mpsc`), so the one-way `Arrive` is always processed before
+/// the next tick's `Send`.
+enum ShardReq {
+    /// Scan the whole batch, claiming packets whose source node this shard
+    /// owns; respond with `Injected`.
+    Inject,
+    /// Run this shard's send phase for `tick`; respond with `Sent`.
+    Send { tick: u64 },
+    /// Requeue merged arrivals (already in canonical global order). No
+    /// response — the request-queue FIFO orders it before the next `Send`.
+    Arrive { inbox: Vec<Inbound> },
+    /// Report end-of-run local maxima/counters; respond with `Finished`.
+    Finish,
+}
+
+/// Worker → leader phase responses.
+enum ShardResp {
+    Injected { delivered: usize, stranded: usize },
+    Sent(Outbox),
+    Finished { max_queue: usize, gated: u64 },
+}
+
+/// One shard's worker loop: owns the shard's queues and activity arrays for
+/// the whole run and serves phase requests until the leader hangs up.
+///
+/// Arrays are full-size (indexed by global node/wire id) for simplicity —
+/// only this shard's slots are ever touched, so the cost is memory, not
+/// correctness. Workers never touch telemetry: all observation happens on
+/// the leader, keeping the telemetry stream identical at any shard count.
+fn shard_worker<Q: ShardQueues, const UNIT: bool, const DISC: u8>(
+    shard: usize,
+    net: &CompiledNet,
+    batch: &PacketBatch,
+    plan: &ShardPlan,
+    ranks: &[u32],
+    rx: Receiver<ShardReq>,
+    tx: Sender<ShardResp>,
+) {
+    let n = net.node_count();
+    let shard = shard as u32;
+    let mut queues = Q::with_wires(net.wire_count());
+    let mut node_queued = vec![0u32; n];
+    let mut node_listed = vec![false; n];
+    let mut rotate = vec![0u32; n];
+    let mut act_key = vec![0u64; n];
+    let mut active: Vec<NodeId> = Vec::new();
+    let mut max_queue = 0usize;
+    let mut gated = 0u64;
+    while let Ok(req) = rx.recv() {
+        match req {
+            ShardReq::Inject => {
+                // Mirror of the engine's injection, restricted to packets
+                // whose source node this shard owns (each packet has exactly
+                // one owner, so summed counts equal the sequential ones).
+                let mut delivered = 0usize;
+                let mut stranded = 0usize;
+                let strand_scan = net.has_dead_wires();
+                for (pid, &rank) in ranks.iter().enumerate() {
+                    let hops = batch.hops(pid);
+                    if hops == 0 {
+                        if plan.shard_of(batch.node_at(batch.node_base(pid), 0)) == shard {
+                            delivered += 1;
+                        }
+                        continue;
+                    }
+                    let wb = batch.wire_base(pid);
+                    let w = batch.wire_at(wb, 0) as usize;
+                    let src = net.wire_tail(w as u32);
+                    if plan.shard_of(src) != shard {
+                        continue;
+                    }
+                    if strand_scan && batch.wires(pid).iter().any(|&dw| net.wire_dead(dw)) {
+                        stranded += 1;
+                        continue;
+                    }
+                    let key = key_of::<DISC>(hops, rank);
+                    max_queue = max_queue.max(queues.push(w, key, pid as u32, hops, wb + 1));
+                    node_queued[src as usize] += 1;
+                    if !node_listed[src as usize] {
+                        node_listed[src as usize] = true;
+                        // Injection-time activation key: the packet id —
+                        // globally unique, below every later-tick key
+                        // (ticks start at 1, so `(tick << 32)` dominates),
+                        // and ascending in batch scan order exactly like
+                        // the sequential engine's activation order.
+                        act_key[src as usize] = pid as u64;
+                        active.push(src);
+                    }
+                }
+                let _ = tx.send(ShardResp::Injected {
+                    delivered,
+                    stranded,
+                });
+            }
+            ShardReq::Send { tick } => {
+                // The engine's send phase with fused compaction, verbatim,
+                // over this shard's active list; pops go to the outbox
+                // (tagged with the sending node's activation key) instead
+                // of a local arrivals vector.
+                let mut outbox = Outbox::default();
+                let mut act = std::mem::take(&mut active);
+                let mut kept = 0usize;
+                for idx in 0..act.len() {
+                    let u = act[idx];
+                    let (lo, hi) = net.wire_range(u);
+                    let deg = hi - lo;
+                    let mut queued = node_queued[u as usize];
+                    if deg == 0 || queued == 0 {
+                        node_listed[u as usize] = false;
+                        continue;
+                    }
+                    let akey = act_key[u as usize];
+                    let mut wi = rotate[u as usize] as usize;
+                    debug_assert!(wi < deg);
+                    if UNIT {
+                        for _ in 0..deg {
+                            let w = lo + wi;
+                            wi += 1;
+                            if wi == deg {
+                                wi = 0;
+                            }
+                            if let Some((pid, rem, cursor)) = queues.pop(w) {
+                                outbox.push(akey, BoundaryMsg { pid, rem, cursor });
+                                queued -= 1;
+                                if queued == 0 {
+                                    break;
+                                }
+                            }
+                        }
+                    } else {
+                        let mut budget = net.send_budget(u) as u64;
+                        for _ in 0..deg {
+                            if budget == 0 {
+                                break;
+                            }
+                            let w = lo + wi;
+                            wi += 1;
+                            if wi == deg {
+                                wi = 0;
+                            }
+                            if queues.is_empty(w) {
+                                continue;
+                            }
+                            let cap_now = net.effective_wire_capacity(w as u32, tick - 1);
+                            if cap_now < net.wire_capacity(w as u32) {
+                                gated += 1;
+                            }
+                            if cap_now == 0 {
+                                continue;
+                            }
+                            let cap = (cap_now as u64).min(budget);
+                            let mut sent = 0u64;
+                            while sent < cap {
+                                match queues.pop(w) {
+                                    Some((pid, rem, cursor)) => {
+                                        outbox.push(akey, BoundaryMsg { pid, rem, cursor });
+                                        sent += 1;
+                                    }
+                                    None => break,
+                                }
+                            }
+                            budget -= sent;
+                            queued -= sent as u32;
+                            if queued == 0 {
+                                break;
+                            }
+                        }
+                    }
+                    node_queued[u as usize] = queued;
+                    let next = rotate[u as usize] + 1;
+                    rotate[u as usize] = if next as usize == deg { 0 } else { next };
+                    if queued > 0 {
+                        act[kept] = u;
+                        kept += 1;
+                    } else {
+                        node_listed[u as usize] = false;
+                    }
+                }
+                act.truncate(kept);
+                active = act;
+                let _ = tx.send(ShardResp::Sent(outbox));
+            }
+            ShardReq::Arrive { inbox } => {
+                // The leader built this inbox in canonical global order, so
+                // FIFO insertions and activations land exactly as the
+                // sequential arrival loop's would.
+                for m in &inbox {
+                    let key = key_of::<DISC>(m.rem, ranks[m.pid as usize]);
+                    max_queue =
+                        max_queue.max(queues.push(m.wire as usize, key, m.pid, m.rem, m.cursor));
+                    let from = net.wire_tail(m.wire);
+                    node_queued[from as usize] += 1;
+                    if !node_listed[from as usize] {
+                        node_listed[from as usize] = true;
+                        act_key[from as usize] = m.act;
+                        active.push(from);
+                    }
+                }
+            }
+            ShardReq::Finish => {
+                let _ = tx.send(ShardResp::Finished { max_queue, gated });
+            }
+        }
+    }
+}
+
+/// The leader loop: drives injection, per-tick send/merge/arrive phases,
+/// and end-of-run collection over `plan.shards()` persistent workers.
+fn drive<Q: ShardQueues, const UNIT: bool, const DISC: u8>(
+    net: &CompiledNet,
+    batch: &PacketBatch,
+    cfg: RouterConfig,
+    plan: &ShardPlan,
+    cancel: Option<&AtomicBool>,
+) -> RoutingOutcome {
+    let total = batch.len();
+    let k = plan.shards();
+    // Ranks are a pure function of (seed, pid): drawn once here, in packet
+    // order, from the exact stream the 1-shard engine draws.
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut ranks: Vec<u32> = Vec::with_capacity(total);
+    for _ in 0..total {
+        ranks.push(rng.random::<u32>());
+    }
+    let ranks = &ranks[..];
+    let mut tele = if fcn_telemetry::global().enabled() {
+        Some(RunTele::default())
+    } else {
+        None
+    };
+    let mut boundary_msgs = 0u64;
+    let mut shard_maxes: Vec<u64> = Vec::with_capacity(k);
+    let worker = |i: usize, rx: Receiver<ShardReq>, tx: Sender<ShardResp>| {
+        shard_worker::<Q, UNIT, DISC>(i, net, batch, plan, ranks, rx, tx);
+    };
+    let out = phased_scope(k, &worker, |links| {
+        for s in 0..k {
+            links.send(s, ShardReq::Inject);
+        }
+        let mut delivered = 0usize;
+        let mut stranded = 0usize;
+        for s in 0..k {
+            match links.recv(s) {
+                ShardResp::Injected {
+                    delivered: d,
+                    stranded: st,
+                } => {
+                    delivered += d;
+                    stranded += st;
+                }
+                _ => unreachable!("sharded protocol violated: expected Injected"),
+            }
+        }
+        let routable = total - stranded;
+        let mut ticks = 0u64;
+        let mut cancelled = false;
+        let mut total_hops = 0u64;
+        let mut max_queue = 0usize;
+        let mut inboxes: Vec<Vec<Inbound>> = (0..k).map(|_| Vec::new()).collect();
+        let mut outboxes: Vec<Outbox> = Vec::with_capacity(k);
+        while delivered < routable && ticks < cfg.max_ticks {
+            // ordering: same monotone stop hint as the 1-shard engine — no
+            // data is published through the flag; a stale read merely runs
+            // one more tick before stopping.
+            if let Some(c) = cancel {
+                if c.load(Ordering::Relaxed) {
+                    cancelled = true;
+                    break;
+                }
+            }
+            ticks += 1;
+            for s in 0..k {
+                links.send(s, ShardReq::Send { tick: ticks });
+            }
+            outboxes.clear();
+            for s in 0..k {
+                match links.recv(s) {
+                    ShardResp::Sent(ob) => outboxes.push(ob),
+                    _ => unreachable!("sharded protocol violated: expected Sent"),
+                }
+            }
+            let arrived: u64 = outboxes.iter().map(|o| o.len() as u64).sum();
+            // Same observation point as the engine: after the send phase,
+            // before arrivals advance anything (`delivered` still holds the
+            // pre-arrival count).
+            if let Some(t) = tele.as_mut() {
+                let queued_start = (total - delivered) as u64;
+                t.occupancy.record(queued_start);
+                t.stalled += queued_start - arrived;
+            }
+            total_hops += arrived;
+            // The canonical merge replays the global sequential send order;
+            // the leader advances each packet exactly as the engine's
+            // arrival loop does and routes survivors to their destination
+            // shard's inbox, stamping fresh activation keys. Tick counts are
+            // far below 2^32 in practice (the default max_ticks is 4M), so
+            // `(tick << 32) | index` never wraps.
+            let mut gidx = 0u64;
+            merge_outboxes(&outboxes, |src, msg| {
+                let rem = msg.rem - 1;
+                if rem == 0 {
+                    delivered += 1;
+                } else {
+                    let cur = msg.cursor as usize;
+                    let w = batch.wire_flat(cur);
+                    let dest = plan.shard_of(net.wire_tail(w)) as usize;
+                    if dest != src {
+                        boundary_msgs += 1;
+                    }
+                    inboxes[dest].push(Inbound {
+                        pid: msg.pid,
+                        rem,
+                        cursor: (cur + 1) as u32,
+                        wire: w,
+                        act: (ticks << 32) | gidx,
+                    });
+                }
+                gidx += 1;
+            });
+            for (s, inbox) in inboxes.iter_mut().enumerate() {
+                links.send(
+                    s,
+                    ShardReq::Arrive {
+                        inbox: std::mem::take(inbox),
+                    },
+                );
+            }
+        }
+        for s in 0..k {
+            links.send(s, ShardReq::Finish);
+        }
+        let mut gated = 0u64;
+        for s in 0..k {
+            match links.recv(s) {
+                ShardResp::Finished {
+                    max_queue: mq,
+                    gated: g,
+                } => {
+                    max_queue = max_queue.max(mq);
+                    gated += g;
+                    shard_maxes.push(mq as u64);
+                }
+                _ => unreachable!("sharded protocol violated: expected Finished"),
+            }
+        }
+        if let Some(t) = tele.as_mut() {
+            t.faults_gated += gated;
+        }
+        let abort = if cancelled {
+            AbortCause::Cancelled
+        } else if delivered < routable {
+            AbortCause::MaxTicks
+        } else if stranded > 0 {
+            AbortCause::Stranded
+        } else {
+            AbortCause::Completed
+        };
+        RoutingOutcome {
+            ticks,
+            delivered,
+            total,
+            completed: abort == AbortCause::Completed,
+            max_queue,
+            total_hops,
+            stranded,
+            abort,
+        }
+    });
+    if let Some(t) = tele {
+        // All telemetry publishes on the caller thread, in one place, so
+        // enabling the registry is invisible to the routed bits and the
+        // stream is identical at any shard count. `scratch_runs = 0`: the
+        // sharded path holds per-worker state, not a pooled scratch.
+        publish_run(&out, &t, 0);
+        publish_sharded(k, boundary_msgs, &shard_maxes);
+    }
+    out
+}
+
+/// Publish the sharded-run extras (run count, shard count, boundary
+/// traffic, per-shard queue peaks merged in shard order).
+fn publish_sharded(shards: usize, boundary_msgs: u64, shard_maxes: &[u64]) {
+    fcn_telemetry::with_shard(|s| {
+        s.inc(fcn_telemetry::names::ROUTER_SHARDED_RUNS_TOTAL);
+        s.set_gauge(fcn_telemetry::names::ROUTER_SHARDS_LAST, shards as u64);
+        s.add(
+            fcn_telemetry::names::ROUTER_BOUNDARY_MSGS_TOTAL,
+            boundary_msgs,
+        );
+        for &mq in shard_maxes {
+            s.record(fcn_telemetry::names::ROUTER_SHARD_MAX_QUEUE, mq);
+        }
+    });
+}
+
+/// Route a pre-compiled batch over `plan.shards()` shard workers.
+///
+/// Bit-identical to [`crate::engine::route_compiled`] for every plan —
+/// including single-shard, empty-shard, and maximally unbalanced plans —
+/// which `tests/sharded_router.rs` pins differentially against both the
+/// compiled and reference engines.
+pub fn route_sharded(
+    net: &CompiledNet,
+    batch: &PacketBatch,
+    cfg: RouterConfig,
+    plan: &ShardPlan,
+) -> RoutingOutcome {
+    route_sharded_gated(net, batch, cfg, plan, None)
+}
+
+/// [`route_sharded`] with an optional cancellation flag, checked once per
+/// tick on the leader — the same graceful-stop contract as
+/// [`crate::engine::route_compiled_gated`].
+pub fn route_sharded_gated(
+    net: &CompiledNet,
+    batch: &PacketBatch,
+    cfg: RouterConfig,
+    plan: &ShardPlan,
+    cancel: Option<&AtomicBool>,
+) -> RoutingOutcome {
+    assert_eq!(
+        plan.node_count(),
+        net.node_count(),
+        "shard plan was built for a different net"
+    );
+    let unit = net.unit_capacity();
+    match cfg.discipline {
+        QueueDiscipline::Fifo => {
+            if unit {
+                drive::<ShardFifo, true, DISC_FIFO>(net, batch, cfg, plan, cancel)
+            } else {
+                drive::<ShardFifo, false, DISC_FIFO>(net, batch, cfg, plan, cancel)
+            }
+        }
+        QueueDiscipline::FarthestFirst => {
+            if unit {
+                drive::<ShardPrio, true, DISC_FARTHEST>(net, batch, cfg, plan, cancel)
+            } else {
+                drive::<ShardPrio, false, DISC_FARTHEST>(net, batch, cfg, plan, cancel)
+            }
+        }
+        QueueDiscipline::RandomRank => {
+            if unit {
+                drive::<ShardPrio, true, DISC_RANDOM>(net, batch, cfg, plan, cancel)
+            } else {
+                drive::<ShardPrio, false, DISC_RANDOM>(net, batch, cfg, plan, cancel)
+            }
+        }
+    }
+}
+
+/// Route with a wire-balanced plan of `shards` shards. `shards <= 1` takes
+/// the 1-shard engine directly ([`route_compiled_pooled`], pooled scratch,
+/// no worker threads) — outcomes are bit-identical either way, so this is
+/// the dispatch point `--shards N` plumbs into.
+pub fn route_sharded_pooled(
+    net: &CompiledNet,
+    batch: &PacketBatch,
+    cfg: RouterConfig,
+    shards: usize,
+) -> RoutingOutcome {
+    if shards <= 1 {
+        return route_compiled_pooled(net, batch, cfg);
+    }
+    let plan = ShardPlan::balanced(net, shards);
+    route_sharded(net, batch, cfg, &plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::route_compiled;
+    use crate::engine::RouterScratch;
+    use crate::oracle::PathOracle;
+    use crate::packet::Strategy;
+    use fcn_topology::Machine;
+
+    fn demo_batch(m: &Machine, net: &CompiledNet) -> PacketBatch {
+        let n = m.processors() as u32;
+        let mut oracle = PathOracle::new(m.graph(), 5);
+        let demands: Vec<_> = (0..2 * n).map(|i| (i % n, (n - 1) - (i % n))).collect();
+        let routes = oracle.routes(&demands, Strategy::ShortestPath);
+        PacketBatch::compile(net, &routes).expect("oracle paths are walks")
+    }
+
+    #[test]
+    fn balanced_plans_tile_the_node_and_wire_ranges() {
+        let m = Machine::mesh(2, 5);
+        let net = CompiledNet::compile(&m);
+        for k in [1, 2, 3, 7, 16, 40] {
+            let plan = ShardPlan::balanced(&net, k);
+            assert_eq!(plan.shards(), k);
+            let mut nodes = 0u32;
+            let mut wire_hi = 0u32;
+            for s in 0..k {
+                let v = plan.view(&net, s);
+                let (nlo, nhi) = v.node_range();
+                nodes += nhi - nlo;
+                let (wlo, whi) = v.wire_range();
+                assert_eq!(wlo, wire_hi, "wire ranges must tile");
+                wire_hi = whi;
+                for u in nlo..nhi {
+                    assert_eq!(plan.shard_of(u), s as u32);
+                }
+            }
+            assert_eq!(nodes as usize, net.node_count());
+            assert_eq!(wire_hi as usize, net.wire_count());
+        }
+    }
+
+    #[test]
+    fn single_shard_plan_has_no_cut_wires() {
+        let m = Machine::de_bruijn(4);
+        let net = CompiledNet::compile(&m);
+        let plan = ShardPlan::balanced(&net, 1);
+        let v = plan.view(&net, 0);
+        for w in 0..net.wire_count() as u32 {
+            assert!(!v.is_cut(w));
+        }
+        let split = ShardPlan::balanced(&net, 4);
+        let cuts: usize = (0..4)
+            .map(|s| {
+                let v = split.view(&net, s);
+                let (lo, hi) = v.wire_range();
+                (lo..hi).filter(|&w| v.is_cut(w)).count()
+            })
+            .sum();
+        assert!(cuts > 0, "a 4-way de Bruijn split must cut some wires");
+    }
+
+    #[test]
+    fn sharded_matches_compiled_on_a_mesh() {
+        let m = Machine::mesh(2, 6);
+        let net = CompiledNet::compile(&m);
+        let batch = demo_batch(&m, &net);
+        for d in [
+            QueueDiscipline::Fifo,
+            QueueDiscipline::FarthestFirst,
+            QueueDiscipline::RandomRank,
+        ] {
+            let cfg = RouterConfig {
+                discipline: d,
+                ..RouterConfig::default()
+            };
+            let baseline = route_compiled(&net, &batch, cfg, &mut RouterScratch::new());
+            for k in [1, 2, 5] {
+                let plan = ShardPlan::balanced(&net, k);
+                assert_eq!(route_sharded(&net, &batch, cfg, &plan), baseline, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_completes_at_tick_zero() {
+        let m = Machine::linear_array(6);
+        let net = CompiledNet::compile(&m);
+        let batch = PacketBatch::compile(&net, &[]).expect("empty batch");
+        let plan = ShardPlan::balanced(&net, 3);
+        let out = route_sharded(&net, &batch, RouterConfig::default(), &plan);
+        assert_eq!((out.ticks, out.delivered, out.completed), (0, 0, true));
+    }
+
+    #[test]
+    #[should_panic(expected = "different net")]
+    fn mismatched_plan_is_rejected() {
+        let a = CompiledNet::compile(&Machine::linear_array(4));
+        let b = CompiledNet::compile(&Machine::linear_array(9));
+        let plan = ShardPlan::balanced(&a, 2);
+        let batch = PacketBatch::compile(&b, &[]).expect("empty batch");
+        let _ = route_sharded(&b, &batch, RouterConfig::default(), &plan);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for the boundary-exchange merge in isolation.
+//!
+//! The sharded router's correctness reduces to one claim: scattering a
+//! tick's send sequence across per-shard [`Outbox`]es and re-merging with
+//! [`merge_outboxes`] reproduces the sequential send order exactly. These
+//! properties pin that down without running a full simulation (the routing
+//! analogue of `crates/telemetry/tests/shard_merge.rs`):
+//!
+//! * any assignment of activation-key runs to shards merges back to the
+//!   sequential order (shard-count and placement independence),
+//! * a single outbox degenerates to an in-order scan, and
+//! * the merge tags every message with its true source shard.
+
+use fcn_routing::{merge_outboxes, BoundaryMsg, Outbox};
+use proptest::prelude::*;
+
+/// One node's send-phase output, modeled abstractly: an activation key and
+/// how many messages the node popped this tick.
+#[derive(Debug, Clone)]
+struct RunSpec {
+    act_key: u64,
+    len: usize,
+    shard: usize,
+}
+
+/// Build run specs from raw proptest draws: activation keys are made
+/// strictly increasing by accumulating positive deltas (each node activates
+/// at a distinct global rank), and each run lands on an arbitrary shard —
+/// the sequential engine's active list, dealt out to K workers.
+fn specs_from(raw: &[(u64, u64, u64)], shards: usize) -> Vec<RunSpec> {
+    let mut key = 0u64;
+    raw.iter()
+        .map(|&(dk, len, shard)| {
+            key += dk % 1000 + 1;
+            RunSpec {
+                act_key: key,
+                len: (len % 6 + 1) as usize,
+                shard: (shard % shards as u64) as usize,
+            }
+        })
+        .collect()
+}
+
+/// The sequential send order: every run's messages in activation-key order,
+/// with globally unique pids so misplacements cannot alias.
+fn sequential_order(specs: &[RunSpec]) -> Vec<(usize, BoundaryMsg)> {
+    let mut pid = 0u32;
+    let mut seq = Vec::new();
+    for spec in specs {
+        for _ in 0..spec.len {
+            seq.push((
+                spec.shard,
+                BoundaryMsg {
+                    pid,
+                    rem: (pid % 7) + 1,
+                    cursor: pid.wrapping_mul(3),
+                },
+            ));
+            pid += 1;
+        }
+    }
+    seq
+}
+
+/// Scatter the sequential order into per-shard outboxes, exactly as the
+/// shard workers would: each shard pushes only its own runs, in key order.
+fn scatter(specs: &[RunSpec], seq: &[(usize, BoundaryMsg)], shards: usize) -> Vec<Outbox> {
+    let mut outboxes: Vec<Outbox> = (0..shards).map(|_| Outbox::default()).collect();
+    let mut it = seq.iter();
+    for spec in specs {
+        for _ in 0..spec.len {
+            let (shard, msg) = it.next().expect("seq covers all runs");
+            assert_eq!(*shard, spec.shard);
+            outboxes[spec.shard].push(spec.act_key, *msg);
+        }
+    }
+    outboxes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any placement of activation runs onto any number of shards merges
+    /// back to the exact sequential send order, message for message,
+    /// with the correct source shard reported for each.
+    #[test]
+    fn merge_reproduces_sequential_send_order(
+        raw in proptest::collection::vec(
+            (
+                proptest::strategy::any::<u64>(),
+                proptest::strategy::any::<u64>(),
+                proptest::strategy::any::<u64>(),
+            ),
+            0..60,
+        ),
+        shards in 1usize..9,
+    ) {
+        let specs = specs_from(&raw, shards);
+        let seq = sequential_order(&specs);
+        let outboxes = scatter(&specs, &seq, shards);
+
+        let total: usize = outboxes.iter().map(|o| o.len()).sum();
+        prop_assert_eq!(total, seq.len());
+
+        let mut merged = Vec::with_capacity(seq.len());
+        merge_outboxes(&outboxes, |s, m| merged.push((s, *m)));
+        prop_assert_eq!(merged, seq);
+    }
+
+    /// With one shard the merge is an identity scan: the outbox's own push
+    /// order comes back untouched.
+    #[test]
+    fn single_shard_merge_is_identity(
+        raw in proptest::collection::vec(
+            (
+                proptest::strategy::any::<u64>(),
+                proptest::strategy::any::<u64>(),
+                proptest::strategy::any::<u64>(),
+            ),
+            0..40,
+        ),
+    ) {
+        let specs = specs_from(&raw, 1);
+        let seq = sequential_order(&specs);
+        let outboxes = scatter(&specs, &seq, 1);
+        let mut merged = Vec::new();
+        merge_outboxes(&outboxes, |s, m| merged.push((s, *m)));
+        prop_assert!(merged.iter().all(|&(s, _)| s == 0));
+        prop_assert_eq!(merged, seq);
+    }
+
+    /// Adding empty shards anywhere (workers that sent nothing this tick)
+    /// never perturbs the merged order.
+    #[test]
+    fn empty_shards_are_transparent(
+        raw in proptest::collection::vec(
+            (
+                proptest::strategy::any::<u64>(),
+                proptest::strategy::any::<u64>(),
+                proptest::strategy::any::<u64>(),
+            ),
+            1..40,
+        ),
+        shards in 1usize..5,
+        pad in 1usize..4,
+    ) {
+        let specs = specs_from(&raw, shards);
+        let seq = sequential_order(&specs);
+        let mut outboxes = scatter(&specs, &seq, shards);
+        // Pad with empty outboxes at the end: same messages, same order,
+        // only the shard universe grows.
+        for _ in 0..pad {
+            outboxes.push(Outbox::default());
+        }
+        let mut merged = Vec::new();
+        merge_outboxes(&outboxes, |s, m| merged.push((s, *m)));
+        prop_assert_eq!(merged, seq);
+    }
+}

@@ -1,0 +1,357 @@
+//! The sharded router's contract: same bits as the 1-shard engine, which is
+//! itself pinned to the retained reference simulator.
+//!
+//! Three layers of evidence:
+//!
+//! * **Differential pins** — [`fcn_routing::route_sharded`] produces the
+//!   *identical* [`fcn_routing::RoutingOutcome`] as
+//!   [`fcn_routing::route_compiled`] AND `engine::reference::route_batch`
+//!   across the determinism families × all three disciplines × shard counts
+//!   {1, 2, 3, 7, 16}, through every abort path (MaxTicks via a starved
+//!   budget, Stranded via fault overlays, Cancelled via a pre-set flag) and
+//!   on the weak machines whose send budgets gate the budgeted send arm.
+//! * **Arbitrary-partition proptests** — *any* non-decreasing node
+//!   partition ([`ShardPlan::from_bounds`]), balanced or degenerate, of any
+//!   small net leaves the outcome bit-identical.
+//! * **Partition invariance** — compiling then sharding equals sharding the
+//!   node set then compiling per shard: each [`fcn_routing::ShardView`]'s
+//!   wire ids, tails, heads, capacities, and send budgets match what an
+//!   independent walk of the machine's adjacency produces for just that
+//!   node range.
+
+use std::sync::atomic::AtomicBool;
+
+use fcn_faults::{FaultPlan, FaultSpec};
+use fcn_routing::engine::reference;
+use fcn_routing::{
+    plan_routes, route_compiled, route_compiled_gated, route_sharded, route_sharded_gated,
+    route_sharded_pooled, CompiledNet, PacketBatch, QueueDiscipline, RouterConfig, RouterScratch,
+    ShardPlan, Strategy,
+};
+use fcn_topology::{Family, Machine};
+use proptest::prelude::*;
+
+/// The determinism-suite families (same picks as `compiled_router.rs`).
+const FAMILIES: [Family; 4] = [
+    Family::Mesh(2),
+    Family::Tree,
+    Family::DeBruijn,
+    Family::XTree,
+];
+
+/// The issue's shard-count grid: 1 (degenerate), tiny, odd, prime, and more
+/// shards than some small nets have nodes.
+const SHARD_COUNTS: [usize; 5] = [1, 2, 3, 7, 16];
+
+const DISCIPLINES: [QueueDiscipline; 3] = [
+    QueueDiscipline::Fifo,
+    QueueDiscipline::FarthestFirst,
+    QueueDiscipline::RandomRank,
+];
+
+fn symmetric_batch(
+    machine: &Machine,
+    mult: usize,
+    demand_seed: u64,
+    plan_seed: u64,
+) -> Vec<fcn_routing::PacketPath> {
+    let traffic = machine.symmetric_traffic();
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(demand_seed);
+    let demands: Vec<_> = (0..mult * traffic.n())
+        .map(|_| traffic.sample(&mut rng))
+        .collect();
+    plan_routes(machine, &demands, Strategy::ShortestPath, plan_seed)
+}
+
+/// The headline pin: families × disciplines × shard counts × tick budgets,
+/// sharded vs compiled vs reference.
+#[test]
+fn sharded_pin_families_disciplines_shard_counts_and_aborts() {
+    for (fi, family) in FAMILIES.iter().enumerate() {
+        let machine = family.build_near(64, 0x11);
+        let paths = symmetric_batch(&machine, 4, 41 + fi as u64, 17 + fi as u64);
+        let net = CompiledNet::compile(&machine);
+        let batch = PacketBatch::compile(&net, &paths).unwrap();
+        let mut scratch = RouterScratch::new();
+        for discipline in DISCIPLINES {
+            for max_ticks in [u64::MAX, 8] {
+                let cfg = RouterConfig {
+                    discipline,
+                    seed: 99,
+                    max_ticks,
+                };
+                let reference = reference::route_batch(&machine, paths.clone(), cfg);
+                let compiled = route_compiled(&net, &batch, cfg, &mut scratch);
+                assert_eq!(reference, compiled, "compiled drifted from reference");
+                for k in SHARD_COUNTS {
+                    let plan = ShardPlan::balanced(&net, k);
+                    let sharded = route_sharded(&net, &batch, cfg, &plan);
+                    assert_eq!(
+                        sharded,
+                        compiled,
+                        "{} / {discipline:?} / max_ticks {max_ticks} / k={k}",
+                        machine.name()
+                    );
+                }
+                if max_ticks == 8 {
+                    assert!(!compiled.completed, "starved budget must abort");
+                }
+            }
+        }
+    }
+}
+
+/// Fault overlays: dead wires strand packets at injection, outage windows
+/// gate the budgeted send arm mid-run — both must shard transparently,
+/// Stranded abort cause included.
+#[test]
+fn sharded_pin_fault_overlays() {
+    for (fi, family) in FAMILIES.iter().enumerate() {
+        let machine = family.build_near(64, 0x11);
+        let paths = symmetric_batch(&machine, 3, 83 + fi as u64, 29 + fi as u64);
+        let base = CompiledNet::compile(&machine);
+        let spec = FaultSpec::uniform(0xfa17 + fi as u64, 0.15);
+        let plan = FaultPlan::generate(machine.graph(), &spec);
+        let net = base.apply_faults(&plan);
+        let batch = PacketBatch::compile(&net, &paths).unwrap();
+        let mut scratch = RouterScratch::new();
+        for discipline in DISCIPLINES {
+            let cfg = RouterConfig {
+                discipline,
+                seed: 7,
+                ..Default::default()
+            };
+            let compiled = route_compiled(&net, &batch, cfg, &mut scratch);
+            for k in SHARD_COUNTS {
+                let splan = ShardPlan::balanced(&net, k);
+                let sharded = route_sharded(&net, &batch, cfg, &splan);
+                assert_eq!(
+                    sharded,
+                    compiled,
+                    "{} faulted / {discipline:?} / k={k}",
+                    machine.name()
+                );
+            }
+        }
+    }
+}
+
+/// A pre-set cancellation flag aborts tick 1 on every path, with identical
+/// outcomes (Cancelled, zero progress beyond injection).
+#[test]
+fn sharded_pin_cancelled_abort() {
+    let machine = Family::Mesh(2).build_near(64, 0x11);
+    let paths = symmetric_batch(&machine, 4, 5, 13);
+    let net = CompiledNet::compile(&machine);
+    let batch = PacketBatch::compile(&net, &paths).unwrap();
+    let cancel = AtomicBool::new(true);
+    let mut scratch = RouterScratch::new();
+    for discipline in DISCIPLINES {
+        let cfg = RouterConfig {
+            discipline,
+            seed: 3,
+            ..Default::default()
+        };
+        let compiled = route_compiled_gated(&net, &batch, cfg, &mut scratch, Some(&cancel));
+        assert_eq!(compiled.abort, fcn_routing::AbortCause::Cancelled);
+        for k in SHARD_COUNTS {
+            let plan = ShardPlan::balanced(&net, k);
+            let sharded = route_sharded_gated(&net, &batch, cfg, &plan, Some(&cancel));
+            assert_eq!(sharded, compiled, "{discipline:?} / k={k}");
+        }
+    }
+}
+
+/// Weak machines: per-node send budgets (bus hub, weak hypercube) drive the
+/// budgeted send arm, the subtle half of the wire model.
+#[test]
+fn sharded_pin_weak_machine_send_budgets() {
+    for machine in [Machine::global_bus(16), Machine::weak_hypercube(4)] {
+        let paths = symmetric_batch(&machine, 3, 7, 23);
+        let net = CompiledNet::compile(&machine);
+        let batch = PacketBatch::compile(&net, &paths).unwrap();
+        let mut scratch = RouterScratch::new();
+        let cfg = RouterConfig::default();
+        let compiled = route_compiled(&net, &batch, cfg, &mut scratch);
+        assert_eq!(
+            reference::route_batch(&machine, paths.clone(), cfg),
+            compiled
+        );
+        for k in SHARD_COUNTS {
+            let plan = ShardPlan::balanced(&net, k);
+            assert_eq!(
+                route_sharded(&net, &batch, cfg, &plan),
+                compiled,
+                "{} / k={k}",
+                machine.name()
+            );
+        }
+    }
+}
+
+/// `route_sharded_pooled` is the `--shards N` dispatch point; `<= 1` takes
+/// the pooled sequential engine and `K ≥ 2` the shard workers, same bits.
+#[test]
+fn sharded_pooled_dispatch_is_transparent() {
+    let machine = Family::DeBruijn.build_near(64, 0x11);
+    let paths = symmetric_batch(&machine, 2, 3, 9);
+    let net = CompiledNet::compile(&machine);
+    let batch = PacketBatch::compile(&net, &paths).unwrap();
+    let cfg = RouterConfig::default();
+    let baseline = route_sharded_pooled(&net, &batch, cfg, 1);
+    for k in [0, 2, 4, 16] {
+        assert_eq!(
+            route_sharded_pooled(&net, &batch, cfg, k),
+            baseline,
+            "k={k}"
+        );
+    }
+}
+
+fn machine_for(pick: usize, size: usize) -> Machine {
+    match pick {
+        0..=3 => FAMILIES[pick].build_near(size, 0x11),
+        4 => Machine::global_bus(size.clamp(4, 24)),
+        _ => Machine::weak_hypercube(3 + (size % 3) as u32),
+    }
+}
+
+/// Turn raw proptest cut points into a valid bounds vector (possibly with
+/// empty shards, duplicated cuts, or a cut at 0/n).
+fn bounds_from(cuts: &[u64], n: usize) -> Vec<u32> {
+    let mut bounds: Vec<u32> = cuts.iter().map(|&c| (c % (n as u64 + 1)) as u32).collect();
+    bounds.push(0);
+    bounds.push(n as u32);
+    bounds.sort_unstable();
+    bounds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary partitions of arbitrary small nets never change outcomes:
+    /// random (possibly empty, possibly degenerate) contiguous shards, all
+    /// three disciplines, generous and starved tick budgets.
+    #[test]
+    fn arbitrary_partitions_preserve_outcomes(
+        pick in 0usize..6,
+        size in 12usize..64,
+        seed in proptest::strategy::any::<u64>(),
+        cuts in proptest::collection::vec(proptest::strategy::any::<u64>(), 1..12),
+        raw in proptest::collection::vec(
+            (proptest::strategy::any::<u64>(), proptest::strategy::any::<u64>()),
+            1..40,
+        ),
+        starved in proptest::strategy::any::<bool>(),
+    ) {
+        let machine = machine_for(pick, size);
+        let n = machine.processors() as u64;
+        let demands: Vec<_> = raw.iter().map(|&(s, d)| ((s % n) as u32, (d % n) as u32)).collect();
+        let paths = plan_routes(&machine, &demands, Strategy::ShortestPath, seed);
+        let net = CompiledNet::compile(&machine);
+        let batch = PacketBatch::compile(&net, &paths).unwrap();
+        let plan = ShardPlan::from_bounds(&net, bounds_from(&cuts, net.node_count()));
+        let mut scratch = RouterScratch::new();
+        for discipline in DISCIPLINES {
+            let cfg = RouterConfig {
+                discipline,
+                seed,
+                max_ticks: if starved { 4 } else { u64::MAX },
+            };
+            let compiled = route_compiled(&net, &batch, cfg, &mut scratch);
+            let sharded = route_sharded(&net, &batch, cfg, &plan);
+            prop_assert!(
+                sharded == compiled,
+                "{:?} k={}: {:?} != {:?}",
+                discipline,
+                plan.shards(),
+                sharded,
+                compiled
+            );
+        }
+    }
+
+    /// Arbitrary partitions of *faulted* small nets: stranding, gating, and
+    /// the boundary exchange compose.
+    #[test]
+    fn arbitrary_partitions_preserve_faulted_outcomes(
+        pick in 0usize..4,
+        size in 16usize..64,
+        seed in proptest::strategy::any::<u64>(),
+        fault_seed in proptest::strategy::any::<u64>(),
+        cuts in proptest::collection::vec(proptest::strategy::any::<u64>(), 1..8),
+        raw in proptest::collection::vec(
+            (proptest::strategy::any::<u64>(), proptest::strategy::any::<u64>()),
+            1..32,
+        ),
+    ) {
+        let machine = machine_for(pick, size);
+        let n = machine.processors() as u64;
+        let demands: Vec<_> = raw.iter().map(|&(s, d)| ((s % n) as u32, (d % n) as u32)).collect();
+        let paths = plan_routes(&machine, &demands, Strategy::ShortestPath, seed);
+        let fplan = FaultPlan::generate(machine.graph(), &FaultSpec::uniform(fault_seed, 0.12));
+        let net = CompiledNet::compile(&machine).apply_faults(&fplan);
+        let batch = PacketBatch::compile(&net, &paths).unwrap();
+        let plan = ShardPlan::from_bounds(&net, bounds_from(&cuts, net.node_count()));
+        let mut scratch = RouterScratch::new();
+        let cfg = RouterConfig { discipline: QueueDiscipline::Fifo, seed, ..Default::default() };
+        let compiled = route_compiled(&net, &batch, cfg, &mut scratch);
+        let sharded = route_sharded(&net, &batch, cfg, &plan);
+        prop_assert!(
+            sharded == compiled,
+            "k={}: {:?} != {:?}",
+            plan.shards(),
+            sharded,
+            compiled
+        );
+    }
+
+    /// Partition invariance (compile-then-shard ≡ shard-then-compile): each
+    /// view's owned slice matches an independent per-shard walk of the
+    /// machine's adjacency — wire ids are consecutive from the view's base,
+    /// tails/heads/capacities come from the adjacency (self-loops skipped),
+    /// and send budgets are the machine's, including weak-machine caps.
+    #[test]
+    fn shard_views_match_per_shard_compilation(
+        pick in 0usize..6,
+        size in 12usize..64,
+        cuts in proptest::collection::vec(proptest::strategy::any::<u64>(), 1..10),
+    ) {
+        let machine = machine_for(pick, size);
+        let net = CompiledNet::compile(&machine);
+        let g = machine.graph();
+        let plan = ShardPlan::from_bounds(&net, bounds_from(&cuts, net.node_count()));
+        let mut next_wire = 0u32;
+        let mut nodes_seen = 0usize;
+        for s in 0..plan.shards() {
+            let view = plan.view(&net, s);
+            let (nlo, nhi) = view.node_range();
+            let (wlo, whi) = view.wire_range();
+            prop_assert!(wlo == next_wire, "wire ranges must tile in shard order");
+            // Shard-then-compile: enumerate this node range's out-wires from
+            // the machine graph alone, exactly as CompiledNet::compile does.
+            let mut w = wlo;
+            for u in nlo..nhi {
+                nodes_seen += 1;
+                prop_assert_eq!(view.send_budget(u), machine.send_capacity(u));
+                for (v, mult) in g.neighbors(u) {
+                    if v == u {
+                        continue; // self-loops never become wires
+                    }
+                    prop_assert!(w < whi, "per-shard walk overran the view");
+                    prop_assert!(view.owns_wire(w));
+                    prop_assert_eq!(view.wire_tail(w), u);
+                    prop_assert_eq!(view.wire_head(w), v);
+                    prop_assert_eq!(view.wire_capacity(w), mult);
+                    prop_assert_eq!(view.is_cut(w), plan.shard_of(v) != s as u32);
+                    w += 1;
+                }
+            }
+            prop_assert!(w == whi, "per-shard walk must exhaust the view");
+            next_wire = whi;
+        }
+        prop_assert_eq!(nodes_seen, net.node_count());
+        prop_assert_eq!(next_wire as usize, net.wire_count());
+    }
+}

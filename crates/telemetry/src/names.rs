@@ -75,6 +75,14 @@ pub const ROUTER_QUEUE_OCCUPANCY: &str = "router_queue_occupancy";
 pub const ROUTER_SCRATCH_CREATED_TOTAL: &str = "router_scratch_created_total";
 /// Scratch arenas reused without reallocation.
 pub const ROUTER_SCRATCH_REUSED_TOTAL: &str = "router_scratch_reused_total";
+/// Sharded router runs (K ≥ 2 shard workers).
+pub const ROUTER_SHARDED_RUNS_TOTAL: &str = "router_sharded_runs_total";
+/// Shard count of the most recent sharded run (gauge).
+pub const ROUTER_SHARDS_LAST: &str = "router_shards_last";
+/// Packets that crossed a shard boundary during the per-tick exchange.
+pub const ROUTER_BOUNDARY_MSGS_TOTAL: &str = "router_boundary_msgs_total";
+/// Per-shard maximum queue depth, recorded in shard order (histogram).
+pub const ROUTER_SHARD_MAX_QUEUE: &str = "router_shard_max_queue";
 
 // --- fault plane --------------------------------------------------------
 
@@ -160,6 +168,10 @@ pub const ALL: &[&str] = &[
     ROUTER_QUEUE_OCCUPANCY,
     ROUTER_SCRATCH_CREATED_TOTAL,
     ROUTER_SCRATCH_REUSED_TOTAL,
+    ROUTER_SHARDED_RUNS_TOTAL,
+    ROUTER_SHARDS_LAST,
+    ROUTER_BOUNDARY_MSGS_TOTAL,
+    ROUTER_SHARD_MAX_QUEUE,
     FAULT_PLANS_APPLIED_TOTAL,
     FAULT_DEAD_WIRES_TOTAL,
     FAULT_DEAD_NODES_TOTAL,
