@@ -28,8 +28,8 @@ use fcn_exec::{job_seed, Pool};
 use fcn_faults::{FaultPlan, FaultSpec};
 use fcn_multigraph::Traffic;
 use fcn_routing::{
-    plan_routes_degraded, plateau_rate, route_sharded_pooled, AbortCause, CompiledNet, PacketBatch,
-    PlanCache, RateSample, RouterConfig, Strategy,
+    plan_routes_degraded, plateau_rate, route_events_pooled, route_sharded_pooled, AbortCause,
+    Backend, CompiledNet, PacketBatch, PlanCache, RateSample, RouterConfig, Strategy,
 };
 use fcn_topology::Machine;
 use serde::{Deserialize, Serialize};
@@ -61,6 +61,11 @@ pub struct DegradedSweep {
     /// Router shard count per cell (`1` = sequential engine). Bit-identical
     /// for every value, including on faulted nets.
     pub shards: usize,
+    /// Router backend per cell ([`Backend::Tick`] by default). Bit-identical
+    /// either way; [`Backend::Events`] skips outage windows on wires holding
+    /// no packets instead of simulating through them, which is where
+    /// degraded sweeps spend most of their idle ticks.
+    pub backend: Backend,
 }
 
 impl Default for DegradedSweep {
@@ -75,6 +80,7 @@ impl Default for DegradedSweep {
             seed: 0xbead,
             jobs: 1,
             shards: 1,
+            backend: Backend::Tick,
         }
     }
 }
@@ -205,6 +211,12 @@ impl DegradedSweep {
         self
     }
 
+    /// This sweep with a different router backend (builder-style).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// One grid cell: draw demands, plan around the faults, route on the
     /// faulted net.
     #[allow(clippy::too_many_arguments)]
@@ -235,7 +247,10 @@ impl DegradedSweep {
         let batch = PacketBatch::compile(net, &dp.paths)
             // fcn-allow: ERR-UNWRAP the fault-aware planner only emits paths along surviving wires, so compile cannot reject them
             .unwrap_or_else(|e| panic!("degraded planner produced unroutable path: {e}"));
-        let outcome = route_sharded_pooled(net, &batch, self.router, self.shards);
+        let outcome = match self.backend {
+            Backend::Events => route_events_pooled(net, &batch, self.router),
+            Backend::Tick => route_sharded_pooled(net, &batch, self.router, self.shards),
+        };
         // "Completed" here means the router *terminated with a typed
         // outcome* — everything routable was delivered — even if some
         // packets were stranded by dead wires. Only hitting the tick budget
@@ -411,6 +426,19 @@ mod tests {
             let sh = quick_sweep(&[0.0, 0.2]).with_shards(shards).sweep(&m, &t);
             assert_eq!(sh, seq, "shards={shards}");
         }
+    }
+
+    #[test]
+    fn sweep_is_backend_invariant() {
+        // Faulted nets exercise the event backend's window wakeups and
+        // skipped-window accounting; the curve must not move.
+        let m = Machine::mesh(2, 8);
+        let t = m.symmetric_traffic();
+        let tick = quick_sweep(&[0.0, 0.2]).sweep(&m, &t);
+        let events = quick_sweep(&[0.0, 0.2])
+            .with_backend(Backend::Events)
+            .sweep(&m, &t);
+        assert_eq!(events, tick);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use std::sync::Arc;
 use fcn_exec::{job_seed, Pool};
 use fcn_multigraph::Traffic;
 use fcn_routing::{
-    measure_rate_ctx, CompiledNet, PlanCache, RateSample, RouteCtx, RouterConfig, Strategy,
+    measure_rate_ctx, Backend, CompiledNet, PlanCache, RateSample, RouteCtx, RouterConfig, Strategy,
 };
 use fcn_topology::Machine;
 use serde::{Deserialize, Serialize};
@@ -56,6 +56,11 @@ pub struct BandwidthEstimator {
     /// the sequential engine, `K ≥ 2` runs the deterministic sharded
     /// router. The estimate is bit-identical for every value.
     pub shards: usize,
+    /// Router backend for each cell ([`Backend::Tick`] by default). The
+    /// estimate is bit-identical for every backend; [`Backend::Events`] is
+    /// the cheap choice when cells spend most of their ticks idle (fault
+    /// outage windows, drain tails).
+    pub backend: Backend,
 }
 
 impl Default for BandwidthEstimator {
@@ -68,6 +73,7 @@ impl Default for BandwidthEstimator {
             seed: 0xbead,
             jobs: 1,
             shards: 1,
+            backend: Backend::Tick,
         }
     }
 }
@@ -122,7 +128,8 @@ impl BandwidthEstimator {
         let pool = Pool::new(self.jobs);
         let ctx = RouteCtx::from_net(machine, net.clone())
             .with_cache(cache)
-            .with_shards(self.shards);
+            .with_shards(self.shards)
+            .with_backend(self.backend);
         let samples: Vec<RateSample> = pool.run(cells, |cell| {
             let trial = cell / m_len;
             let mi = cell % m_len;
@@ -213,6 +220,12 @@ impl BandwidthEstimator {
         self.shards = shards.max(1);
         self
     }
+
+    /// This estimator with a different router backend (builder-style).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -277,6 +290,16 @@ mod tests {
             assert_eq!(sh.samples, seq.samples, "shards={shards}");
             assert_eq!(sh.complete_trials, seq.complete_trials);
         }
+    }
+
+    #[test]
+    fn event_backend_estimate_matches_tick() {
+        let m = Machine::mesh(2, 8);
+        let tick = quick().estimate_symmetric(&m);
+        let events = quick().with_backend(Backend::Events).estimate_symmetric(&m);
+        assert_eq!(events.rate, tick.rate);
+        assert_eq!(events.samples, tick.samples);
+        assert_eq!(events.complete_trials, tick.complete_trials);
     }
 
     #[test]

@@ -182,8 +182,12 @@ impl Scale {
 /// History: `fcn-perfbench/1` rows had no `schema` field at all, which let a
 /// binary silently mix rows measured under different field semantics into one
 /// file. Version 2 stamps every row and [`validate_bench_rows`] refuses to
-/// merge with a file whose rows carry a missing or different tag.
-pub const PERFBENCH_SCHEMA: &str = "fcn-perfbench/2";
+/// merge with a file whose rows carry a missing or different tag. Version 3
+/// adds the `unit` field (what the `rate` column measures — enforced by
+/// [`validate_bench_rows`], so a row can never be misread across benches
+/// whose `rate` semantics differ) and the `cores` field (hardware threads of
+/// the measuring host, so throughput rows are comparable across runners).
+pub const PERFBENCH_SCHEMA: &str = "fcn-perfbench/3";
 
 /// Schema tag stamped on every `faults` degraded-β row (the committed
 /// `BENCH_faults.json` curve).
@@ -193,11 +197,27 @@ pub const FAULTS_SCHEMA: &str = "fcn-faults-curve/1";
 /// new rows into it.
 ///
 /// Every non-empty line must be a JSON object whose `schema` field equals
-/// [`PERFBENCH_SCHEMA`] and whose `bench` field is a string (the row key).
-/// Returns `(bench_id, raw_line)` pairs in file order, or a message naming
-/// the offending line and how to recover.
+/// [`PERFBENCH_SCHEMA`], whose `bench` field is a string (the row key), and
+/// whose `unit` field is a non-empty string naming what the `rate` column
+/// measures. Returns `(bench_id, raw_line)` pairs in file order, or a
+/// message naming the offending line and how to recover.
 pub fn validate_bench_rows(body: &str) -> Result<Vec<(String, String)>, String> {
-    validate_rows(body, PERFBENCH_SCHEMA)
+    let rows = validate_rows(body, PERFBENCH_SCHEMA)?;
+    for (bench, line) in &rows {
+        let v: serde::Value = serde_json::from_str(line)
+            .map_err(|e| format!("bench row {bench:?}: not valid JSON: {e}"))?;
+        match serde::value_field(&v, "unit") {
+            Ok(serde::Value::String(u)) if !u.is_empty() => {}
+            _ => {
+                return Err(format!(
+                    "bench row {bench:?}: missing or empty `unit` field (required by \
+                     {PERFBENCH_SCHEMA}); delete the file and re-run the binary at full \
+                     scale to regenerate"
+                ))
+            }
+        }
+    }
+    Ok(rows)
 }
 
 /// [`validate_bench_rows`] generalized over the expected schema tag, so the
@@ -370,14 +390,31 @@ mod tests {
     #[test]
     fn validate_accepts_current_schema_rows() {
         let body = format!(
-            "{{\"schema\":\"{PERFBENCH_SCHEMA}\",\"bench\":\"a\",\"median_ms\":1.0}}\n\
+            "{{\"schema\":\"{PERFBENCH_SCHEMA}\",\"bench\":\"a\",\"median_ms\":1.0,\
+             \"unit\":\"packets/tick\"}}\n\
              \n\
-             {{\"schema\":\"{PERFBENCH_SCHEMA}\",\"bench\":\"b\",\"median_ms\":2.0}}\n"
+             {{\"schema\":\"{PERFBENCH_SCHEMA}\",\"bench\":\"b\",\"median_ms\":2.0,\
+             \"unit\":\"ratio\"}}\n"
         );
         let rows = validate_bench_rows(&body).unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].0, "a");
         assert_eq!(rows[1].0, "b");
+    }
+
+    #[test]
+    fn validate_rejects_missing_or_empty_unit() {
+        let body = format!("{{\"schema\":\"{PERFBENCH_SCHEMA}\",\"bench\":\"a\"}}\n");
+        let err = validate_bench_rows(&body).unwrap_err();
+        assert!(err.contains("`unit`"), "{err}");
+        assert!(err.contains("\"a\""), "{err}");
+        let body = format!("{{\"schema\":\"{PERFBENCH_SCHEMA}\",\"bench\":\"a\",\"unit\":\"\"}}\n");
+        let err = validate_bench_rows(&body).unwrap_err();
+        assert!(err.contains("`unit`"), "{err}");
+        // The faults-curve path stays unit-free: validate_rows is the
+        // generic layer and must not inherit the perfbench-only check.
+        let body = format!("{{\"schema\":\"{FAULTS_SCHEMA}\",\"bench\":\"mesh2@0.05\"}}\n");
+        assert_eq!(validate_rows(&body, FAULTS_SCHEMA).unwrap().len(), 1);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use fcn_core::{
     build_witness, direct_emulation, fig1_data, generate_table, max_host_size, numeric_host_size,
     slowdown_lower_bound, table1_spec, table2_spec, table3_spec, EmulationConfig, Lemma9Config,
 };
-use fcn_routing::{saturation_throughput, RouterConfig, SteadyConfig};
+use fcn_routing::{saturation_throughput, Backend, RouterConfig, SteadyConfig};
 use fcn_topology::{Family, Machine};
 
 use crate::args::{Args, ParseError};
@@ -68,11 +68,11 @@ pub fn usage() -> String {
 USAGE:
   fcnemu machines
   fcnemu build   <family> <size> [--seed N] [--format summary|dot|edges|json]
-  fcnemu beta    <family> <size> [--trials N] [--steady] [--seed N] [--jobs N] [--shards N] [--max-ticks N] [--verbose]
-  fcnemu faults  <family> <size> [--rates R1,R2,..] [--trials N] [--seed N] [--fault-seed N] [--jobs N] [--shards N] [--quick] [--verbose]
+  fcnemu beta    <family> <size> [--trials N] [--steady] [--seed N] [--jobs N] [--shards N] [--backend tick|events] [--max-ticks N] [--verbose]
+  fcnemu faults  <family> <size> [--rates R1,R2,..] [--trials N] [--seed N] [--fault-seed N] [--jobs N] [--shards N] [--backend tick|events] [--quick] [--verbose]
   fcnemu bound   <guest-family> <host-family> [--n N] [--m M]
   fcnemu emulate <guest-family> <n> <host-family> <m> [--steps N]
-  fcnemu audit   <family> <size> [--seed N] [--jobs N] [--shards N]
+  fcnemu audit   <family> <size> [--seed N] [--jobs N] [--shards N] [--backend tick|events]
   fcnemu witness <family> <size> [--alpha X]
   fcnemu verify  <family> <size> [--hosts M] [--steps N]
   fcnemu table   <1|2|3> [--size N]
@@ -100,6 +100,25 @@ fn family(id: &str) -> Result<Family, String> {
 
 fn build(id: &str, size: usize, seed: u64) -> Result<Machine, String> {
     Ok(family(id)?.build_near(size, seed))
+}
+
+/// Parse `--backend tick|events` (default `tick`) and reject combining the
+/// single-shard event engine with `--shards N > 1` — a silent precedence
+/// pick would surprise; the flags genuinely conflict.
+fn backend_flag(args: &Args, shards: usize) -> Result<Backend, CmdError> {
+    let s = args
+        .flags
+        .get("backend")
+        .cloned()
+        .unwrap_or_else(|| "tick".into());
+    let b = Backend::parse(&s)
+        .ok_or_else(|| CmdError::Run(format!("--backend: expected tick or events, got {s:?}")))?;
+    if b == Backend::Events && shards > 1 {
+        return Err(CmdError::Run(
+            "--backend events runs the single-shard event engine; drop --shards".into(),
+        ));
+    }
+    Ok(b)
 }
 
 /// Dispatch a parsed command.
@@ -207,6 +226,8 @@ fn cmd_beta(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
     let steady = args.has("steady");
     let verbose = args.has("verbose");
     Ok((|| -> CmdResult {
+        // Router backend per grid cell; bit-identical either way.
+        let backend = backend_flag(args, shards)?;
         let m = build(&id, size, seed)?;
         let t = m.symmetric_traffic();
         let mut router = RouterConfig::default();
@@ -218,6 +239,7 @@ fn cmd_beta(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
             seed,
             jobs,
             shards,
+            backend,
             router,
             ..Default::default()
         };
@@ -317,6 +339,7 @@ fn cmd_faults(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
         if fault_rates.iter().any(|r| !(0.0..=1.0).contains(r)) {
             return Err(format!("--rates: rates must lie in [0, 1], got {fault_rates:?}").into());
         }
+        let backend = backend_flag(args, shards)?;
         let m = build(&id, size, seed)?;
         let sweep = DegradedSweep {
             fault_rates,
@@ -326,9 +349,36 @@ fn cmd_faults(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
             seed,
             jobs,
             shards,
+            backend,
             ..Default::default()
         };
-        let points = sweep.sweep_symmetric(&m);
+        // Under `--verbose --backend events`, run the sweep with telemetry
+        // collecting so the event engine's skip counters can be reported
+        // (telemetry is bit-transparent, so the curve itself is unchanged).
+        // The registry's prior enabled state is restored, and the counters
+        // are read as a delta, so a surrounding `--metrics-out` run still
+        // reports exactly its own contribution.
+        let event_stats = verbose && backend == Backend::Events;
+        let (points, skip_stats) = if event_stats {
+            let reg = fcn_telemetry::global();
+            let was_enabled = reg.enabled();
+            let base = reg.snapshot();
+            reg.set_enabled(true);
+            let points = sweep.sweep_symmetric(&m);
+            fcn_telemetry::flush_thread_shard(reg);
+            reg.set_enabled(was_enabled);
+            let delta = reg.snapshot().delta_since(&base);
+            let get = |name: &str| delta.counters.get(name).copied().unwrap_or(0);
+            (
+                points,
+                Some((
+                    get(fcn_telemetry::names::ROUTER_TICKS_SKIPPED_TOTAL),
+                    get(fcn_telemetry::names::ROUTER_OUTAGE_WINDOWS_SKIPPED_TOTAL),
+                )),
+            )
+        } else {
+            (sweep.sweep_symmetric(&m), None)
+        };
         let _ = writeln!(out, "machine    : {} (n = {})", m.name(), m.processors());
         let _ = writeln!(
             out,
@@ -370,6 +420,16 @@ fn cmd_faults(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
             );
         }
         if verbose {
+            // The event engine's skip accounting: how many quiescent ticks
+            // were jumped over, and how many outage windows opened *and*
+            // closed inside jumps — windows no simulated tick ever touched.
+            if let Some((ticks_skipped, windows_skipped)) = skip_stats {
+                let _ = writeln!(
+                    out,
+                    "event backend : {ticks_skipped} quiescent ticks skipped, \
+                     {windows_skipped} outage windows skipped entirely"
+                );
+            }
             for p in &points {
                 for (i, s) in p.samples.iter().enumerate() {
                     if !s.sample.completed {
@@ -470,16 +530,19 @@ fn cmd_audit(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
     let jobs = args.flag("jobs", 1usize)?;
     let shards = args.flag("shards", 1usize)?;
     Ok((|| -> CmdResult {
+        let backend = backend_flag(args, shards)?;
         let m = build(&id, size, seed)?;
-        // Same cheap estimator as `quick_audit`, with the worker and shard
-        // counts threaded through: the audit cells run in parallel, the
-        // output is bit-identical for every `--jobs` and `--shards` value.
+        // Same cheap estimator as `quick_audit`, with the worker, shard,
+        // and backend choices threaded through: the audit cells run in
+        // parallel, the output is bit-identical for every `--jobs`,
+        // `--shards`, and `--backend` value.
         let est = BandwidthEstimator {
             multipliers: vec![2, 4],
             trials: 2,
             seed,
             jobs,
             shards,
+            backend,
             ..Default::default()
         };
         let audit = audit_bottleneck_freeness(&m, &est, seed);
@@ -789,6 +852,43 @@ mod tests {
     }
 
     #[test]
+    fn beta_output_is_backend_invariant() {
+        let (code, tick) = run_s("beta mesh2 64 --trials 2 --backend tick");
+        assert_eq!(code, 0, "{tick}");
+        let (code, events) = run_s("beta mesh2 64 --trials 2 --backend events");
+        assert_eq!(code, 0, "{events}");
+        assert_eq!(tick, events, "--backend must not change the output");
+        let (code, default) = run_s("beta mesh2 64 --trials 2");
+        assert_eq!(code, 0, "{default}");
+        assert_eq!(tick, default, "tick is the default backend");
+    }
+
+    #[test]
+    fn audit_output_is_backend_invariant() {
+        let (code, tick) = run_s("audit tree 31 --backend tick");
+        assert_eq!(code, 0, "{tick}");
+        let (code, events) = run_s("audit tree 31 --backend events");
+        assert_eq!(code, 0, "{events}");
+        assert_eq!(tick, events, "--backend must not change the output");
+    }
+
+    #[test]
+    fn backend_flag_rejects_bad_values_and_shard_conflicts() {
+        let (code, out) = run_s("beta mesh2 64 --backend warp");
+        assert_eq!(code, 1);
+        assert!(out.contains("expected tick or events"), "{out}");
+        let (code, out) = run_s("beta mesh2 64 --backend events --shards 4");
+        assert_eq!(code, 1);
+        assert!(out.contains("single-shard"), "{out}");
+        let (code, out) = run_s("faults mesh2 64 --quick --backend events --shards 2");
+        assert_eq!(code, 1);
+        assert!(out.contains("single-shard"), "{out}");
+        // Tick + shards stays legal.
+        let (code, out) = run_s("audit tree 31 --backend tick --shards 2");
+        assert_eq!(code, 0, "{out}");
+    }
+
+    #[test]
     fn emulate_reports_slowdown() {
         let (code, out) = run_s("emulate de_bruijn 64 mesh2 9 --steps 4");
         assert_eq!(code, 0, "{out}");
@@ -958,6 +1058,43 @@ mod tests {
         let (code, sh) = run_s("faults mesh2 64 --quick --shards 4");
         assert_eq!(code, 0, "{sh}");
         assert_eq!(seq, sh, "--shards must not change the faults output");
+    }
+
+    #[test]
+    fn faults_output_is_backend_invariant() {
+        let (code, tick) = run_s("faults mesh2 64 --quick --backend tick");
+        assert_eq!(code, 0, "{tick}");
+        let (code, events) = run_s("faults mesh2 64 --quick --backend events");
+        assert_eq!(code, 0, "{events}");
+        assert_eq!(tick, events, "--backend must not change the faults output");
+    }
+
+    #[test]
+    fn faults_verbose_events_reports_skipped_windows() {
+        // `--verbose --backend events` toggles the global registry to read
+        // the skip counters, so serialize with the other metrics tests.
+        let _gate = METRICS_GATE.lock().unwrap();
+        let (code, plain) = run_s("faults mesh2 64 --quick --backend events");
+        assert_eq!(code, 0, "{plain}");
+        let (code, verbose) = run_s("faults mesh2 64 --quick --verbose --backend events");
+        assert_eq!(code, 0, "{verbose}");
+        assert!(
+            verbose.contains("outage windows skipped entirely"),
+            "{verbose}"
+        );
+        assert!(verbose.contains("quiescent ticks skipped"), "{verbose}");
+        // The verbose skip accounting only appends lines; the curve itself
+        // is byte-identical (telemetry is a read-only lens).
+        for line in plain.lines() {
+            assert!(verbose.contains(line), "verbose lost line {line:?}");
+        }
+        // The tick backend has nothing to skip and prints no such line.
+        let (code, tick_verbose) = run_s("faults mesh2 64 --quick --verbose --backend tick");
+        assert_eq!(code, 0, "{tick_verbose}");
+        assert!(
+            !tick_verbose.contains("quiescent ticks skipped"),
+            "{tick_verbose}"
+        );
     }
 
     #[test]

@@ -221,6 +221,47 @@ impl FaultPlan {
         }
     }
 
+    /// Assemble a plan from explicit parts — the hand-built counterpart of
+    /// [`FaultPlan::generate`] for tests, ablations, and property-based
+    /// outage schedules. Inputs are normalized to the plan invariants:
+    /// nodes sorted and deduplicated, links canonicalized (`u <= v`),
+    /// sorted and deduplicated, outages canonicalized and sorted by link
+    /// then window, and empty (`start >= end`) windows dropped. Like
+    /// [`FaultPlan::none`] the result carries fingerprint 0 (applies to
+    /// any graph). Unlike [`FaultPlan::generate`] there is no graph in
+    /// scope, so callers who kill a node must list its incident links in
+    /// `dead_links` themselves to uphold the plan invariant.
+    pub fn assemble(
+        dead_nodes: Vec<NodeId>,
+        dead_links: Vec<(NodeId, NodeId)>,
+        outages: Vec<LinkOutage>,
+    ) -> FaultPlan {
+        let mut dead_nodes = dead_nodes;
+        dead_nodes.sort_unstable();
+        dead_nodes.dedup();
+        let mut links: Vec<(NodeId, NodeId)> = dead_links
+            .into_iter()
+            .map(|(u, v)| if u <= v { (u, v) } else { (v, u) })
+            .collect();
+        links.sort_unstable();
+        links.dedup();
+        let mut outs: Vec<LinkOutage> = outages
+            .into_iter()
+            .filter(|o| o.start < o.end)
+            .map(|o| {
+                let (u, v) = if o.u <= o.v { (o.u, o.v) } else { (o.v, o.u) };
+                LinkOutage { u, v, ..o }
+            })
+            .collect();
+        outs.sort_unstable_by_key(|o| (o.u, o.v, o.start, o.end, o.capacity));
+        FaultPlan {
+            graph_fp: 0,
+            dead_nodes,
+            dead_links: links,
+            outages: outs,
+        }
+    }
+
     /// True when the plan injects nothing (the transparency case).
     pub fn is_empty(&self) -> bool {
         self.dead_nodes.is_empty() && self.dead_links.is_empty() && self.outages.is_empty()

@@ -43,7 +43,8 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::compiled::{CompiledNet, PacketBatch, RouteError};
+use crate::compiled::{CompiledNet, InjectionSchedule, PacketBatch, RouteError};
+use crate::events::{EventCtl, EventKind};
 use crate::packet::{PacketPath, QueueDiscipline};
 
 /// Router configuration.
@@ -305,6 +306,41 @@ pub fn route_compiled_gated(
     scratch: &mut RouterScratch,
     cancel: Option<&AtomicBool>,
 ) -> RoutingOutcome {
+    dispatch_run(net, batch, None, cfg, scratch, cancel, None)
+}
+
+/// [`route_compiled`] under an [`InjectionSchedule`]: packet `i` enters its
+/// first wire queue at the end of tick `schedule.tick_of(i)` instead of at
+/// tick 0 (a 0-hop packet delivers at its injection tick). The schedule
+/// must cover the batch (`schedule.len() == batch.len()`).
+/// `InjectionSchedule::uniform(batch.len(), 0)` is bit-identical to
+/// [`route_compiled_gated`], and any schedule is bit-identical to the
+/// event backend's [`crate::events::route_events_at`].
+pub fn route_compiled_at(
+    net: &CompiledNet,
+    batch: &PacketBatch,
+    schedule: &InjectionSchedule,
+    cfg: RouterConfig,
+    scratch: &mut RouterScratch,
+    cancel: Option<&AtomicBool>,
+) -> RoutingOutcome {
+    dispatch_run(net, batch, Some(schedule), cfg, scratch, cancel, None)
+}
+
+/// The shared entry of both backends: size the scratch, draw ranks, pick
+/// the queue pool for the discipline, and run the tick loop. The event
+/// backend differs from the tick backend *only* by passing an [`EventCtl`]
+/// — every simulated tick runs this exact code, which is what makes the
+/// two backends structurally bit-identical.
+pub(crate) fn dispatch_run(
+    net: &CompiledNet,
+    batch: &PacketBatch,
+    sched: Option<&InjectionSchedule>,
+    cfg: RouterConfig,
+    scratch: &mut RouterScratch,
+    cancel: Option<&AtomicBool>,
+    mut ev: Option<&mut EventCtl>,
+) -> RoutingOutcome {
     scratch.prepare(net.node_count(), batch.len());
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     for _ in 0..batch.len() {
@@ -327,21 +363,25 @@ pub fn route_compiled_gated(
                 run_ticks::<_, true, DISC_FIFO>(
                     net,
                     batch,
+                    sched,
                     cfg,
                     &mut q,
                     scratch,
                     tele.as_mut(),
                     cancel,
+                    ev.as_deref_mut(),
                 )
             } else {
                 run_ticks::<_, false, DISC_FIFO>(
                     net,
                     batch,
+                    sched,
                     cfg,
                     &mut q,
                     scratch,
                     tele.as_mut(),
                     cancel,
+                    ev.as_deref_mut(),
                 )
             };
             scratch.fifo = pool;
@@ -355,21 +395,25 @@ pub fn route_compiled_gated(
                 run_ticks::<_, true, DISC_FARTHEST>(
                     net,
                     batch,
+                    sched,
                     cfg,
                     &mut q,
                     scratch,
                     tele.as_mut(),
                     cancel,
+                    ev.as_deref_mut(),
                 )
             } else {
                 run_ticks::<_, false, DISC_FARTHEST>(
                     net,
                     batch,
+                    sched,
                     cfg,
                     &mut q,
                     scratch,
                     tele.as_mut(),
                     cancel,
+                    ev.as_deref_mut(),
                 )
             };
             scratch.prio = pool;
@@ -383,21 +427,25 @@ pub fn route_compiled_gated(
                 run_ticks::<_, true, DISC_RANDOM>(
                     net,
                     batch,
+                    sched,
                     cfg,
                     &mut q,
                     scratch,
                     tele.as_mut(),
                     cancel,
+                    ev.as_deref_mut(),
                 )
             } else {
                 run_ticks::<_, false, DISC_RANDOM>(
                     net,
                     batch,
+                    sched,
                     cfg,
                     &mut q,
                     scratch,
                     tele.as_mut(),
                     cancel,
+                    ev,
                 )
             };
             scratch.prio = pool;
@@ -505,6 +553,83 @@ impl Clearable for Vec<u64> {
     }
 }
 
+/// Queue key of a packet with `remaining` hops to travel. Smaller keys pop
+/// first; FarthestFirst inverts remaining hops so farther packets win.
+/// `remaining` counts the push's own wire — identical to the reference's
+/// `hops - pos` at both injection (`pos = 0`) and arrival time.
+#[inline]
+fn key_of<const DISC: u8>(remaining: u32, rank: u32) -> u32 {
+    match DISC {
+        DISC_FIFO => 0,
+        DISC_FARTHEST => u32::MAX - remaining,
+        _ => rank,
+    }
+}
+
+/// Enqueue packet `pid` on the first wire of its path and activate the
+/// source node — the single injection action shared by tick-0 batch
+/// injection and scheduled mid-run injection (same code, same bits).
+#[inline]
+fn inject_packet<Q: WireQueues, const DISC: u8>(
+    net: &CompiledNet,
+    batch: &PacketBatch,
+    queues: &mut Q,
+    scr: &mut RouterScratch,
+    pid: usize,
+    max_queue: &mut usize,
+) {
+    let hops = batch.hops(pid);
+    let wb = batch.wire_base(pid);
+    let w = batch.wire_at(wb, 0) as usize;
+    let src = net.wire_tail(w as u32);
+    debug_assert_eq!(src, batch.node_at(batch.node_base(pid), 0));
+    scr.remaining[pid] = hops;
+    scr.cursor[pid] = wb + 1;
+    let key = key_of::<DISC>(hops, scr.rank[pid]);
+    *max_queue = (*max_queue).max(queues.push(w, key, pid as u32));
+    scr.node_queued[src as usize] += 1;
+    if !scr.node_listed[src as usize] {
+        scr.node_listed[src as usize] = true;
+        scr.active_nodes.push(src);
+    }
+}
+
+/// Consume every schedule entry due at `tick` (pid order within the tick):
+/// trivial packets deliver on the spot, stranded packets are dropped (they
+/// were counted before the loop started), everything else is injected.
+/// Returns whether any entry was consumed — a consuming tick is never
+/// quiescent, even when every entry was trivial or stranded, because
+/// `pending`/`delivered` moved.
+#[allow(clippy::too_many_arguments)]
+fn run_injections<Q: WireQueues, const DISC: u8>(
+    net: &CompiledNet,
+    batch: &PacketBatch,
+    sched: &InjectionSchedule,
+    tick: u64,
+    strand_scan: bool,
+    inj_cursor: &mut usize,
+    delivered: &mut usize,
+    queues: &mut Q,
+    scr: &mut RouterScratch,
+    max_queue: &mut usize,
+) -> bool {
+    let order = sched.order();
+    let start = *inj_cursor;
+    while *inj_cursor < order.len() && sched.tick_of(order[*inj_cursor] as usize) == tick {
+        let pid = order[*inj_cursor] as usize;
+        *inj_cursor += 1;
+        if batch.hops(pid) == 0 {
+            *delivered += 1;
+            continue;
+        }
+        if strand_scan && batch.wires(pid).iter().any(|&w| net.wire_dead(w)) {
+            continue;
+        }
+        inject_packet::<Q, DISC>(net, batch, queues, scr, pid, max_queue);
+    }
+    *inj_cursor > start
+}
+
 /// The tick loop, monomorphized per queue pool (`Q`), capacity regime
 /// (`UNIT`: every wire capacity 1 and every send budget unlimited — the
 /// budget bookkeeping compiles away entirely), and discipline (`DISC`: the
@@ -520,24 +645,15 @@ impl Clearable for Vec<u64> {
 fn run_ticks<Q: WireQueues, const UNIT: bool, const DISC: u8>(
     net: &CompiledNet,
     batch: &PacketBatch,
+    sched: Option<&InjectionSchedule>,
     cfg: RouterConfig,
     queues: &mut Q,
     scr: &mut RouterScratch,
     mut tele: Option<&mut RunTele>,
     cancel: Option<&AtomicBool>,
+    mut ev: Option<&mut EventCtl>,
 ) -> RoutingOutcome {
     let total = batch.len();
-    // Smaller key pops first; FarthestFirst inverts remaining hops so
-    // farther packets win. `remaining` here is hops still to travel
-    // *including* the push's own wire — identical to the reference's
-    // `hops - pos` at both injection (`pos = 0`) and arrival time.
-    let key_of = |remaining: u32, rank: u32| -> u32 {
-        match DISC {
-            DISC_FIFO => 0,
-            DISC_FARTHEST => u32::MAX - remaining,
-            _ => rank,
-        }
-    };
 
     let mut delivered = 0usize;
     let mut total_hops = 0u64;
@@ -554,28 +670,49 @@ fn run_ticks<Q: WireQueues, const UNIT: bool, const DISC: u8>(
     // take the exact pre-fault-plane injection path.
     let mut stranded = 0usize;
     let strand_scan = net.has_dead_wires();
-    for pid in 0..total {
-        let hops = batch.hops(pid);
-        if hops == 0 {
-            delivered += 1;
-            continue;
+    // Scheduled runs: packets not yet at their injection tick. Trivial and
+    // stranded packets stay "pending" until their tick too, so the
+    // occupancy observation (`total - pending - delivered`) degenerates to
+    // the legacy `total - delivered` exactly when every tick is 0.
+    let mut pending = 0usize;
+    let mut inj_cursor = 0usize;
+    if let Some(s) = sched {
+        debug_assert_eq!(s.len(), total, "schedule must cover the batch");
+        // Strandedness is decided for *every* packet up front — before any
+        // future injection runs — so `routable` is a constant of the run.
+        if strand_scan {
+            for pid in 0..total {
+                if batch.hops(pid) > 0 && batch.wires(pid).iter().any(|&w| net.wire_dead(w)) {
+                    stranded += 1;
+                }
+            }
         }
-        if strand_scan && batch.wires(pid).iter().any(|&w| net.wire_dead(w)) {
-            stranded += 1;
-            continue;
-        }
-        let wb = batch.wire_base(pid);
-        let w = batch.wire_at(wb, 0) as usize;
-        let src = net.wire_tail(w as u32);
-        debug_assert_eq!(src, batch.node_at(batch.node_base(pid), 0));
-        scr.remaining[pid] = hops;
-        scr.cursor[pid] = wb + 1;
-        let key = key_of(hops, scr.rank[pid]);
-        max_queue = max_queue.max(queues.push(w, key, pid as u32));
-        scr.node_queued[src as usize] += 1;
-        if !scr.node_listed[src as usize] {
-            scr.node_listed[src as usize] = true;
-            scr.active_nodes.push(src);
+        // Tick-0 injections, in pid order — the batch semantics verbatim.
+        run_injections::<Q, DISC>(
+            net,
+            batch,
+            s,
+            0,
+            strand_scan,
+            &mut inj_cursor,
+            &mut delivered,
+            queues,
+            scr,
+            &mut max_queue,
+        );
+        pending = s.order().len() - inj_cursor;
+    } else {
+        for pid in 0..total {
+            let hops = batch.hops(pid);
+            if hops == 0 {
+                delivered += 1;
+                continue;
+            }
+            if strand_scan && batch.wires(pid).iter().any(|&w| net.wire_dead(w)) {
+                stranded += 1;
+                continue;
+            }
+            inject_packet::<Q, DISC>(net, batch, queues, scr, pid, &mut max_queue);
         }
     }
 
@@ -595,6 +732,7 @@ fn run_ticks<Q: WireQueues, const UNIT: bool, const DISC: u8>(
             }
         }
         ticks += 1;
+        let gated_at_tick_start = gated;
         scr.arrivals.clear();
         // Send phase: each active node pushes packets subject to per-wire
         // and per-node budgets, starting at a rotating wire offset for
@@ -699,7 +837,7 @@ fn run_ticks<Q: WireQueues, const UNIT: bool, const DISC: u8>(
         // tick start, so occupancy is `total - delivered` in O(1); the ones
         // that did not make it into `arrivals` stalled for this tick.
         if let Some(t) = tele.as_deref_mut() {
-            let queued_start = (total - delivered) as u64;
+            let queued_start = (total - pending - delivered) as u64;
             t.occupancy.record(queued_start);
             t.stalled += queued_start - scr.arrivals.len() as u64;
         }
@@ -721,7 +859,7 @@ fn run_ticks<Q: WireQueues, const UNIT: bool, const DISC: u8>(
             let w = batch.wire_flat(cur) as usize;
             scr.cursor[pid] = (cur + 1) as u32;
             let from = net.wire_tail(w as u32);
-            let key = key_of(rem, scr.rank[pid]);
+            let key = key_of::<DISC>(rem, scr.rank[pid]);
             max_queue = max_queue.max(queues.push(w, key, pid as u32));
             scr.node_queued[from as usize] += 1;
             if !scr.node_listed[from as usize] {
@@ -730,6 +868,77 @@ fn run_ticks<Q: WireQueues, const UNIT: bool, const DISC: u8>(
             }
         }
         scr.arrivals = arrivals;
+        // Injection step: packets scheduled for this tick enter their first
+        // wire queue now (end of tick), after arrivals — their first
+        // possible crossing is next tick, exactly like tick-0 packets whose
+        // first crossing is tick 1.
+        let mut injected_now = false;
+        if let Some(s) = sched {
+            injected_now = run_injections::<Q, DISC>(
+                net,
+                batch,
+                s,
+                ticks,
+                strand_scan,
+                &mut inj_cursor,
+                &mut delivered,
+                queues,
+                scr,
+                &mut max_queue,
+            );
+            pending = s.order().len() - inj_cursor;
+        }
+        // Event-backend skip hook (tick backend passes `ev: None` and the
+        // whole block compiles to one branch). A tick is *quiescent* when
+        // nothing crossed a wire and nothing was injected: from this exact
+        // state, every future tick replays identically until either an
+        // injection comes due or a fault-capacity boundary is crossed on a
+        // wire that holds packets. Jump `ticks` to just before the earliest
+        // such event, folding the per-tick side effects of the skipped span
+        // (rotate advance, occupancy/stall/gating accumulation) in closed
+        // form — bit-identical to simulating the span tick by tick.
+        if let Some(ctl) = ev.as_deref_mut() {
+            if scr.arrivals.is_empty() && !injected_now && delivered < routable {
+                // Queued wires can only wake at a capacity boundary; their
+                // wake ticks join the pending-injection ticks in the wheel.
+                if net.is_faulted() {
+                    for &u in &scr.active_nodes {
+                        let (lo, hi) = net.wire_range(u);
+                        for w in lo..hi {
+                            if !queues.is_empty(w) {
+                                if let Some(b) = net.next_capacity_boundary(w as u32, ticks - 1) {
+                                    ctl.wheel.push(b + 1, EventKind::WindowWakeup);
+                                }
+                            }
+                        }
+                    }
+                }
+                // No event at all means the state is frozen forever: burn
+                // the remaining budget in one jump (MaxTicks abort, at the
+                // same tick count the tick loop would reach).
+                let next_sim = ctl
+                    .wheel
+                    .next_after(ticks)
+                    .unwrap_or(u64::MAX)
+                    .min(cfg.max_ticks.saturating_add(1));
+                if next_sim > ticks + 1 {
+                    let k = next_sim - 1 - ticks;
+                    ctl.note_skip(ticks, next_sim);
+                    for &u in &scr.active_nodes {
+                        let (lo, hi) = net.wire_range(u);
+                        let deg = (hi - lo) as u64;
+                        scr.rotate[u as usize] = ((scr.rotate[u as usize] as u64 + k) % deg) as u32;
+                    }
+                    if let Some(t) = tele.as_deref_mut() {
+                        let occ = (total - pending - delivered) as u64;
+                        t.occupancy.record_many(occ, k);
+                        t.stalled = t.stalled.saturating_add(occ.saturating_mul(k));
+                    }
+                    gated += (gated - gated_at_tick_start).saturating_mul(k);
+                    ticks = next_sim - 1;
+                }
+            }
+        }
     }
 
     if let Some(t) = tele {
@@ -759,7 +968,7 @@ fn run_ticks<Q: WireQueues, const UNIT: bool, const DISC: u8>(
 thread_local! {
     /// One scratch per thread: pool workers of a sweep reuse arenas across
     /// every batch they run.
-    static POOLED_SCRATCH: RefCell<RouterScratch> = RefCell::new(RouterScratch::new());
+    pub(crate) static POOLED_SCRATCH: RefCell<RouterScratch> = RefCell::new(RouterScratch::new());
 }
 
 /// [`route_compiled`] using this thread's pooled [`RouterScratch`].

@@ -14,7 +14,46 @@ use serde::{Deserialize, Serialize};
 use crate::cache::PlanCache;
 use crate::compiled::{CompiledNet, PacketBatch};
 use crate::engine::{route_compiled_pooled, RouterConfig, RoutingOutcome};
+use crate::events::route_events_pooled;
 use crate::packet::{PacketPath, Strategy};
+
+/// Which router executes a context's batches.
+///
+/// Both backends produce **bit-identical** [`RoutingOutcome`]s for every
+/// `(machine, batch, config)` — the choice is purely a performance knob.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Backend {
+    /// The synchronous tick loop ([`crate::route_compiled`]), sharded when
+    /// the context asks for shard workers. Best under dense traffic where
+    /// almost every tick moves packets.
+    #[default]
+    Tick,
+    /// The event-driven engine ([`crate::events::route_events`]): the same
+    /// tick loop, but quiescent spans are skipped via a calendar wheel.
+    /// Best for sparse injection schedules, fault outage windows, and long
+    /// drain tails. Single-shard only — a context configured with both
+    /// shard workers and this backend routes through the event engine.
+    Events,
+}
+
+impl Backend {
+    /// Parse a CLI flag value (`tick` | `events`).
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "tick" => Some(Backend::Tick),
+            "events" => Some(Backend::Events),
+            _ => None,
+        }
+    }
+
+    /// The CLI flag spelling of this backend.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Backend::Tick => "tick",
+            Backend::Events => "events",
+        }
+    }
+}
 
 /// A compile-once routing context: one machine, its [`CompiledNet`], and an
 /// optional [`PlanCache`].
@@ -41,6 +80,7 @@ pub struct RouteCtx<'a> {
     net: Arc<CompiledNet>,
     cache: Option<&'a PlanCache>,
     shards: usize,
+    backend: Backend,
 }
 
 impl<'a> RouteCtx<'a> {
@@ -51,6 +91,7 @@ impl<'a> RouteCtx<'a> {
             net: CompiledNet::shared(machine),
             cache: None,
             shards: 1,
+            backend: Backend::Tick,
         }
     }
 
@@ -63,6 +104,7 @@ impl<'a> RouteCtx<'a> {
             net,
             cache: None,
             shards: 1,
+            backend: Backend::Tick,
         }
     }
 
@@ -80,9 +122,23 @@ impl<'a> RouteCtx<'a> {
         self
     }
 
+    /// Select the router [`Backend`] for this context's batches. Outcomes
+    /// are bit-identical across backends; [`Backend::Events`] takes
+    /// precedence over a configured shard count (the event engine is
+    /// single-shard), which the CLI rejects up front as a flag conflict.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// The configured shard count (1 = the sequential engine).
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// The configured router backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// The machine being routed on.
@@ -111,10 +167,12 @@ impl<'a> RouteCtx<'a> {
         let batch = PacketBatch::compile(&self.net, paths)
             // fcn-allow: ERR-UNWRAP documented panicking wrapper over planner output; `try_route_batch` covers untrusted paths
             .unwrap_or_else(|e| panic!("planner produced unroutable path: {e}"));
-        if self.shards > 1 {
-            crate::shard::route_sharded_pooled(&self.net, &batch, cfg, self.shards)
-        } else {
-            route_compiled_pooled(&self.net, &batch, cfg)
+        match self.backend {
+            Backend::Events => route_events_pooled(&self.net, &batch, cfg),
+            Backend::Tick if self.shards > 1 => {
+                crate::shard::route_sharded_pooled(&self.net, &batch, cfg, self.shards)
+            }
+            Backend::Tick => route_compiled_pooled(&self.net, &batch, cfg),
         }
     }
 }
@@ -443,6 +501,39 @@ mod tests {
         let s = measure_rate(&m, &t, 4 * 32, Strategy::Valiant, cfg(), 21);
         assert!(s.completed);
         assert!(s.rate > 1.0);
+    }
+
+    #[test]
+    fn backend_choice_is_outcome_invariant() {
+        let m = Machine::mesh(2, 8);
+        let t = m.symmetric_traffic();
+        let tick = RouteCtx::new(&m);
+        let events = RouteCtx::new(&m).with_backend(Backend::Events);
+        assert_eq!(events.backend(), Backend::Events);
+        for seed in 0..3u64 {
+            let a = route_traffic_ctx(&tick, &t, 96, Strategy::ShortestPath, cfg(), seed ^ 1, seed);
+            let b = route_traffic_ctx(
+                &events,
+                &t,
+                96,
+                Strategy::ShortestPath,
+                cfg(),
+                seed ^ 1,
+                seed,
+            );
+            assert_eq!(a, b, "backends diverged at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn backend_flag_round_trips() {
+        assert_eq!(Backend::parse("tick"), Some(Backend::Tick));
+        assert_eq!(Backend::parse("events"), Some(Backend::Events));
+        assert_eq!(Backend::parse("warp"), None);
+        assert_eq!(Backend::default(), Backend::Tick);
+        for b in [Backend::Tick, Backend::Events] {
+            assert_eq!(Backend::parse(b.as_str()), Some(b));
+        }
     }
 
     #[test]

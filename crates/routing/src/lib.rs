@@ -20,8 +20,12 @@
 //! * [`engine`] — the tick simulator: one packet per wire per tick, per-node
 //!   send budgets for the "weak" machines, pluggable queue disciplines,
 //!   pooled [`RouterScratch`] arenas;
+//! * [`events`] — the event-driven backend: the same tick loop armed with a
+//!   calendar-wheel skip hook that jumps over quiescent spans (sparse
+//!   injection schedules, fault outage windows, drain tails), bit-identical
+//!   to the tick backend;
 //! * [`harness`] — batch-rate measurement and saturation sweeps, built
-//!   around the compile-once [`RouteCtx`];
+//!   around the compile-once [`RouteCtx`] with selectable [`Backend`];
 //! * [`shard`] + [`boundary`] — the K-shard router: shard-local tick phases
 //!   joined by a deterministic boundary exchange, bit-identical to the
 //!   1-shard engine at every shard count.
@@ -30,6 +34,7 @@ pub mod boundary;
 pub mod cache;
 pub mod compiled;
 pub mod engine;
+pub mod events;
 pub mod harness;
 pub mod native;
 pub mod oracle;
@@ -39,14 +44,17 @@ pub mod steady;
 
 pub use boundary::{merge_outboxes, BoundaryMsg, Outbox};
 pub use cache::PlanCache;
-pub use compiled::{CompiledNet, PacketBatch, RouteError};
+pub use compiled::{CompiledNet, InjectionSchedule, PacketBatch, RouteError};
 pub use engine::{
-    route_batch, route_compiled, route_compiled_gated, route_compiled_pooled, try_route_batch,
-    AbortCause, RouterConfig, RouterScratch, RoutingOutcome,
+    route_batch, route_compiled, route_compiled_at, route_compiled_gated, route_compiled_pooled,
+    try_route_batch, AbortCause, RouterConfig, RouterScratch, RoutingOutcome,
+};
+pub use events::{
+    route_events, route_events_at, route_events_gated, route_events_pooled, EventKind, EventWheel,
 };
 pub use harness::{
     measure_rate, measure_rate_ctx, measure_rate_with, plateau_rate, route_traffic,
-    route_traffic_ctx, route_traffic_with, saturation_sweep, RateSample, RouteCtx,
+    route_traffic_ctx, route_traffic_with, saturation_sweep, Backend, RateSample, RouteCtx,
 };
 pub use native::{
     de_bruijn_path, plan_batch, plan_routes, plan_routes_cached, plan_routes_degraded,

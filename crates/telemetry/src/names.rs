@@ -83,6 +83,14 @@ pub const ROUTER_SHARDS_LAST: &str = "router_shards_last";
 pub const ROUTER_BOUNDARY_MSGS_TOTAL: &str = "router_boundary_msgs_total";
 /// Per-shard maximum queue depth, recorded in shard order (histogram).
 pub const ROUTER_SHARD_MAX_QUEUE: &str = "router_shard_max_queue";
+/// Event-backend runs (`route_events` entry points).
+pub const ROUTER_EVENTS_TOTAL: &str = "router_events_total";
+/// Ticks the event backend skipped instead of simulating.
+pub const ROUTER_TICKS_SKIPPED_TOTAL: &str = "router_ticks_skipped_total";
+/// Per-run peak event-wheel depth (histogram).
+pub const ROUTER_WHEEL_MAX_DEPTH: &str = "router_wheel_max_depth";
+/// Fault outage windows skipped over entirely by the event backend.
+pub const ROUTER_OUTAGE_WINDOWS_SKIPPED_TOTAL: &str = "router_outage_windows_skipped_total";
 
 // --- fault plane --------------------------------------------------------
 
@@ -172,6 +180,10 @@ pub const ALL: &[&str] = &[
     ROUTER_SHARDS_LAST,
     ROUTER_BOUNDARY_MSGS_TOTAL,
     ROUTER_SHARD_MAX_QUEUE,
+    ROUTER_EVENTS_TOTAL,
+    ROUTER_TICKS_SKIPPED_TOTAL,
+    ROUTER_WHEEL_MAX_DEPTH,
+    ROUTER_OUTAGE_WINDOWS_SKIPPED_TOTAL,
     FAULT_PLANS_APPLIED_TOTAL,
     FAULT_DEAD_WIRES_TOTAL,
     FAULT_DEAD_NODES_TOTAL,
