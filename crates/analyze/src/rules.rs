@@ -1,4 +1,4 @@
-//! The rule set: eight token-level invariant checks.
+//! The rule set: nine token-level invariant checks.
 //!
 //! | id | invariant it pins |
 //! |----|-------------------|
@@ -10,6 +10,7 @@
 //! | `TEL-NAME`   | telemetry metric names come from one const table |
 //! | `ATOMIC-DOC` | every atomic `Ordering::` carries a justification |
 //! | `SHARD-MERGE`| cross-shard buffers drain only through the merge helper |
+//! | `SERVE-DEADLINE` | service-crate sockets speak only through the framed I/O layer |
 //!
 //! Rules run over the scrubbed planes of [`SourceFile`]; matches inside
 //! strings, comments, and `#[cfg(test)]` regions never fire (except where a
@@ -74,11 +75,21 @@ pub const RULES: &[(&str, &str)] = &[
          access elsewhere in fcn-routing can replay arrivals in shard order, not \
          activation order",
     ),
+    (
+        "SERVE-DEADLINE",
+        "raw socket reads/writes in fcn-serve only inside the framed I/O layer (io.rs): \
+         every other path must go through FramedConn so no request can outlive its \
+         deadline or wedge a drain on a stalled peer",
+    ),
 ];
 
 /// The one file allowed to touch a boundary `Outbox`'s message buffer
 /// directly: the canonical boundary-exchange merge itself.
 pub const SHARD_MERGE_ALLOWLIST: &[&str] = &["crates/routing/src/boundary.rs"];
+
+/// The one file in fcn-serve allowed to call raw socket reads/writes: the
+/// deadline-wrapping framed I/O layer itself.
+pub const SERVE_IO_ALLOWLIST: &[&str] = &["crates/serve/src/io.rs"];
 
 /// True if `id` names a known rule.
 pub fn known_rule(id: &str) -> bool {
@@ -453,6 +464,51 @@ fn shard_merge(sf: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// SERVE-DEADLINE: raw blocking socket calls in fcn-serve outside the
+/// framed I/O layer. The service's liveness contract — a deadline-armed
+/// watchdog can always cancel a request, and a drain can always finish —
+/// holds only because every blocking read polls the stop flag and every
+/// write runs under a timeout, and *that* holds only while all socket
+/// traffic funnels through `FramedConn` in `io.rs`. A bare `.read(` /
+/// `.write_all(` anywhere else is a path a stalled peer can wedge forever.
+fn serve_deadline(sf: &SourceFile, out: &mut Vec<Finding>) {
+    if sf.kind != FileKind::Lib || sf.crate_name != "serve" {
+        return;
+    }
+    if SERVE_IO_ALLOWLIST.contains(&sf.path.as_str()) {
+        return;
+    }
+    for (i, line) in sf.lines.iter().enumerate() {
+        let ln = i + 1;
+        if sf.is_test_line(ln) {
+            continue;
+        }
+        for pat in [
+            ".read(",
+            ".read_exact(",
+            ".read_to_end(",
+            ".write(",
+            ".write_all(",
+            ".flush(",
+        ] {
+            if !token_hits(&line.code, pat).is_empty() {
+                out.push(finding(
+                    sf,
+                    ln,
+                    "SERVE-DEADLINE",
+                    format!(
+                        "raw socket call `{}` outside the framed I/O layer: route it \
+                         through FramedConn (crates/serve/src/io.rs) so the read polls \
+                         the stop flag and the write runs under a timeout",
+                        pat.trim_start_matches('.')
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+}
+
 /// Run every per-file rule over `sf`.
 pub fn check_file(sf: &SourceFile) -> Vec<Finding> {
     let mut out = Vec::new();
@@ -464,6 +520,7 @@ pub fn check_file(sf: &SourceFile) -> Vec<Finding> {
     tel_name(sf, &mut out);
     atomic_doc(sf, &mut out);
     shard_merge(sf, &mut out);
+    serve_deadline(sf, &mut out);
     out
 }
 

@@ -404,6 +404,53 @@ fn shard_merge_suppressed_with_reason() {
     assert_suppressed(&a);
 }
 
+// --------------------------------------------------------- SERVE-DEADLINE
+
+#[test]
+fn serve_deadline_fires_on_raw_socket_calls_outside_the_io_layer() {
+    let a = run(&[(
+        "crates/serve/src/fx.rs",
+        "pub fn f(s: &mut TcpStream, buf: &mut [u8]) { s.read(buf).ok(); }\n",
+    )]);
+    assert_single(&a, "SERVE-DEADLINE", 1);
+    let b = run(&[(
+        "crates/serve/src/fx.rs",
+        "pub fn g(s: &mut TcpStream) { s.write_all(b\"x\").ok(); }\n",
+    )]);
+    assert_single(&b, "SERVE-DEADLINE", 1);
+}
+
+#[test]
+fn serve_deadline_clean_in_io_rs_framed_wrappers_and_other_crates() {
+    // The framed layer itself is the allowlisted home of raw calls.
+    let a = run(&[(
+        "crates/serve/src/io.rs",
+        "pub fn f(s: &mut TcpStream, buf: &mut [u8]) { s.read(buf).ok(); }\n",
+    )]);
+    assert_clean(&a);
+    // FramedConn method names do not trip the raw-call patterns.
+    let b = run(&[(
+        "crates/serve/src/fx.rs",
+        "pub fn f(c: &mut FramedConn) { c.read_frame(None).ok(); c.write_frame(b\"x\").ok(); }\n",
+    )]);
+    assert_clean(&b);
+    // Raw reads outside fcn-serve are some other crate's business.
+    let c = run(&[(
+        "crates/cli/src/fx.rs",
+        "pub fn f(s: &mut TcpStream, buf: &mut [u8]) { s.read(buf).ok(); }\n",
+    )]);
+    assert_clean(&c);
+}
+
+#[test]
+fn serve_deadline_suppressed_with_reason() {
+    let a = run(&[(
+        "crates/serve/src/fx.rs",
+        "pub fn f(s: &mut TcpStream) { s.flush().ok(); } // fcn-allow: SERVE-DEADLINE fixture, flush cannot block here\n",
+    )]);
+    assert_suppressed(&a);
+}
+
 // ------------------------------------------------------------ self-hosting
 
 /// The committed workspace must be clean under its own analyzer: zero

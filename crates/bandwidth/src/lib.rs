@@ -29,6 +29,6 @@ pub mod theorem6;
 pub use bottleneck::{audit_bottleneck_freeness, quick_audit, BottleneckAudit};
 pub use degraded::{DegradedPoint, DegradedSample, DegradedSweep};
 pub use flux::{flux_upper_bound, FluxBound};
-pub use operational::{BandwidthEstimate, BandwidthEstimator};
+pub use operational::{BandwidthEstimate, BandwidthEstimator, EstimateAborted};
 pub use sandwich::{sandwich, sweep_family, BandwidthSandwich, FamilySweep};
 pub use theorem6::{embedding_lower_bound, theorem6_sandwich, EmbeddingBound, Theorem6Certificate};

@@ -20,6 +20,7 @@
 //! same BFS trees, so the cache serves every tree after the smallest batch
 //! has populated it.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use fcn_exec::{job_seed, Pool};
@@ -78,6 +79,42 @@ impl Default for BandwidthEstimator {
     }
 }
 
+/// Partial accounting for a gated estimate that produced no β̂ sample:
+/// either the attached cancellation flag fired mid-grid, or no trial
+/// completed within the tick budget. Either way the caller learns how much
+/// of the grid ran before the abort instead of a panic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EstimateAborted {
+    /// Grid cells whose routing completed within the tick budget.
+    pub cells_completed: usize,
+    /// Total grid cells (`trials × multipliers`).
+    pub cells_total: usize,
+    /// Ticks simulated across all cells before the abort.
+    pub ticks_spent: u64,
+    /// `true` when the cancellation flag was observed set; `false` when
+    /// the grid simply exhausted its tick budget.
+    pub cancelled: bool,
+}
+
+impl std::fmt::Display for EstimateAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.cancelled {
+            write!(
+                f,
+                "cancelled after {}/{} cells ({} ticks simulated)",
+                self.cells_completed, self.cells_total, self.ticks_spent
+            )
+        } else {
+            write!(
+                f,
+                "no trial completed within the tick budget ({}/{} cells, {} ticks); \
+                 raise router.max_ticks",
+                self.cells_completed, self.cells_total, self.ticks_spent
+            )
+        }
+    }
+}
+
 /// Result of operational estimation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BandwidthEstimate {
@@ -120,16 +157,42 @@ impl BandwidthEstimator {
         traffic: &Traffic,
         cache: &PlanCache,
     ) -> BandwidthEstimate {
+        match self.try_estimate_compiled(machine, net, traffic, cache, None) {
+            Ok(est) => est,
+            // fcn-allow: ERR-UNWRAP ungated path keeps the historical panic contract
+            Err(_) => panic!("no trial completed within the tick budget; raise router.max_ticks"),
+        }
+    }
+
+    /// [`BandwidthEstimator::estimate_compiled`] gated on a cancellation
+    /// flag: a set flag aborts every in-flight cell with
+    /// [`fcn_routing::AbortCause::Cancelled`] and the call returns
+    /// [`EstimateAborted`] with partial accounting instead of panicking.
+    /// An un-cancelled run that produces at least one plateau is
+    /// bit-identical to the ungated path; a run whose grid exhausts its
+    /// tick budget also returns `Err` (with `cancelled: false`) so long-
+    /// lived callers such as the emulation service never panic.
+    pub fn try_estimate_compiled(
+        &self,
+        machine: &Machine,
+        net: &Arc<CompiledNet>,
+        traffic: &Traffic,
+        cache: &PlanCache,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<BandwidthEstimate, EstimateAborted> {
         assert!(self.trials >= 1 && !self.multipliers.is_empty());
         let _span = fcn_telemetry::Span::enter(fcn_telemetry::names::SPAN_BANDWIDTH_ESTIMATE);
         let n = traffic.n();
         let m_len = self.multipliers.len();
         let cells = self.trials * m_len;
         let pool = Pool::new(self.jobs);
-        let ctx = RouteCtx::from_net(machine, net.clone())
+        let mut ctx = RouteCtx::from_net(machine, net.clone())
             .with_cache(cache)
             .with_shards(self.shards)
             .with_backend(self.backend);
+        if let Some(c) = cancel {
+            ctx = ctx.with_cancel(c);
+        }
         let samples: Vec<RateSample> = pool.run(cells, |cell| {
             let trial = cell / m_len;
             let mi = cell % m_len;
@@ -158,18 +221,25 @@ impl BandwidthEstimator {
         if fcn_telemetry::global().enabled() {
             self.publish(&samples, complete_trials as u64);
         }
-        assert!(
-            !plateaus.is_empty(),
-            "no trial completed within the tick budget; raise router.max_ticks"
-        );
+        // ordering: the flag is a monotone stop hint set by another thread;
+        // Relaxed suffices for the final observation too.
+        let cancelled = cancel.is_some_and(|c| c.load(Ordering::Relaxed));
+        if cancelled || plateaus.is_empty() {
+            return Err(EstimateAborted {
+                cells_completed: samples.iter().filter(|s| s.completed).count(),
+                cells_total: cells,
+                ticks_spent: samples.iter().map(|s| s.ticks).sum(),
+                cancelled,
+            });
+        }
         let rate = plateaus.iter().cloned().fold(0.0, f64::max);
         let mean_rate = plateaus.iter().sum::<f64>() / plateaus.len() as f64;
-        BandwidthEstimate {
+        Ok(BandwidthEstimate {
             rate,
             mean_rate,
             samples,
             complete_trials,
-        }
+        })
     }
 
     /// Push one estimate's metrics into this thread's telemetry shard.
@@ -306,5 +376,78 @@ mod tests {
     fn bus_saturates_at_unit_rate() {
         let est = quick().estimate_symmetric(&Machine::global_bus(16));
         assert!(est.rate <= 1.05, "bus rate {}", est.rate);
+    }
+
+    #[test]
+    fn gated_estimate_matches_ungated_when_never_cancelled() {
+        let m = Machine::mesh(2, 8);
+        let t = m.symmetric_traffic();
+        let est = quick();
+        let plain = est.estimate(&m, &t);
+        for (cancel, shards, backend) in [
+            (None, 1, Backend::Tick),
+            (Some(AtomicBool::new(false)), 1, Backend::Tick),
+            (Some(AtomicBool::new(false)), 4, Backend::Tick),
+            (Some(AtomicBool::new(false)), 1, Backend::Events),
+        ] {
+            let gated = est
+                .clone()
+                .with_shards(shards)
+                .with_backend(backend)
+                .try_estimate_compiled(
+                    &m,
+                    &CompiledNet::shared(&m),
+                    &t,
+                    &PlanCache::default(),
+                    cancel.as_ref(),
+                )
+                .expect("unset flag must not abort");
+            assert_eq!(gated.rate, plain.rate);
+            assert_eq!(gated.samples, plain.samples);
+            assert_eq!(gated.complete_trials, plain.complete_trials);
+        }
+    }
+
+    #[test]
+    fn preset_cancel_flag_aborts_with_partial_accounting() {
+        let m = Machine::mesh(2, 8);
+        let t = m.symmetric_traffic();
+        let flag = AtomicBool::new(true);
+        let err = quick()
+            .try_estimate_compiled(
+                &m,
+                &CompiledNet::shared(&m),
+                &t,
+                &PlanCache::default(),
+                Some(&flag),
+            )
+            .expect_err("a set flag must abort the grid");
+        assert!(err.cancelled);
+        assert_eq!(err.cells_total, 4);
+        assert_eq!(err.cells_completed, 0, "no cell may complete routing");
+        assert_eq!(err.ticks_spent, 0, "cells abort before their first tick");
+        assert!(
+            err.to_string().contains("cancelled after 0/4 cells"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_uncancelled_abort() {
+        let m = Machine::mesh(2, 8);
+        let t = m.symmetric_traffic();
+        let mut est = quick();
+        est.router.max_ticks = 1; // nothing can finish in one tick
+        let err = est
+            .try_estimate_compiled(
+                &m,
+                &CompiledNet::shared(&m),
+                &t,
+                &PlanCache::default(),
+                None,
+            )
+            .expect_err("no trial can complete");
+        assert!(!err.cancelled);
+        assert!(err.to_string().contains("raise router.max_ticks"), "{err}");
     }
 }

@@ -1,0 +1,325 @@
+//! `fcn-serve-load` — closed-loop load generator for the emulation service:
+//! the throughput-vs-concurrency trajectory behind `BENCH_serve.json`.
+//!
+//! Boots an **in-process** daemon ([`fcn_serve::Server`] wrapping the exact
+//! production [`fcn_cli::service::CliHandler`], talking real TCP on an
+//! ephemeral loopback port) and drives it with closed-loop clients: each
+//! client owns one connection and sends its next request only after the
+//! previous reply lands, so offered load scales with the client count, not
+//! with a timer. The request mix is seeded (~90 % `ping`, ~10 % small warm
+//! `beta`), making the *sequence* of requests reproducible even though the
+//! measured latencies are wall clock (timing is the product here — the
+//! bench crate is the sanctioned DET-TIME exemption).
+//!
+//! Rows ([`fcn_bench::SERVE_SCHEMA`]):
+//!
+//! * `closed-loop@c{1,2,4,8}` — throughput plus a latency histogram
+//!   (mean/p50/p90/p99/max) at each concurrency level;
+//! * `cold-vs-warm` — first `beta` on a never-seen family (pays the
+//!   compile) against the immediate repeat served from the warm registry.
+//!
+//! Output discipline mirrors `faults`: default writes the committed
+//! `BENCH_serve.json` at the repo root through schema-validated row
+//! merging; `--quick` (CI smoke, ~800 requests) shadows to
+//! `target/BENCH_serve.quick.json`; `--full` scales to 2×10⁵ requests.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use fcn_bench::{banner, fmt, write_records, RunOpts, Scale, SERVE_SCHEMA};
+use fcn_cli::service::CliHandler;
+use fcn_serve::{Client, Server, ServerConfig};
+use rand::{RngExt, SeedableRng};
+use serde::Serialize;
+
+/// One recorded point of the service trajectory (see EXPERIMENTS.md).
+/// Fields that do not apply to a row kind are written as zeros so every
+/// row carries the full schema.
+#[derive(Debug, Serialize)]
+struct Row {
+    /// Row-format version ([`SERVE_SCHEMA`]).
+    schema: String,
+    /// Row key: `closed-loop@c<clients>` or `cold-vs-warm`.
+    bench: String,
+    /// Request mix of the row: `mix` (ping/beta blend) or `beta`.
+    kind: String,
+    /// Concurrent closed-loop clients.
+    clients: usize,
+    /// Requests completed in the measurement window.
+    requests: usize,
+    /// Replies that were not a success (typed error or nonzero exit).
+    errors: usize,
+    /// Wall-clock window for the whole level, microseconds.
+    elapsed_us: u64,
+    /// Completed requests per second over the window.
+    throughput_rps: f64,
+    /// Mean per-request latency, microseconds.
+    mean_us: f64,
+    /// Latency histogram: median.
+    p50_us: u64,
+    /// Latency histogram: 90th percentile.
+    p90_us: u64,
+    /// Latency histogram: 99th percentile.
+    p99_us: u64,
+    /// Latency histogram: worst observed.
+    max_us: u64,
+    /// Cold-row only: first request on a never-compiled family.
+    cold_us: u64,
+    /// Cold-row only: the immediate repeat against the warm registry.
+    warm_us: u64,
+    /// Cold-row only: `cold_us / warm_us`.
+    warm_speedup: f64,
+}
+
+impl Row {
+    fn blank(bench: String, kind: &str) -> Row {
+        Row {
+            schema: SERVE_SCHEMA.to_string(),
+            bench,
+            kind: kind.to_string(),
+            clients: 0,
+            requests: 0,
+            errors: 0,
+            elapsed_us: 0,
+            throughput_rps: 0.0,
+            mean_us: 0.0,
+            p50_us: 0,
+            p90_us: 0,
+            p99_us: 0,
+            max_us: 0,
+            cold_us: 0,
+            warm_us: 0,
+            warm_speedup: 0.0,
+        }
+    }
+}
+
+#[allow(clippy::disallowed_methods)] // bench binary: timing is the product
+fn now() -> Instant {
+    Instant::now()
+}
+
+/// `sorted[..]` percentile by nearest-rank on a pre-sorted slice.
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() - 1) * p / 100]
+}
+
+/// One closed-loop client: `requests` sends over a private connection with
+/// a private seeded mix; returns (latencies_us, errors).
+fn client_loop(addr: &str, seed: u64, requests: usize) -> (Vec<u64>, usize) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut client = Client::connect(addr).expect("connect load client");
+    let mut lat = Vec::with_capacity(requests);
+    let mut errors = 0usize;
+    for _ in 0..requests {
+        // ~90 % pings keep the framing/admission path hot; ~10 % betas make
+        // the daemon do real (warm-registry) estimator work.
+        let beta = rng.random_bool(0.10);
+        let n = if rng.random_bool(0.5) { "16" } else { "36" };
+        let t = now();
+        let resp = if beta {
+            client.call("beta", &["mesh2", n, "--trials", "1"])
+        } else {
+            client.call("ping", &[])
+        };
+        lat.push(t.elapsed().as_micros() as u64);
+        match resp {
+            Ok(r) if r.ok => {}
+            _ => errors += 1,
+        }
+    }
+    (lat, errors)
+}
+
+/// Run one concurrency level; all clients start together and the window is
+/// timed around the whole scope.
+fn run_level(addr: &str, clients: usize, per_level: usize) -> Row {
+    let per_client = per_level / clients;
+    let merged: Mutex<(Vec<u64>, usize)> = Mutex::new((Vec::new(), 0));
+    let t = now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let merged = &merged;
+            let seed = mix_seed(clients as u64, c as u64);
+            scope.spawn(move || {
+                let (lat, errors) = client_loop(addr, seed, per_client);
+                let mut m = merged.lock().expect("latency merge lock");
+                m.0.extend_from_slice(&lat);
+                m.1 += errors;
+            });
+        }
+    });
+    let elapsed_us = t.elapsed().as_micros() as u64;
+    let (mut lat, errors) = merged.into_inner().expect("latency merge lock");
+    lat.sort_unstable();
+    let requests = lat.len();
+    let mut row = Row::blank(format!("closed-loop@c{clients}"), "mix");
+    row.clients = clients;
+    row.requests = requests;
+    row.errors = errors;
+    row.elapsed_us = elapsed_us;
+    row.throughput_rps = requests as f64 / (elapsed_us as f64 / 1e6);
+    row.mean_us = lat.iter().sum::<u64>() as f64 / requests.max(1) as f64;
+    row.p50_us = percentile(&lat, 50);
+    row.p90_us = percentile(&lat, 90);
+    row.p99_us = percentile(&lat, 99);
+    row.max_us = lat.last().copied().unwrap_or(0);
+    row
+}
+
+/// Per-(level, client) seed: reproducible mix, distinct per thread.
+fn mix_seed(level: u64, client: u64) -> u64 {
+    0x5eed_0ff0 ^ (level << 16) ^ client
+}
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let _tele = fcn_bench::telemetry(&opts);
+    let quick = opts.scale == Scale::Quick;
+    // Requests per concurrency level; levels are fixed so the committed
+    // trajectory always has the same row keys.
+    let per_level = match opts.scale {
+        Scale::Quick => 200,
+        Scale::Default => 5_000,
+        Scale::Full => 50_000,
+    };
+    let levels = [1usize, 2, 4, 8];
+
+    // The production daemon serves with telemetry enabled (metrics requests
+    // need counters to render); the load run mirrors that so the measured
+    // cost includes the instrumentation the real service pays.
+    fcn_telemetry::global().set_enabled(true);
+
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        // Above the deepest level (8 closed-loop clients) so admission
+        // never rejects: this bench measures service time, not shedding.
+        max_inflight: 16,
+        default_deadline_ms: 0,
+        poll_interval_ms: 5,
+    };
+    let server = Arc::new(Server::bind(config, CliHandler::new()).expect("bind in-process daemon"));
+    let addr = server
+        .local_addr()
+        .expect("resolve in-process daemon address")
+        .to_string();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let runner = {
+        let server = Arc::clone(&server);
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || server.run(&shutdown))
+    };
+
+    banner("fcn-serve closed-loop trajectory (in-process daemon, real TCP)");
+    println!(
+        "daemon at {addr}; {} requests/level over levels {levels:?}\n",
+        per_level
+    );
+    println!(
+        "{:>8} {:>9} {:>7} {:>12} {:>10} {:>9} {:>9} {:>9} {:>9}",
+        "clients", "requests", "errors", "thrpt r/s", "mean µs", "p50", "p90", "p99", "max"
+    );
+    let mut rows: Vec<Row> = Vec::new();
+    for &clients in &levels {
+        let row = run_level(&addr, clients, per_level);
+        println!(
+            "{:>8} {:>9} {:>7} {:>12} {:>10} {:>9} {:>9} {:>9} {:>9}",
+            row.clients,
+            row.requests,
+            row.errors,
+            fmt(row.throughput_rps),
+            fmt(row.mean_us),
+            row.p50_us,
+            row.p90_us,
+            row.p99_us,
+            row.max_us
+        );
+        rows.push(row);
+    }
+
+    // Cold vs warm: a family no load level touches (mesh2 n=1024), so the
+    // first request pays the registry compile and the repeat does not.
+    banner("cold vs warm registry (beta mesh2 1024)");
+    let mut probe = Client::connect(&addr).expect("connect cold/warm probe");
+    let cold_args = ["mesh2", "1024", "--trials", "1"];
+    let t = now();
+    let cold_resp = probe.call("beta", &cold_args).expect("cold beta reply");
+    let cold_us = t.elapsed().as_micros() as u64;
+    let t = now();
+    let warm_resp = probe.call("beta", &cold_args).expect("warm beta reply");
+    let warm_us = t.elapsed().as_micros() as u64;
+    assert!(
+        cold_resp.ok && warm_resp.ok,
+        "cold/warm probes must succeed"
+    );
+    assert_eq!(
+        cold_resp.output, warm_resp.output,
+        "warm registry must not change the answer"
+    );
+    let mut cw = Row::blank("cold-vs-warm".to_string(), "beta");
+    cw.clients = 1;
+    cw.requests = 2;
+    cw.cold_us = cold_us;
+    cw.warm_us = warm_us;
+    cw.warm_speedup = cold_us as f64 / warm_us.max(1) as f64;
+    println!(
+        "cold {} µs  warm {} µs  speedup {}×",
+        cold_us,
+        warm_us,
+        fmt(cw.warm_speedup)
+    );
+    rows.push(cw);
+
+    // ordering: Release pairs with the accept loop's Acquire-side poll of
+    // the shutdown flag; everything the clients did happens-before drain.
+    shutdown.store(true, Ordering::Release);
+    runner
+        .join()
+        .expect("daemon runner thread")
+        .expect("daemon drained cleanly");
+
+    let path = write_records("serve", &rows).expect("write serve records");
+    println!("\nrecords: {}", path.display());
+
+    // The committed trajectory (or its quick shadow), merged under the same
+    // schema-validated discipline as BENCH_faults.json.
+    let curve_path = if quick {
+        let dir = std::env::var_os("CARGO_TARGET_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::path::PathBuf::from("target"));
+        std::fs::create_dir_all(&dir).expect("create target dir");
+        dir.join("BENCH_serve.quick.json")
+    } else {
+        std::path::PathBuf::from("BENCH_serve.json")
+    };
+    let existing = match std::fs::read_to_string(&curve_path) {
+        Ok(body) => match fcn_bench::validate_rows(&body, SERVE_SCHEMA) {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!(
+                    "error: existing {} is not mergeable: {e}",
+                    curve_path.display()
+                );
+                std::process::exit(2);
+            }
+        },
+        Err(_) => Vec::new(),
+    };
+    let fresh: Vec<(String, String)> = rows
+        .iter()
+        .map(|r| {
+            let line = serde_json::to_string(r).expect("row serializes");
+            (r.bench.clone(), line)
+        })
+        .collect();
+    let body = fcn_bench::merge_bench_rows(&existing, &fresh);
+    if let Err(e) = std::fs::write(&curve_path, body) {
+        eprintln!("error: cannot write {}: {e}", curve_path.display());
+        std::process::exit(2);
+    }
+    println!("wrote {} rows to {}", rows.len(), curve_path.display());
+}

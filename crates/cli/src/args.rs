@@ -15,6 +15,10 @@ pub struct Args {
     pub positionals: Vec<String>,
     /// `--flag[=value]` pairs (bare flags store `"true"`).
     pub flags: BTreeMap<String, String>,
+    /// Everything after a literal `--` separator, verbatim and unparsed —
+    /// `fcnemu request <addr> <kind> -- <forwarded args>` ships these to
+    /// the daemon without this parser interpreting their `--flags`.
+    pub rest: Vec<String>,
 }
 
 /// Parse failure with a human-readable message.
@@ -37,10 +41,13 @@ impl Args {
             .clone();
         let mut positionals = Vec::new();
         let mut flags = BTreeMap::new();
+        let mut rest = Vec::new();
         while let Some(tok) = it.next() {
             if let Some(name) = tok.strip_prefix("--") {
                 if name.is_empty() {
-                    return Err(ParseError("empty flag name".into()));
+                    // A bare `--` ends parsing; the remainder passes through.
+                    rest.extend(it.cloned());
+                    break;
                 }
                 // `--flag=value` or `--flag value` or bare boolean flag.
                 if let Some((k, v)) = name.split_once('=') {
@@ -58,6 +65,7 @@ impl Args {
             command,
             positionals,
             flags,
+            rest,
         })
     }
 
@@ -126,6 +134,23 @@ mod tests {
         let a = Args::parse(&argv("bound de_bruijn")).unwrap();
         assert_eq!(a.pos(0, "guest").unwrap(), "de_bruijn");
         assert!(a.pos(1, "host").is_err());
+    }
+
+    #[test]
+    fn double_dash_passes_the_remainder_through_verbatim() {
+        let a = Args::parse(&argv("request 127.0.0.1:4615 beta -- mesh2 64 --trials 2")).unwrap();
+        assert_eq!(a.positionals, vec!["127.0.0.1:4615", "beta"]);
+        assert_eq!(a.rest, vec!["mesh2", "64", "--trials", "2"]);
+        assert!(
+            !a.flags.contains_key("trials"),
+            "flags after -- must not be parsed"
+        );
+        // A trailing `--` with nothing after it is legal and empty.
+        let a = Args::parse(&argv("request addr ping --")).unwrap();
+        assert!(a.rest.is_empty());
+        // No `--` at all leaves rest empty.
+        let a = Args::parse(&argv("beta mesh2 64")).unwrap();
+        assert!(a.rest.is_empty());
     }
 
     #[test]

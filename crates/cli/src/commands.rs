@@ -27,13 +27,18 @@ pub enum CmdError {
     Run(String),
     /// I/O or schema failure; exit code 2.
     Io(String),
+    /// A deadline cancelled the run mid-flight; the message carries partial
+    /// accounting of the work completed. Only service-mode runs (which
+    /// thread a cancel flag into the router grid) can produce this; exit
+    /// code 1 like other domain-level aborts.
+    Cancelled(String),
 }
 
 impl CmdError {
     /// The process exit code this error maps to.
     pub fn exit_code(&self) -> i32 {
         match self {
-            CmdError::Run(_) => 1,
+            CmdError::Run(_) | CmdError::Cancelled(_) => 1,
             CmdError::Io(_) => 2,
         }
     }
@@ -42,7 +47,7 @@ impl CmdError {
 impl std::fmt::Display for CmdError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CmdError::Run(m) | CmdError::Io(m) => write!(f, "{m}"),
+            CmdError::Run(m) | CmdError::Io(m) | CmdError::Cancelled(m) => write!(f, "{m}"),
         }
     }
 }
@@ -78,6 +83,8 @@ USAGE:
   fcnemu table   <1|2|3> [--size N]
   fcnemu fig1    <guest-family> <host-family> [--n N]
   fcnemu metrics <snapshot.jsonl> [--format table|prom|jsonl]
+  fcnemu serve   [--addr H:P] [--max-inflight N] [--deadline-ms N] [--poll-ms N]
+  fcnemu request <addr> <kind> [--deadline-ms N] [-- <forwarded args>]
   fcnemu help
 
 Every subcommand also accepts --metrics-out <path>: run with telemetry
@@ -137,6 +144,8 @@ pub fn dispatch(args: &Args, out: Out) -> CmdResult {
             "table" => cmd_table(args, out)?,
             "fig1" => cmd_fig1(args, out)?,
             "metrics" => cmd_metrics(args, out)?,
+            "serve" => crate::service::cmd_serve(args, out)?,
+            "request" => crate::service::cmd_request(args, out)?,
             "help" | "--help" | "-h" => {
                 let _ = writeln!(out, "{}", usage());
                 Ok(())
@@ -207,6 +216,21 @@ fn cmd_build(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
 }
 
 fn cmd_beta(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
+    beta_with(args, out, None, None)
+}
+
+/// The `beta` body, parameterized for service mode. Inline `fcnemu beta`
+/// is `beta_with(args, out, None, None)`; the daemon passes its warm
+/// [`fcn_serve::Registry`] (compiled net + plan cache reused across
+/// requests — both bit-transparent to the estimate) and the request's
+/// deadline flag. Non-verbose output is byte-identical across all four
+/// combinations, which is the differential harness's pin.
+pub(crate) fn beta_with(
+    args: &Args,
+    out: Out,
+    warm: Option<&fcn_serve::Registry>,
+    cancel: Option<&std::sync::atomic::AtomicBool>,
+) -> Result<CmdResult, ParseError> {
     let id = args.pos(0, "family")?.to_string();
     let size: usize = args
         .pos(1, "size")?
@@ -244,9 +268,28 @@ fn cmd_beta(args: &Args, out: Out) -> Result<CmdResult, ParseError> {
             ..Default::default()
         };
         // Caller-owned plan cache so --verbose can report its effectiveness;
-        // the cache is bit-transparent to the estimate.
-        let cache = fcn_routing::PlanCache::default();
-        let b = est.estimate_with_cache(&m, &t, &cache);
+        // the cache is bit-transparent to the estimate. In service mode the
+        // net and cache come warm out of the daemon's registry instead of
+        // being compiled per invocation.
+        let (net, cache) = match warm {
+            Some(registry) => {
+                let (entry, _hit) = registry.get_or_compile(&m);
+                (entry.net, entry.cache)
+            }
+            None => (
+                fcn_routing::CompiledNet::shared(&m),
+                std::sync::Arc::new(fcn_routing::PlanCache::default()),
+            ),
+        };
+        let b = est
+            .try_estimate_compiled(&m, &net, &t, &cache, cancel)
+            .map_err(|aborted| {
+                if aborted.cancelled {
+                    CmdError::Cancelled(aborted.to_string())
+                } else {
+                    CmdError::Run(aborted.to_string())
+                }
+            })?;
         let flux = flux_upper_bound(&m, &t, seed, 4, 2);
         let _ = writeln!(out, "machine       : {} (n = {})", m.name(), m.processors());
         let _ = writeln!(

@@ -9,6 +9,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod service;
 
 pub use args::{Args, ParseError};
 pub use commands::CmdError;

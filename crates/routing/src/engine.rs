@@ -922,6 +922,20 @@ fn run_ticks<Q: WireQueues, const UNIT: bool, const DISC: u8>(
                     .unwrap_or(u64::MAX)
                     .min(cfg.max_ticks.saturating_add(1));
                 if next_sim > ticks + 1 {
+                    // Re-poll cancellation before committing the jump: a
+                    // flag raised since the loop-top poll must abort *here*,
+                    // not after the whole skipped span has been accounted —
+                    // otherwise a watchdog firing just before a huge idle
+                    // skip reports MaxTicks with the budget burned instead
+                    // of Cancelled at the last simulated tick.
+                    // ordering: same monotone stop hint as the loop-top
+                    // poll; Relaxed is sufficient.
+                    if let Some(c) = cancel {
+                        if c.load(Ordering::Relaxed) {
+                            cancelled = true;
+                            break;
+                        }
+                    }
                     let k = next_sim - 1 - ticks;
                     ctl.note_skip(ticks, next_sim);
                     for &u in &scr.active_nodes {

@@ -20,10 +20,15 @@
 //! provably replays itself — so the [`RoutingOutcome`] is **bit-identical**
 //! to [`crate::route_compiled`] / `engine::reference` / the sharded router
 //! across families, disciplines, abort paths, and fault overlays (pinned
-//! by `tests/event_router.rs`). The single documented divergence:
-//! cancellation flags are polled at *simulated* ticks only, so a flag
-//! raised mid-skip is observed at the next simulated tick rather than
-//! mid-span (a flag raised before the run starts behaves identically).
+//! by `tests/event_router.rs`). Cancellation flags are polled at every
+//! simulated tick *and* re-polled immediately before each fast-forward
+//! commits, so a flag raised mid-run aborts with
+//! [`crate::AbortCause::Cancelled`] before the skipped span is accounted —
+//! a cancelled outcome never reports ticks beyond its last simulated tick
+//! (a flag raised before the run starts behaves identically to the tick
+//! backend's, and `event_pin_cancelled_before_skip` pins the
+//! frozen-net case where the next jump would have burned the whole
+//! budget).
 //!
 //! Why a quiescent state replays: packets move only when a send succeeds;
 //! a tick with zero sends leaves every queue, rotate offset, and budget

@@ -5,6 +5,7 @@
 //! `π`. [`measure_rate`] produces one `m / r(m)` sample; [`saturation_sweep`]
 //! grows `m` geometrically until the rate plateaus, approximating the limit.
 
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 use fcn_multigraph::Traffic;
@@ -81,6 +82,7 @@ pub struct RouteCtx<'a> {
     cache: Option<&'a PlanCache>,
     shards: usize,
     backend: Backend,
+    cancel: Option<&'a AtomicBool>,
 }
 
 impl<'a> RouteCtx<'a> {
@@ -92,6 +94,7 @@ impl<'a> RouteCtx<'a> {
             cache: None,
             shards: 1,
             backend: Backend::Tick,
+            cancel: None,
         }
     }
 
@@ -105,6 +108,7 @@ impl<'a> RouteCtx<'a> {
             cache: None,
             shards: 1,
             backend: Backend::Tick,
+            cancel: None,
         }
     }
 
@@ -128,6 +132,16 @@ impl<'a> RouteCtx<'a> {
     /// single-shard), which the CLI rejects up front as a flag conflict.
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Attach a cancellation flag observed by every batch routed through
+    /// this context (typically a [`fcn_exec`] watchdog token). A set flag
+    /// aborts the in-flight run with [`crate::AbortCause::Cancelled`] at
+    /// its last simulated tick; runs that complete before the flag is
+    /// raised are bit-identical to an unwatched context.
+    pub fn with_cancel(mut self, cancel: &'a AtomicBool) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 
@@ -156,6 +170,11 @@ impl<'a> RouteCtx<'a> {
         self.cache
     }
 
+    /// The attached cancellation flag, if any.
+    pub fn cancel(&self) -> Option<&AtomicBool> {
+        self.cancel
+    }
+
     /// Compile and route planner-produced paths on this context's machine,
     /// reusing the calling thread's pooled scratch.
     ///
@@ -167,12 +186,37 @@ impl<'a> RouteCtx<'a> {
         let batch = PacketBatch::compile(&self.net, paths)
             // fcn-allow: ERR-UNWRAP documented panicking wrapper over planner output; `try_route_batch` covers untrusted paths
             .unwrap_or_else(|e| panic!("planner produced unroutable path: {e}"));
-        match self.backend {
-            Backend::Events => route_events_pooled(&self.net, &batch, cfg),
-            Backend::Tick if self.shards > 1 => {
+        match (self.backend, self.cancel) {
+            (Backend::Events, None) => route_events_pooled(&self.net, &batch, cfg),
+            (Backend::Events, Some(c)) => crate::engine::POOLED_SCRATCH.with(|s| {
+                crate::events::route_events_gated(
+                    &self.net,
+                    &batch,
+                    cfg,
+                    &mut s.borrow_mut(),
+                    Some(c),
+                )
+            }),
+            (Backend::Tick, None) if self.shards > 1 => {
                 crate::shard::route_sharded_pooled(&self.net, &batch, cfg, self.shards)
             }
-            Backend::Tick => route_compiled_pooled(&self.net, &batch, cfg),
+            (Backend::Tick, Some(c)) if self.shards > 1 => {
+                // Same plan construction as `route_sharded_pooled`, so a
+                // watched run that completes is bit-identical to the
+                // unwatched dispatch above.
+                let plan = crate::shard::ShardPlan::balanced(&self.net, self.shards);
+                crate::shard::route_sharded_gated(&self.net, &batch, cfg, &plan, Some(c))
+            }
+            (Backend::Tick, None) => route_compiled_pooled(&self.net, &batch, cfg),
+            (Backend::Tick, Some(c)) => crate::engine::POOLED_SCRATCH.with(|s| {
+                crate::engine::route_compiled_gated(
+                    &self.net,
+                    &batch,
+                    cfg,
+                    &mut s.borrow_mut(),
+                    Some(c),
+                )
+            }),
         }
     }
 }
@@ -295,6 +339,7 @@ pub fn route_traffic_with(
 ) -> RoutingOutcome {
     let mut ctx = RouteCtx::new(machine);
     ctx.cache = cache;
+    // (no cancellation: this is the compile-per-call convenience path)
     route_traffic_ctx(
         &ctx,
         traffic,

@@ -255,6 +255,48 @@ fn event_pin_cancelled_abort() {
     }
 }
 
+/// Cancellation must win against a wheel fast-forward: on a frozen net
+/// (every injection due beyond the budget) the event backend's next jump
+/// would burn the whole 10⁶-tick budget in one skip — a raised cancel flag
+/// has to abort with `Cancelled` at the last simulated tick instead of
+/// committing the skip and reporting `MaxTicks` with the budget burned.
+/// The uncancelled counterfactual pins that the skip is real.
+#[test]
+fn event_pin_cancelled_before_skip() {
+    let machine = Family::Mesh(2).build_near(64, 0x11);
+    let paths = symmetric_batch(&machine, 2, 5, 13);
+    let net = CompiledNet::compile(&machine);
+    let batch = PacketBatch::compile(&net, &paths).unwrap();
+    // Every packet comes due at tick 2·10⁶, past the 10⁶ budget: nothing
+    // ever moves, so the first tick is quiescent and the only wheel entry
+    // lies beyond max_ticks — the frozen-net jump burns the whole budget.
+    let sched = InjectionSchedule::new(vec![2_000_000; batch.len()]);
+    let cfg = RouterConfig {
+        max_ticks: 1_000_000,
+        ..Default::default()
+    };
+    let mut scratch = RouterScratch::new();
+    let mut escratch = RouterScratch::new();
+    // Counterfactual (no cancel): one fast-forward to the budget cap.
+    let free = route_events_at(&net, &batch, &sched, cfg, &mut escratch, None);
+    assert_eq!(free.abort, fcn_routing::AbortCause::MaxTicks);
+    assert_eq!(free.ticks, 1_000_000, "budget burned in one skip");
+    assert_eq!(
+        free,
+        route_compiled_at(&net, &batch, &sched, cfg, &mut scratch, None)
+    );
+    // Cancelled: the flag is observed before any span is skipped — the
+    // outcome must not report a single tick beyond the last simulated one.
+    let cancel = AtomicBool::new(true);
+    let cancelled = route_events_at(&net, &batch, &sched, cfg, &mut escratch, Some(&cancel));
+    assert_eq!(cancelled.abort, fcn_routing::AbortCause::Cancelled);
+    assert_eq!(cancelled.ticks, 0, "no skipped span may be accounted");
+    assert_eq!(
+        cancelled,
+        route_compiled_at(&net, &batch, &sched, cfg, &mut scratch, Some(&cancel))
+    );
+}
+
 /// Weak machines: per-node send budgets (bus hub, weak hypercube) drive the
 /// budgeted send arm, the subtle half of the wire model.
 #[test]
@@ -532,4 +574,114 @@ proptest! {
         let events = route_events_at(&net, &batch, &sched, cfg, &mut escratch, None);
         prop_assert!(events == tick, "scheduled: {:?} != {:?}", events, tick);
     }
+}
+
+/// Boundary ticks for the wheel proptests: every base-64 level edge
+/// (`64^k ± 2` straddles the slot-shift rollover between wheel levels),
+/// the `64^6` overflow threshold, and large u64 values up to the top of
+/// the range — the places where `EventWheel::place`'s leading-zeros
+/// arithmetic changes regime.
+fn boundary_tick(pick: usize, off: u64) -> u64 {
+    const BASES: [u64; 11] = [
+        0,
+        64,           // level 0 → 1
+        64 * 64,      // level 1 → 2
+        64 * 64 * 64, // level 2 → 3
+        1 << 24,      // 64^4: level 3 → 4
+        1 << 30,      // 64^5: level 4 → 5
+        1 << 36,      // 64^6: wheel → overflow list
+        1 << 48,
+        1 << 63,
+        u64::MAX - 4,
+        12_345, // one interior non-boundary control point
+    ];
+    BASES[pick % BASES.len()]
+        .saturating_sub(2)
+        .saturating_add(off)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `EventWheel::next_after` against a naive multiset reference, with
+    /// every entry and every query tick clustered on level-rollover
+    /// boundaries (`64^k ± 2`), the overflow threshold, and large u64
+    /// values: each query must drop exactly the entries at ticks `<= now`,
+    /// return the minimum surviving tick, and keep `len()` in lockstep.
+    #[test]
+    fn wheel_next_after_matches_reference_at_rollovers(
+        entries in proptest::collection::vec((0usize..32, 0u64..5), 1..48),
+        queries in proptest::collection::vec((0usize..32, 0u64..5), 1..12),
+    ) {
+        let mut wheel = fcn_routing::EventWheel::new();
+        let mut model: Vec<u64> = Vec::new();
+        for &(pick, off) in &entries {
+            let t = boundary_tick(pick, off);
+            wheel.push(t, fcn_routing::EventKind::Inject);
+            model.push(t);
+        }
+        prop_assert_eq!(wheel.len(), model.len());
+        for &(pick, off) in &queries {
+            let now = boundary_tick(pick, off);
+            let got = wheel.next_after(now);
+            model.retain(|&t| t > now);
+            let want = model.iter().copied().min();
+            prop_assert!(got == want, "now = {}: got {:?}, want {:?}", now, got, want);
+            prop_assert!(
+                wheel.len() == model.len(),
+                "now = {}: len {} != {}",
+                now,
+                wheel.len(),
+                model.len()
+            );
+        }
+    }
+}
+
+/// Regression pin for the seeded-wakeup path: a seeded scatter of wake
+/// ticks (the shape `route_events` pushes for injections and fault-window
+/// wakeups) must be visited by the `now = next_after(now)` walk in exactly
+/// sorted-distinct order, across level rollovers and into the overflow
+/// list, leaving the wheel empty once the walk passes the last wake.
+#[test]
+fn wheel_seeded_wakeup_walk_visits_sorted_distinct_ticks() {
+    use rand::RngExt as _;
+    use rand::SeedableRng as _;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5eed_bee5);
+    let mut wheel = fcn_routing::EventWheel::new();
+    let mut ticks: Vec<u64> = Vec::new();
+    for i in 0..400u64 {
+        // Mix magnitudes so every level (and the overflow list) is hit:
+        // shift a seeded 36-bit draw down by a per-entry level choice.
+        let raw: u64 = rng.random();
+        let t = (raw & ((1 << 36) - 1)) >> (6 * (i % 7));
+        let kind = if i % 3 == 0 {
+            fcn_routing::EventKind::WindowWakeup
+        } else {
+            fcn_routing::EventKind::Inject
+        };
+        wheel.push(t, kind);
+        ticks.push(t);
+    }
+    ticks.sort_unstable();
+    ticks.dedup();
+    let mut walk = Vec::new();
+    // Start below every entry: tick 0 entries are dropped by `next_after(0)`
+    // (they are "in the past" of now = 0), matching the engine, which only
+    // consults the wheel after simulating tick `now`.
+    let mut now = 0u64;
+    while let Some(next) = wheel.next_after(now) {
+        walk.push(next);
+        now = next;
+    }
+    let expect: Vec<u64> = ticks.into_iter().filter(|&t| t > 0).collect();
+    assert_eq!(walk, expect, "seeded wakeup walk must be sorted-distinct");
+    // The terminating `next_after` (the one that returned `None`) treated
+    // the last wake as stale and dropped it: the wheel ends empty.
+    assert_eq!(
+        wheel.len(),
+        0,
+        "walking past the last wake empties the wheel"
+    );
+    assert_eq!(wheel.next_after(0), None);
 }

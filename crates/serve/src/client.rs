@@ -1,0 +1,89 @@
+//! Blocking client for the `fcn-serve/1` protocol.
+//!
+//! One [`Client`] owns one connection and issues requests sequentially,
+//! allocating monotonically increasing ids and checking that each reply
+//! echoes the id of the request it answers. Concurrency is achieved by
+//! opening more clients, not by pipelining on one connection.
+
+use std::fmt;
+use std::io;
+
+use crate::io::FramedConn;
+use crate::proto::{Request, Response};
+
+/// Why a client call failed before a well-formed response arrived.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connect, read, or write).
+    Io(io::Error),
+    /// The server sent bytes that do not decode as an `fcn-serve/1`
+    /// response, closed the connection mid-exchange, or answered with a
+    /// mismatched request id.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "serve transport error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "serve protocol error: {msg}"),
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking `fcn-serve/1` client over one connection.
+#[derive(Debug)]
+pub struct Client {
+    conn: FramedConn,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to a serving `fcnemu serve` daemon.
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        Ok(Client {
+            conn: FramedConn::connect(addr)?,
+            next_id: 1,
+        })
+    }
+
+    /// Wrap an already-connected framed stream (tests, in-process load gen).
+    pub fn from_conn(conn: FramedConn) -> Client {
+        Client { conn, next_id: 1 }
+    }
+
+    /// Issue one request kind with an argument vector and no deadline
+    /// override; block until the framed response arrives.
+    pub fn call(&mut self, kind: &str, args: &[&str]) -> Result<Response, ClientError> {
+        let id = self.next_id;
+        self.request(Request::new(id, kind, args))
+    }
+
+    /// Issue a fully-formed request (the id field is overwritten with this
+    /// client's next id so replies can be matched).
+    pub fn request(&mut self, mut req: Request) -> Result<Response, ClientError> {
+        req.id = self.next_id;
+        self.next_id += 1;
+        self.conn.write_frame(req.encode().as_bytes())?;
+        let payload = self
+            .conn
+            .read_frame(None)?
+            .ok_or_else(|| ClientError::Protocol("server closed before replying".to_string()))?;
+        let body = String::from_utf8(payload)
+            .map_err(|e| ClientError::Protocol(format!("response is not UTF-8: {e}")))?;
+        let resp = Response::decode(&body).map_err(ClientError::Protocol)?;
+        if resp.id != req.id && resp.id != 0 {
+            return Err(ClientError::Protocol(format!(
+                "response id {} does not answer request id {}",
+                resp.id, req.id
+            )));
+        }
+        Ok(resp)
+    }
+}

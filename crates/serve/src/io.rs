@@ -1,0 +1,218 @@
+//! The deadline-wrapping framed I/O layer.
+//!
+//! Every blocking socket read or write in this crate goes through
+//! [`FramedConn`] — this file is the single allowlisted home of raw
+//! `read`/`write` calls (enforced by `fcn-analyze`'s `SERVE-DEADLINE`
+//! rule), so no code path can accidentally block forever on a peer:
+//!
+//! * reads poll a caller-supplied stop flag at `poll_interval` while
+//!   waiting *between* frames, so an idle connection observes a server
+//!   drain promptly;
+//! * writes run under a socket write timeout, so a stalled client cannot
+//!   wedge a drain;
+//! * frame lengths are bounded by [`MAX_FRAME_LEN`], so a corrupt header
+//!   cannot allocate unboundedly.
+//!
+//! A frame is a big-endian `u32` payload length followed by that many
+//! bytes of UTF-8 JSON.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Upper bound on a frame's payload length (64 MiB) — far above any real
+/// report body, low enough that a corrupt length prefix cannot OOM the
+/// server.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Default write timeout: a peer that cannot absorb a reply within this
+/// window is treated as gone rather than allowed to wedge a drain.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A length-prefixed frame connection over one [`TcpStream`].
+#[derive(Debug)]
+pub struct FramedConn {
+    stream: TcpStream,
+}
+
+/// Is this I/O error a read-timeout expiry (the poll tick), as opposed to
+/// a real failure? Both kinds occur in practice depending on platform.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+impl FramedConn {
+    /// Wrap an accepted stream, arming the write timeout and disabling
+    /// Nagle: frames are written whole and the protocol is strictly
+    /// request/reply, so coalescing only adds delayed-ACK latency (~40 ms
+    /// per round trip) and buys nothing.
+    pub fn new(stream: TcpStream) -> io::Result<FramedConn> {
+        stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+        stream.set_nodelay(true)?;
+        Ok(FramedConn { stream })
+    }
+
+    /// Connect to a server address and wrap the stream.
+    pub fn connect(addr: &str) -> io::Result<FramedConn> {
+        FramedConn::new(TcpStream::connect(addr)?)
+    }
+
+    /// Arm the between-frames poll interval: while waiting for the *start*
+    /// of a frame, reads wake at this cadence to check the stop flag
+    /// passed to [`FramedConn::read_frame`]. `None` blocks indefinitely
+    /// (client mode: the reply is the only thing being waited on).
+    pub fn set_poll_interval(&self, interval: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(interval)
+    }
+
+    /// Fill `buf` completely, retrying across poll-interval wakeups.
+    ///
+    /// `stop` is only honored while `may_stop_clean` is true *and* no byte
+    /// of `buf` has been read yet — mid-frame, the read always runs to
+    /// completion (a drain must not truncate a request already on the
+    /// wire). Returns `Ok(false)` for a clean stop/EOF before the first
+    /// byte, `Ok(true)` when `buf` is full.
+    fn fill(
+        &mut self,
+        buf: &mut [u8],
+        stop: Option<&AtomicBool>,
+        may_stop_clean: bool,
+    ) -> io::Result<bool> {
+        let mut got = 0usize;
+        while got < buf.len() {
+            match self.stream.read(&mut buf[got..]) {
+                Ok(0) => {
+                    if got == 0 && may_stop_clean {
+                        return Ok(false); // clean EOF at a frame boundary
+                    }
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "peer closed mid-frame",
+                    ));
+                }
+                Ok(n) => got += n,
+                Err(e) if is_timeout(&e) => {
+                    // ordering: the stop flag is a monotone drain hint set
+                    // by the signal handler / test harness; Relaxed is
+                    // sufficient for a poll.
+                    if got == 0 && may_stop_clean && stop.is_some_and(|s| s.load(Ordering::Relaxed))
+                    {
+                        return Ok(false);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Read one frame. Returns `Ok(None)` on a clean close (EOF at a frame
+    /// boundary) or when `stop` rises while no frame is in progress;
+    /// errors on a mid-frame EOF or any real I/O failure.
+    pub fn read_frame(&mut self, stop: Option<&AtomicBool>) -> io::Result<Option<Vec<u8>>> {
+        let mut header = [0u8; 4];
+        if !self.fill(&mut header, stop, true)? {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes(header) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} exceeds the {MAX_FRAME_LEN}-byte bound"),
+            ));
+        }
+        let mut payload = vec![0u8; len];
+        self.fill(&mut payload, None, false)?;
+        Ok(Some(payload))
+    }
+
+    /// Write one frame (header + payload) under the write timeout.
+    pub fn write_frame(&mut self, payload: &[u8]) -> io::Result<()> {
+        if payload.len() > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "frame length {} exceeds the {MAX_FRAME_LEN}-byte bound",
+                    payload.len()
+                ),
+            ));
+        }
+        // One write for header + payload: a split write would put the
+        // payload in a second TCP segment that (under Nagle) waits on the
+        // peer's delayed ACK of the first.
+        let mut frame = Vec::with_capacity(4 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(payload);
+        self.stream.write_all(&frame)?;
+        self.stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (FramedConn, FramedConn) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || FramedConn::connect(&addr.to_string()).unwrap());
+        let (server, _) = listener.accept().unwrap();
+        (FramedConn::new(server).unwrap(), client.join().unwrap())
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let (mut server, mut client) = pair();
+        client.write_frame(b"hello").unwrap();
+        client.write_frame(b"").unwrap();
+        client.write_frame("βΘ".as_bytes()).unwrap();
+        assert_eq!(server.read_frame(None).unwrap().unwrap(), b"hello");
+        assert_eq!(server.read_frame(None).unwrap().unwrap(), b"");
+        assert_eq!(server.read_frame(None).unwrap().unwrap(), "βΘ".as_bytes());
+    }
+
+    #[test]
+    fn clean_close_reads_as_none() {
+        let (mut server, client) = pair();
+        drop(client);
+        assert!(server.read_frame(None).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_without_allocation() {
+        let (mut server, mut client) = pair();
+        // A raw header claiming 2^31 bytes.
+        client
+            .stream
+            .write_all(&(1u32 << 31).to_be_bytes())
+            .unwrap();
+        let err = server.read_frame(None).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn stop_flag_interrupts_an_idle_read() {
+        let (mut server, _client) = pair();
+        server
+            .set_poll_interval(Some(Duration::from_millis(5)))
+            .unwrap();
+        let stop = AtomicBool::new(true); // pre-raised: first poll sees it
+        assert!(server.read_frame(Some(&stop)).unwrap().is_none());
+    }
+
+    #[test]
+    fn mid_frame_close_is_an_error_not_a_truncation() {
+        let (mut server, mut client) = pair();
+        client.stream.write_all(&8u32.to_be_bytes()).unwrap();
+        client.stream.write_all(b"only4").unwrap();
+        drop(client);
+        let err = server.read_frame(None).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

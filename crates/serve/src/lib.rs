@@ -1,0 +1,54 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! # fcn-serve
+//!
+//! The long-lived emulation service behind `fcnemu serve`: a daemon that
+//! amortizes process startup, net compilation, and plan-cache warmup across
+//! requests instead of paying them per invocation.
+//!
+//! The crate is deliberately split from `fcn-cli`: this crate owns the
+//! *mechanism* (framed protocol, admission control, deadlines, the warm
+//! [`Registry`] of compiled nets, arrival-ordered telemetry merging) and
+//! exposes a [`Handler`] trait for the *policy* — `fcn-cli` implements the
+//! trait by dispatching request kinds into its existing subcommand bodies,
+//! which is what makes daemon responses byte-identical to inline `fcnemu`
+//! output by construction.
+//!
+//! ## Protocol
+//!
+//! One TCP connection carries a sequence of length-prefixed JSON frames
+//! (big-endian `u32` byte length, then that many bytes of UTF-8 JSON).
+//! Requests and responses are tagged [`proto::SERVE_SCHEMA`] (`fcn-serve/1`);
+//! every response echoes the request `id` and carries a typed
+//! [`proto::ServeError`] on failure — a connection is never dropped without
+//! a framed reply to every frame it delivered.
+//!
+//! ## Invariants
+//!
+//! * **Admission**: at most `max_inflight` requests execute at once; the
+//!   gate rejects the excess with a framed `Overloaded` error before any
+//!   work runs ([`AdmissionGate`]).
+//! * **Deadlines**: a request's `deadline_ms` arms an [`fcn_exec::Watchdog`]
+//!   whose token is threaded into the routing engines; expiry surfaces as a
+//!   framed `Cancelled` error with partial accounting, never a hung socket.
+//! * **Drain**: when the shutdown flag rises (SIGTERM in the CLI), the
+//!   listener stops accepting, in-flight requests finish and reply, and
+//!   frames that arrive during the drain get a framed `Shutdown` error.
+//! * **Telemetry**: each request's metrics are captured in a thread-local
+//!   shard and merged into the server's registry in *request-arrival*
+//!   order, so a `metrics` request renders the same bytes regardless of
+//!   which worker finished first.
+
+pub mod admission;
+pub mod client;
+pub mod io;
+pub mod proto;
+pub mod registry;
+pub mod server;
+
+pub use admission::{AdmissionGate, Permit};
+pub use client::{Client, ClientError};
+pub use io::FramedConn;
+pub use proto::{ErrorKind, Request, Response, ServeError, SERVE_SCHEMA};
+pub use registry::{Registry, RegistryEntry};
+pub use server::{Handler, HandlerOutcome, Server, ServerConfig};

@@ -1,0 +1,205 @@
+//! Wire types for the `fcn-serve/1` protocol.
+//!
+//! Frames are JSON objects; [`SERVE_SCHEMA`] is stamped on every request
+//! and response so a client can never silently talk to a server speaking a
+//! different field semantics (the same discipline the BENCH validators
+//! enforce on committed JSONL files).
+
+use serde::{Deserialize, Serialize};
+
+/// Schema tag stamped on every request and response frame.
+pub const SERVE_SCHEMA: &str = "fcn-serve/1";
+
+/// Typed failure category carried by an error response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// The frame was not a valid `fcn-serve/1` request.
+    BadRequest,
+    /// The admission gate was full; retry later.
+    Overloaded,
+    /// The request's deadline expired; the message carries partial
+    /// accounting of the work done before the abort.
+    Cancelled,
+    /// The handler failed internally (panic or unexpected state).
+    Internal,
+    /// The server is draining and no longer accepts new requests.
+    Shutdown,
+}
+
+/// A typed, framed failure: the category plus a human-readable message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeError {
+    /// Failure category.
+    pub kind: ErrorKind,
+    /// Human-readable detail (partial accounting for `Cancelled`).
+    pub message: String,
+}
+
+/// One request frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Always [`SERVE_SCHEMA`]; a mismatch is a `BadRequest`.
+    pub schema: String,
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: u64,
+    /// Request kind: `beta`, `audit`, `faults`, `metrics`, or `ping`.
+    pub kind: String,
+    /// Argument vector for the kind, exactly as the inline `fcnemu`
+    /// subcommand would receive it (e.g. `["mesh2", "64", "--trials", "2"]`).
+    pub args: Vec<String>,
+    /// Per-request deadline in milliseconds (`null`/0 = the server default).
+    pub deadline_ms: Option<u64>,
+}
+
+impl Request {
+    /// A request with the schema stamped and no deadline override.
+    pub fn new(id: u64, kind: &str, args: &[&str]) -> Request {
+        Request {
+            schema: SERVE_SCHEMA.to_string(),
+            id,
+            kind: kind.to_string(),
+            args: args.iter().map(|s| s.to_string()).collect(),
+            deadline_ms: None,
+        }
+    }
+
+    /// Serialize to a JSON frame body.
+    pub fn encode(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|e| {
+            // The shim serializer is infallible for derived types; keep a
+            // framed escape hatch instead of a panic in library code.
+            format!("{{\"schema\":\"{SERVE_SCHEMA}\",\"encode_error\":\"{e}\"}}")
+        })
+    }
+
+    /// Parse a JSON frame body.
+    pub fn decode(body: &str) -> Result<Request, String> {
+        let req: Request = serde_json::from_str(body).map_err(|e| e.to_string())?;
+        if req.schema != SERVE_SCHEMA {
+            return Err(format!(
+                "schema {:?} does not match this server's {SERVE_SCHEMA:?}",
+                req.schema
+            ));
+        }
+        Ok(req)
+    }
+}
+
+/// One response frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Always [`SERVE_SCHEMA`].
+    pub schema: String,
+    /// The request id this frame answers (0 when the request was so
+    /// malformed its id could not be parsed).
+    pub id: u64,
+    /// `true` iff the request ran to completion.
+    pub ok: bool,
+    /// Process exit code the inline `fcnemu` invocation would have
+    /// returned (0 on success).
+    pub exit_code: i32,
+    /// Captured stdout of the subcommand body, byte-identical to the
+    /// inline `fcnemu` invocation for the same request.
+    pub output: String,
+    /// The typed failure, present iff `ok` is `false`.
+    pub error: Option<ServeError>,
+}
+
+impl Response {
+    /// A successful response wrapping captured subcommand output.
+    pub fn success(id: u64, exit_code: i32, output: String) -> Response {
+        Response {
+            schema: SERVE_SCHEMA.to_string(),
+            id,
+            ok: true,
+            exit_code,
+            output,
+            error: None,
+        }
+    }
+
+    /// A framed failure.
+    pub fn failure(id: u64, kind: ErrorKind, message: impl Into<String>) -> Response {
+        Response {
+            schema: SERVE_SCHEMA.to_string(),
+            id,
+            ok: false,
+            exit_code: 1,
+            output: String::new(),
+            error: Some(ServeError {
+                kind,
+                message: message.into(),
+            }),
+        }
+    }
+
+    /// Serialize to a JSON frame body.
+    pub fn encode(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|e| {
+            format!("{{\"schema\":\"{SERVE_SCHEMA}\",\"encode_error\":\"{e}\"}}")
+        })
+    }
+
+    /// Parse a JSON frame body.
+    pub fn decode(body: &str) -> Result<Response, String> {
+        let resp: Response = serde_json::from_str(body).map_err(|e| e.to_string())?;
+        if resp.schema != SERVE_SCHEMA {
+            return Err(format!(
+                "schema {:?} does not match this client's {SERVE_SCHEMA:?}",
+                resp.schema
+            ));
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_exactly() {
+        let mut req = Request::new(7, "beta", &["mesh2", "64", "--trials", "2"]);
+        req.deadline_ms = Some(1500);
+        let back = Request::decode(&req.encode()).unwrap();
+        assert_eq!(back, req);
+        // None deadline round-trips too (serialized as null).
+        let req = Request::new(8, "ping", &[]);
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn response_roundtrips_exactly() {
+        let ok = Response::success(3, 0, "machine : mesh2 β̂ 4.2\n".to_string());
+        assert_eq!(Response::decode(&ok.encode()).unwrap(), ok);
+        let err = Response::failure(4, ErrorKind::Overloaded, "9 in flight");
+        let back = Response::decode(&err.encode()).unwrap();
+        assert_eq!(back, err);
+        assert_eq!(back.error.unwrap().kind, ErrorKind::Overloaded);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let mut req = Request::new(1, "ping", &[]);
+        req.schema = "fcn-serve/0".to_string();
+        let err = Request::decode(&req.encode()).unwrap_err();
+        assert!(err.contains("fcn-serve/0"), "{err}");
+        assert!(err.contains(SERVE_SCHEMA), "{err}");
+        assert!(Response::decode("{\"schema\":\"nope\"}").is_err());
+    }
+
+    #[test]
+    fn garbage_is_a_decode_error_not_a_panic() {
+        assert!(Request::decode("not json").is_err());
+        assert!(Request::decode("{\"id\":1}").is_err());
+    }
+
+    #[test]
+    fn output_with_unicode_survives_the_wire() {
+        // The report bodies contain β/Θ/α glyphs; the frame must preserve
+        // them bit-exactly for the differential byte pin.
+        let text = "measured β̂    : 4.233 (mean 4.100)\nanalytic Θ    : Θ(√n)\n";
+        let r = Response::success(1, 0, text.to_string());
+        assert_eq!(Response::decode(&r.encode()).unwrap().output, text);
+    }
+}

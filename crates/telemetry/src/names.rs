@@ -146,6 +146,27 @@ pub const DEGRADED_ABORTED_CELLS_TOTAL: &str = "degraded_aborted_cells_total";
 /// Ticks consumed by degraded cells.
 pub const DEGRADED_CELL_TICKS_TOTAL: &str = "degraded_cell_ticks_total";
 
+// --- emulation service --------------------------------------------------
+
+/// Requests accepted by the service's admission gate.
+pub const SERVE_REQUESTS_TOTAL: &str = "serve_requests_total";
+/// Requests rejected with a framed `Overloaded` error.
+pub const SERVE_OVERLOADED_TOTAL: &str = "serve_overloaded_total";
+/// Requests aborted by their per-request deadline.
+pub const SERVE_DEADLINE_CANCELLED_TOTAL: &str = "serve_deadline_cancelled_total";
+/// Requests that returned a framed error of any kind.
+pub const SERVE_ERRORS_TOTAL: &str = "serve_errors_total";
+/// Compiled nets resident in the service registry (gauge).
+pub const SERVE_REGISTRY_NETS: &str = "serve_registry_nets";
+/// Requests served from an already-compiled registry net.
+pub const SERVE_REGISTRY_HITS_TOTAL: &str = "serve_registry_hits_total";
+/// Requests that compiled a net into the registry.
+pub const SERVE_REGISTRY_MISSES_TOTAL: &str = "serve_registry_misses_total";
+/// Connections accepted by the listener.
+pub const SERVE_CONNECTIONS_TOTAL: &str = "serve_connections_total";
+/// Requests still in flight when a drain began (gauge).
+pub const SERVE_DRAIN_INFLIGHT: &str = "serve_drain_inflight";
+
 /// Every name above, for exhaustive tests (uniqueness, conventions).
 pub const ALL: &[&str] = &[
     EXEC_RUNS_TOTAL,
@@ -205,6 +226,15 @@ pub const ALL: &[&str] = &[
     DEGRADED_REPLANS_TOTAL,
     DEGRADED_ABORTED_CELLS_TOTAL,
     DEGRADED_CELL_TICKS_TOTAL,
+    SERVE_REQUESTS_TOTAL,
+    SERVE_OVERLOADED_TOTAL,
+    SERVE_DEADLINE_CANCELLED_TOTAL,
+    SERVE_ERRORS_TOTAL,
+    SERVE_REGISTRY_NETS,
+    SERVE_REGISTRY_HITS_TOTAL,
+    SERVE_REGISTRY_MISSES_TOTAL,
+    SERVE_CONNECTIONS_TOTAL,
+    SERVE_DRAIN_INFLIGHT,
 ];
 
 #[cfg(test)]

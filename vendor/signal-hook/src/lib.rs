@@ -1,0 +1,115 @@
+//! Workspace-local shim for the subset of the `signal-hook` crate API this
+//! repository uses: registering an `AtomicBool` that flips to `true` when a
+//! POSIX signal arrives (`signal_hook::flag::register`).
+//!
+//! The real crate supports handler chaining, iterator APIs, and exotic
+//! platforms; the daemon in `crates/serve` only needs "set a flag on
+//! SIGTERM/SIGINT so the accept loop can drain". The handler installed here
+//! does the only thing that is async-signal-safe: a relaxed atomic store
+//! into a process-global slot table. Each registered flag is intentionally
+//! leaked (one `Arc` clone per registration) so the pointer stored in the
+//! slot table can never dangle, no matter when the signal fires.
+
+use std::io;
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::sync::Arc;
+
+/// Signal numbers for the platforms this workspace targets (Linux).
+pub mod consts {
+    /// Termination request (`kill <pid>` default).
+    pub const SIGTERM: i32 = 15;
+    /// Interactive interrupt (Ctrl-C).
+    pub const SIGINT: i32 = 2;
+}
+
+/// Highest signal number the slot table accepts. Linux real-time signals
+/// stop at 64; the daemon only registers SIGTERM/SIGINT anyway.
+const MAX_SIGNAL: usize = 64;
+
+static SLOTS: [AtomicPtr<AtomicBool>; MAX_SIGNAL] =
+    [const { AtomicPtr::new(ptr::null_mut()) }; MAX_SIGNAL];
+
+extern "C" {
+    /// POSIX `signal(2)`. `usize` stands in for the handler function
+    /// pointer / `SIG_ERR` sentinel so the declaration needs no libc types.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+const SIG_ERR: usize = usize::MAX;
+
+extern "C" fn flag_handler(signum: i32) {
+    if (signum as usize) < MAX_SIGNAL {
+        let p = SLOTS[signum as usize].load(Ordering::Acquire);
+        if !p.is_null() {
+            // SAFETY: the pointer was produced by Arc::into_raw in
+            // `flag::register` and the Arc is never reclaimed, so the
+            // allocation outlives the process.
+            unsafe { (*p).store(true, Ordering::Release) };
+        }
+    }
+}
+
+/// The `signal_hook::flag` module: signal-to-`AtomicBool` bridging.
+pub mod flag {
+    use super::*;
+
+    /// Install a handler for `signum` that sets `flag` to `true` when the
+    /// signal is delivered. Later registrations for the same signal replace
+    /// the flag observed by the handler. Returns an error for out-of-range
+    /// signal numbers or if the kernel rejects the handler.
+    pub fn register(signum: i32, flag: Arc<AtomicBool>) -> io::Result<()> {
+        if signum <= 0 || signum as usize >= MAX_SIGNAL {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("signal {signum} out of range"),
+            ));
+        }
+        // Leak one strong count so the handler-visible pointer stays valid
+        // for the life of the process (signals can arrive at any time).
+        let raw = Arc::into_raw(flag) as *mut AtomicBool;
+        let prev = SLOTS[signum as usize].swap(raw, Ordering::AcqRel);
+        // A replaced registration's Arc stays leaked on purpose: the old
+        // pointer may still be observed by a handler running concurrently.
+        let _ = prev;
+        // SAFETY: installing an `extern "C"` fn as a signal handler is the
+        // documented contract of signal(2); the handler body is
+        // async-signal-safe (single atomic store).
+        let rc = unsafe { signal(signum, flag_handler as *const () as usize) };
+        if rc == SIG_ERR {
+            return Err(io::Error::other(format!(
+                "signal({signum}) rejected by the kernel"
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_rejects_out_of_range() {
+        assert!(flag::register(0, Arc::new(AtomicBool::new(false))).is_err());
+        assert!(flag::register(-3, Arc::new(AtomicBool::new(false))).is_err());
+        assert!(flag::register(9999, Arc::new(AtomicBool::new(false))).is_err());
+    }
+
+    #[test]
+    fn raised_signal_sets_flag() {
+        let flag = Arc::new(AtomicBool::new(false));
+        flag::register(consts::SIGTERM, flag.clone()).unwrap();
+        assert!(!flag.load(Ordering::SeqCst));
+        // Deliver SIGTERM to ourselves; the handler must set the flag
+        // instead of killing the test process.
+        // SAFETY: raise(3) is async-signal-safe and the handler installed
+        // above replaces the default terminate action.
+        extern "C" {
+            fn raise(signum: i32) -> i32;
+        }
+        let rc = unsafe { raise(consts::SIGTERM) };
+        assert_eq!(rc, 0);
+        assert!(flag.load(Ordering::SeqCst));
+    }
+}
