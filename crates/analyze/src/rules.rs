@@ -1,4 +1,4 @@
-//! The rule set: nine token-level invariant checks.
+//! The rule set: ten token-level invariant checks.
 //!
 //! | id | invariant it pins |
 //! |----|-------------------|
@@ -11,6 +11,7 @@
 //! | `ATOMIC-DOC` | every atomic `Ordering::` carries a justification |
 //! | `SHARD-MERGE`| cross-shard buffers drain only through the merge helper |
 //! | `SERVE-DEADLINE` | service-crate sockets speak only through the framed I/O layer |
+//! | `CHAOS-SEED` | wire-fault injection lives only in the seeded ChaosPlan path |
 //!
 //! Rules run over the scrubbed planes of [`SourceFile`]; matches inside
 //! strings, comments, and `#[cfg(test)]` regions never fire (except where a
@@ -81,6 +82,12 @@ pub const RULES: &[(&str, &str)] = &[
          every other path must go through FramedConn so no request can outlive its \
          deadline or wedge a drain on a stalled peer",
     ),
+    (
+        "CHAOS-SEED",
+        "fault injection in fcn-serve is handled only by the seeded ChaosPlan path \
+         (chaos.rs deciding, io.rs applying): a ChaosAction constructed or matched \
+         anywhere else is an injection site the differential pin cannot replay",
+    ),
 ];
 
 /// The one file allowed to touch a boundary `Outbox`'s message buffer
@@ -90,6 +97,10 @@ pub const SHARD_MERGE_ALLOWLIST: &[&str] = &["crates/routing/src/boundary.rs"];
 /// The one file in fcn-serve allowed to call raw socket reads/writes: the
 /// deadline-wrapping framed I/O layer itself.
 pub const SERVE_IO_ALLOWLIST: &[&str] = &["crates/serve/src/io.rs"];
+
+/// The two files that make up the seeded wire-chaos path: the plan that
+/// decides each fault and the framed I/O layer that applies it.
+pub const CHAOS_SEED_ALLOWLIST: &[&str] = &["crates/serve/src/chaos.rs", "crates/serve/src/io.rs"];
 
 /// True if `id` names a known rule.
 pub fn known_rule(id: &str) -> bool {
@@ -509,6 +520,44 @@ fn serve_deadline(sf: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// CHAOS-SEED: chaos actions handled outside the seeded plan path. The
+/// differential chaos pin (retrying client vs chaos daemon is byte-identical
+/// to a clean run) holds because every injected fault is a pure function of
+/// (seed, rates, connection, frame) — decided in `chaos.rs`, applied in
+/// `io.rs`, nowhere else. Any other site constructing or matching a
+/// `ChaosAction` is an ad-hoc injection point the plan cannot account for,
+/// which silently unpins the replay. Imports/re-exports don't inject and
+/// are exempt.
+fn chaos_seed(sf: &SourceFile, out: &mut Vec<Finding>) {
+    if sf.kind != FileKind::Lib || sf.crate_name != "serve" {
+        return;
+    }
+    if CHAOS_SEED_ALLOWLIST.contains(&sf.path.as_str()) {
+        return;
+    }
+    for (i, line) in sf.lines.iter().enumerate() {
+        let ln = i + 1;
+        if sf.is_test_line(ln) {
+            continue;
+        }
+        let code = line.code.trim_start();
+        if code.starts_with("use ") || code.starts_with("pub use ") {
+            continue;
+        }
+        if !token_hits(&line.code, "ChaosAction").is_empty() {
+            out.push(finding(
+                sf,
+                ln,
+                "CHAOS-SEED",
+                "`ChaosAction` handled outside the seeded chaos path (chaos.rs / \
+                 io.rs): route all fault injection through ChaosPlan so the \
+                 differential replay pin stays sound"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
 /// Run every per-file rule over `sf`.
 pub fn check_file(sf: &SourceFile) -> Vec<Finding> {
     let mut out = Vec::new();
@@ -521,6 +570,7 @@ pub fn check_file(sf: &SourceFile) -> Vec<Finding> {
     atomic_doc(sf, &mut out);
     shard_merge(sf, &mut out);
     serve_deadline(sf, &mut out);
+    chaos_seed(sf, &mut out);
     out
 }
 

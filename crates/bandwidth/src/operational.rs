@@ -433,6 +433,83 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_partial_accounting_never_exceeds_the_clean_run() {
+        // Property over seeded cancellation timings: however the abort
+        // races the grid, the partial accounting must stay within the
+        // clean (uncancelled) run's totals — an abort can only ever do
+        // *less* work, and must never invent cells or ticks.
+        let m = Machine::mesh(2, 8);
+        let t = m.symmetric_traffic();
+        let est = quick();
+        let clean = est
+            .try_estimate_compiled(
+                &m,
+                &CompiledNet::shared(&m),
+                &t,
+                &PlanCache::default(),
+                None,
+            )
+            .expect("clean run completes");
+        let clean_cells = clean.samples.iter().filter(|s| s.completed).count();
+        let clean_ticks: u64 = clean.samples.iter().map(|s| s.ticks).sum();
+        for seed in 0..24u64 {
+            // Seeded delay in spin iterations: seed 0 is the deterministic
+            // pre-cancelled boundary, later seeds race mid-grid.
+            let spins = if seed == 0 {
+                0
+            } else {
+                fcn_exec::job_seed(0xab07, seed) % 300_000
+            };
+            let flag = AtomicBool::new(spins == 0);
+            let outcome = std::thread::scope(|scope| {
+                if spins > 0 {
+                    scope.spawn(|| {
+                        for _ in 0..spins {
+                            std::hint::spin_loop();
+                        }
+                        // ordering: monotone stop hint; see the estimator.
+                        flag.store(true, Ordering::Relaxed);
+                    });
+                }
+                est.try_estimate_compiled(
+                    &m,
+                    &CompiledNet::shared(&m),
+                    &t,
+                    &PlanCache::default(),
+                    Some(&flag),
+                )
+            });
+            match outcome {
+                // Cancelled mid-grid: partials bounded by the clean totals.
+                Err(err) => {
+                    assert!(err.cancelled, "seed {seed}: only the flag may abort");
+                    assert_eq!(err.cells_total, 4, "seed {seed}");
+                    assert!(
+                        err.cells_completed <= err.cells_total,
+                        "seed {seed}: {}/{} cells",
+                        err.cells_completed,
+                        err.cells_total
+                    );
+                    assert!(
+                        err.cells_completed <= clean_cells,
+                        "seed {seed}: more completed cells than the clean run"
+                    );
+                    assert!(
+                        err.ticks_spent <= clean_ticks,
+                        "seed {seed}: {} ticks exceeds the clean run's {clean_ticks}",
+                        err.ticks_spent
+                    );
+                }
+                // The flag landed after the grid: bit-identical clean run.
+                Ok(late) => {
+                    assert_eq!(late.rate, clean.rate, "seed {seed}");
+                    assert_eq!(late.samples, clean.samples, "seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn budget_exhaustion_reports_uncancelled_abort() {
         let m = Machine::mesh(2, 8);
         let t = m.symmetric_traffic();

@@ -19,8 +19,8 @@ use serde::Serialize;
 pub mod validate;
 
 pub use validate::{
-    merge_bench_rows, validate_bench_rows, validate_rows, FAULTS_SCHEMA, PERFBENCH_SCHEMA,
-    SERVE_SCHEMA,
+    merge_bench_rows, validate_bench_rows, validate_rows, validate_serve_rows, FAULTS_SCHEMA,
+    PERFBENCH_SCHEMA, SERVE_SCHEMA,
 };
 
 /// Scale of a reproduction run, from the command line (`--quick` /

@@ -30,7 +30,40 @@ pub const FAULTS_SCHEMA: &str = "fcn-faults-curve/1";
 /// Schema tag stamped on every `fcn-serve-load` row (the committed
 /// `BENCH_serve.json` throughput/latency trajectory, including the
 /// cold-vs-warm comparison row).
-pub const SERVE_SCHEMA: &str = "fcn-serve-curve/1";
+///
+/// History: `fcn-serve-curve/1` rows measured only the clean closed-loop
+/// curve. Version 2 adds three resilience columns to every row —
+/// `chaos_rate` (the uniform wire-fault rate the daemon injected, 0 for
+/// clean rows), `offered_load` (offered-to-capacity ratio of the open-loop
+/// shed rows, 0 for closed-loop rows), and `shed_fraction` (requests shed
+/// typed `Overloaded` as a fraction of requests offered) — enforced by
+/// [`validate_serve_rows`].
+pub const SERVE_SCHEMA: &str = "fcn-serve-curve/2";
+
+/// Parse and validate an existing `BENCH_serve.json` body before merging
+/// new rows into it: the generic [`validate_rows`] checks plus the `/2`
+/// resilience columns (`chaos_rate`, `offered_load`, `shed_fraction`),
+/// each required and numeric, reported with the offending row's bench id.
+pub fn validate_serve_rows(body: &str) -> Result<Vec<(String, String)>, String> {
+    let rows = validate_rows(body, SERVE_SCHEMA)?;
+    for (bench, line) in &rows {
+        let v: serde::Value = serde_json::from_str(line)
+            .map_err(|e| format!("serve row {bench:?}: not valid JSON: {e}"))?;
+        for field in ["chaos_rate", "offered_load", "shed_fraction"] {
+            match serde::value_field(&v, field) {
+                Ok(serde::Value::Int(_) | serde::Value::UInt(_) | serde::Value::Float(_)) => {}
+                _ => {
+                    return Err(format!(
+                        "serve row {bench:?}: missing or non-numeric `{field}` field \
+                         (required by {SERVE_SCHEMA}); delete the file and re-run \
+                         fcn-serve-load to regenerate"
+                    ))
+                }
+            }
+        }
+    }
+    Ok(rows)
+}
 
 /// Parse and validate an existing `BENCH_router.json` body before merging
 /// new rows into it.
@@ -184,6 +217,34 @@ mod tests {
         assert_eq!(validate_rows(&body, SERVE_SCHEMA).unwrap().len(), 1);
         let err = validate_rows(&body, FAULTS_SCHEMA).unwrap_err();
         assert!(err.contains(SERVE_SCHEMA), "{err}");
+    }
+
+    #[test]
+    fn validate_serve_rows_requires_the_v2_resilience_columns() {
+        let good = format!(
+            "{{\"schema\":\"{SERVE_SCHEMA}\",\"bench\":\"mix@c4\",\"chaos_rate\":0.0,\
+             \"offered_load\":0,\"shed_fraction\":0.25}}\n"
+        );
+        assert_eq!(validate_serve_rows(&good).unwrap().len(), 1);
+        // A /1-era row (no resilience columns) is rejected by name.
+        let stale = format!("{{\"schema\":\"{SERVE_SCHEMA}\",\"bench\":\"mix@c4\"}}\n");
+        let err = validate_serve_rows(&stale).unwrap_err();
+        assert!(err.contains("`chaos_rate`"), "{err}");
+        assert!(err.contains("mix@c4"), "{err}");
+        assert!(err.contains("fcn-serve-load"), "{err}");
+        // Non-numeric columns are rejected too.
+        let bad = format!(
+            "{{\"schema\":\"{SERVE_SCHEMA}\",\"bench\":\"x\",\"chaos_rate\":0,\
+             \"offered_load\":\"4x\",\"shed_fraction\":0}}\n"
+        );
+        let err = validate_serve_rows(&bad).unwrap_err();
+        assert!(err.contains("`offered_load`"), "{err}");
+        // And the old schema tag itself fails the generic layer with a line
+        // number (regeneration hint included).
+        let v1 = "{\"schema\":\"fcn-serve-curve/1\",\"bench\":\"mix@c4\"}\n";
+        let err = validate_serve_rows(v1).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(err.contains("fcn-serve-curve/1"), "{err}");
     }
 
     #[test]

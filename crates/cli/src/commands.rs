@@ -83,8 +83,8 @@ USAGE:
   fcnemu table   <1|2|3> [--size N]
   fcnemu fig1    <guest-family> <host-family> [--n N]
   fcnemu metrics <snapshot.jsonl> [--format table|prom|jsonl]
-  fcnemu serve   [--addr H:P] [--max-inflight N] [--deadline-ms N] [--poll-ms N]
-  fcnemu request <addr> <kind> [--deadline-ms N] [-- <forwarded args>]
+  fcnemu serve   [--addr H:P] [--max-inflight N] [--max-queued N] [--queue-wait-ms N] [--deadline-ms N] [--poll-ms N] [--chaos-seed N] [--chaos-rates R|Rr,Rs,Rt,Rc] [--chaos-stall-ms N]
+  fcnemu request <addr> <kind> [--deadline-ms N] [--retries N] [--retry-seed N] [-- <forwarded args>]
   fcnemu help
 
 Every subcommand also accepts --metrics-out <path>: run with telemetry

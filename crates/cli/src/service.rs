@@ -11,7 +11,10 @@ use std::io::Write;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
-use fcn_serve::{Client, Handler, HandlerOutcome, Registry, Request, Server, ServerConfig};
+use fcn_serve::{
+    ChaosRates, ChaosSpec, Client, Handler, HandlerOutcome, Registry, Request, RetryPolicy, Server,
+    ServerConfig,
+};
 
 use crate::args::{Args, ParseError};
 use crate::commands::{self, CmdError};
@@ -104,7 +107,7 @@ impl Handler for CliHandler {
             other => HandlerOutcome::Failed {
                 kind: fcn_serve::ErrorKind::BadRequest,
                 message: format!(
-                    "unsupported request kind {other:?} (expected beta, audit, faults, metrics, or ping)"
+                    "unsupported request kind {other:?} (expected beta, audit, faults, metrics, health, or ping)"
                 ),
             },
         }
@@ -120,9 +123,27 @@ pub(crate) fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<CmdResult, P
         .cloned()
         .unwrap_or_else(|| "127.0.0.1:0".into());
     let max_inflight = args.flag("max-inflight", 8usize)?;
+    let max_queued = args.flag("max-queued", 16usize)?;
+    let queue_wait_ms = args.flag("queue-wait-ms", 250u64)?;
     let default_deadline_ms = args.flag("deadline-ms", 0u64)?;
     let poll_interval_ms = args.flag("poll-ms", 20u64)?;
+    let chaos_seed = args.flag("chaos-seed", 0u64)?;
+    let chaos_stall_ms = args.flag("chaos-stall-ms", 5u64)?;
+    let chaos_rates = args.flags.get("chaos-rates").cloned();
     Ok((|| -> CmdResult {
+        // Wire chaos is opt-in: injection happens only when a rates flag
+        // names a nonzero rate, and then only through the seeded plan.
+        let chaos = match chaos_rates {
+            Some(spec) => {
+                let rates = ChaosRates::parse(&spec).map_err(CmdError::Run)?;
+                (!rates.is_zero()).then(|| {
+                    let mut spec = ChaosSpec::new(chaos_seed, rates);
+                    spec.max_stall_ms = chaos_stall_ms;
+                    spec
+                })
+            }
+            None => None,
+        };
         // The routing/bandwidth instrumentation gates on the global
         // registry; the daemon always serves with it enabled so `metrics`
         // requests have per-request counters to render.
@@ -130,8 +151,11 @@ pub(crate) fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<CmdResult, P
         let config = ServerConfig {
             addr: addr.clone(),
             max_inflight,
+            max_queued,
+            queue_wait_ms,
             default_deadline_ms,
             poll_interval_ms,
+            chaos,
         };
         let server = Server::bind(config, CliHandler::new())
             .map_err(|e| CmdError::Io(format!("cannot bind {addr:?}: {e}")))?;
@@ -161,9 +185,18 @@ pub(crate) fn cmd_request(args: &Args, out: &mut dyn Write) -> Result<CmdResult,
     let addr = args.pos(0, "addr")?.to_string();
     let kind = args.pos(1, "kind")?.to_string();
     let deadline_ms = args.flag("deadline-ms", 0u64)?;
+    let retries = args.flag("retries", 1u32)?;
+    let retry_seed = args.flag("retry-seed", 0u64)?;
     Ok((|| -> CmdResult {
-        let mut client = Client::connect(&addr)
-            .map_err(|e| CmdError::Io(format!("cannot connect to {addr:?}: {e}")))?;
+        // --retries > 1 opts into the resilient client: reconnect + seeded
+        // backoff on transport failures and Overloaded sheds, with
+        // idempotency keys so completed-but-lost replies replay exactly.
+        let mut client = if retries > 1 {
+            Client::connect_retrying(&addr, RetryPolicy::fast(retries, retry_seed))
+        } else {
+            Client::connect(&addr)
+        }
+        .map_err(|e| CmdError::Io(format!("cannot connect to {addr:?}: {e}")))?;
         let mut req = Request::new(0, &kind, &[]);
         req.args = args.rest.clone();
         req.deadline_ms = (deadline_ms > 0).then_some(deadline_ms);

@@ -64,6 +64,29 @@ pub fn retry_seed(base_seed: u64, job_index: u64, attempt: u32) -> u64 {
     }
 }
 
+/// Deterministic exponential backoff with decorrelated jitter, milliseconds.
+///
+/// The delay before retry `attempt` (1 = first retry; 0 returns 0 — the
+/// first *attempt* waits for nothing) of logical request `index` is drawn
+/// uniformly from `[base_ms, window]` where `window = min(cap_ms,
+/// base_ms << (attempt - 1))` doubles per attempt. The draw comes from
+/// [`retry_seed`]`(seed, index, attempt)`, so the whole schedule is a pure
+/// function of `(seed, index, attempt)` — byte-identical at any client
+/// concurrency — yet decorrelated across requests and attempts (no
+/// thundering herd of synchronized retries).
+#[inline]
+pub fn backoff_ms(seed: u64, index: u64, attempt: u32, base_ms: u64, cap_ms: u64) -> u64 {
+    if attempt == 0 {
+        return 0;
+    }
+    let base = base_ms.max(1);
+    let cap = cap_ms.max(base);
+    let doubling = 1u64 << (attempt - 1).min(32);
+    let window = base.saturating_mul(doubling).min(cap);
+    let span = window - base; // window ≥ base by construction
+    base + retry_seed(seed, index, attempt) % (span + 1)
+}
+
 /// Lock a mutex, recovering from poison: a panicking *job* must not turn
 /// into a cascading double-panic in the pool's bookkeeping. The data under
 /// these locks is per-slot (each job writes only its own index), so a
@@ -940,5 +963,62 @@ mod tests {
         // The flag view is shared with clones.
         token.cancel();
         assert!(token.flag().load(Ordering::Relaxed));
+    }
+
+    #[test]
+    // The boundary check measures wall time on purpose (sanctioned site).
+    #[allow(clippy::disallowed_methods)]
+    fn watchdog_fires_at_the_zero_deadline_boundary() {
+        // A zero deadline is the degenerate boundary: already expired when
+        // armed. The watchdog must fire promptly, not wait for a first
+        // timeout tick or hang.
+        let dog = Watchdog::arm(Duration::ZERO);
+        let token = dog.token().clone();
+        let t0 = Instant::now();
+        while !token.is_cancelled() {
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "zero-deadline watchdog never fired"
+            );
+            std::thread::yield_now();
+        }
+        assert!(dog.fired());
+    }
+
+    #[test]
+    fn backoff_schedule_is_a_pure_function_of_its_inputs() {
+        for index in 0..8u64 {
+            for attempt in 0..6u32 {
+                let a = backoff_ms(0xdead, index, attempt, 10, 400);
+                let b = backoff_ms(0xdead, index, attempt, 10, 400);
+                assert_eq!(a, b, "index={index} attempt={attempt}");
+            }
+        }
+        // Distinct requests and attempts decorrelate: not every pair may
+        // differ (small windows collide), but across a spread of draws the
+        // schedule must not be constant.
+        let draws: std::collections::BTreeSet<u64> = (0..32u64)
+            .map(|i| backoff_ms(0xdead, i, 3, 10, 4000))
+            .collect();
+        assert!(draws.len() > 16, "jitter collapsed: {draws:?}");
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_window_doubles() {
+        for index in 0..64u64 {
+            assert_eq!(backoff_ms(7, index, 0, 10, 400), 0, "attempt 0 waits 0");
+            for attempt in 1..10u32 {
+                let d = backoff_ms(7, index, attempt, 10, 400);
+                let window = (10u64 << (attempt - 1)).min(400);
+                assert!(
+                    (10..=window).contains(&d),
+                    "index={index} attempt={attempt}: {d} outside [10, {window}]"
+                );
+            }
+        }
+        // Degenerate configs never panic or exceed their cap.
+        assert_eq!(backoff_ms(1, 0, 1, 0, 0), 1, "zero base clamps to 1 ms");
+        assert!(backoff_ms(1, 0, 63, u64::MAX / 2, u64::MAX) >= u64::MAX / 2);
+        assert_eq!(backoff_ms(1, 0, 40, 100, 100), 100, "cap pins the window");
     }
 }

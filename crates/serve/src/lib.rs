@@ -25,29 +25,46 @@
 //!
 //! ## Invariants
 //!
-//! * **Admission**: at most `max_inflight` requests execute at once; the
-//!   gate rejects the excess with a framed `Overloaded` error before any
-//!   work runs ([`AdmissionGate`]).
+//! * **Admission**: at most `max_inflight` heavy requests execute at once;
+//!   up to `max_queued` more wait in strict FIFO order for a bounded
+//!   `queue_wait_ms` (never past their own deadline), and everything beyond
+//!   that is shed with a framed `Overloaded{retry_after_ms}` before any
+//!   work runs ([`Admission`]). `ping`/`metrics`/`health` never queue
+//!   behind heavy work.
 //! * **Deadlines**: a request's `deadline_ms` arms an [`fcn_exec::Watchdog`]
 //!   whose token is threaded into the routing engines; expiry surfaces as a
 //!   framed `Cancelled` error with partial accounting, never a hung socket.
+//!   An explicit `deadline_ms: 0` is a `BadRequest`.
 //! * **Drain**: when the shutdown flag rises (SIGTERM in the CLI), the
 //!   listener stops accepting, in-flight requests finish and reply, and
 //!   frames that arrive during the drain get a framed `Shutdown` error.
 //! * **Telemetry**: each request's metrics are captured in a thread-local
 //!   shard and merged into the server's registry in *request-arrival*
 //!   order, so a `metrics` request renders the same bytes regardless of
-//!   which worker finished first.
+//!   which worker finished first. Connection, chaos, and replay counters
+//!   live *outside* the request-ordered registry, which is what keeps the
+//!   `metrics` render a pure function of the executed request sequence even
+//!   under chaos.
+//! * **Chaos**: wire faults are injected only by a seeded [`ChaosPlan`]
+//!   (a pure function of seed + rates) wrapped around a [`FramedConn`]'s
+//!   reply path, and only *after* the request executed — so a retrying
+//!   client recovers byte-identical payloads, with completed-but-lost
+//!   replies replayed from the idempotent reply cache instead of
+//!   re-running.
 
 pub mod admission;
+pub mod chaos;
 pub mod client;
 pub mod io;
 pub mod proto;
 pub mod registry;
 pub mod server;
 
-pub use admission::{AdmissionGate, Permit};
-pub use client::{Client, ClientError};
+pub use admission::{
+    class_of, Admission, AdmissionSnapshot, Admit, Class, Permit, Shed, ShedReason,
+};
+pub use chaos::{ChaosAction, ChaosPlan, ChaosRates, ChaosSpec, ChaosStats, ChaosStream};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use io::FramedConn;
 pub use proto::{ErrorKind, Request, Response, ServeError, SERVE_SCHEMA};
 pub use registry::{Registry, RegistryEntry};

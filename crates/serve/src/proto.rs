@@ -33,6 +33,9 @@ pub struct ServeError {
     pub kind: ErrorKind,
     /// Human-readable detail (partial accounting for `Cancelled`).
     pub message: String,
+    /// `Overloaded` only: how long the admission queue suggests waiting
+    /// before retrying, milliseconds. `null` for every other kind.
+    pub retry_after_ms: Option<u64>,
 }
 
 /// One request frame.
@@ -47,8 +50,17 @@ pub struct Request {
     /// Argument vector for the kind, exactly as the inline `fcnemu`
     /// subcommand would receive it (e.g. `["mesh2", "64", "--trials", "2"]`).
     pub args: Vec<String>,
-    /// Per-request deadline in milliseconds (`null`/0 = the server default).
+    /// Per-request deadline in milliseconds. `null` means the server
+    /// default; an explicit `0` is rejected as `BadRequest` (an
+    /// already-expired deadline is a client bug, not a request to skip the
+    /// watchdog).
     pub deadline_ms: Option<u64>,
+    /// Idempotency key for retrying clients. When present, the server
+    /// remembers the completed reply in a bounded cache keyed by this
+    /// value, so a retry of a request whose first attempt *did* complete
+    /// (the reply was lost on the wire) is answered from the cache instead
+    /// of executing twice. `null` opts out (single-attempt clients).
+    pub idem_key: Option<u64>,
 }
 
 impl Request {
@@ -60,6 +72,7 @@ impl Request {
             kind: kind.to_string(),
             args: args.iter().map(|s| s.to_string()).collect(),
             deadline_ms: None,
+            idem_key: None,
         }
     }
 
@@ -129,6 +142,24 @@ impl Response {
             error: Some(ServeError {
                 kind,
                 message: message.into(),
+                retry_after_ms: None,
+            }),
+        }
+    }
+
+    /// A framed `Overloaded` rejection carrying the admission queue's
+    /// retry-after hint.
+    pub fn overloaded(id: u64, message: impl Into<String>, retry_after_ms: u64) -> Response {
+        Response {
+            schema: SERVE_SCHEMA.to_string(),
+            id,
+            ok: false,
+            exit_code: 1,
+            output: String::new(),
+            error: Some(ServeError {
+                kind: ErrorKind::Overloaded,
+                message: message.into(),
+                retry_after_ms: Some(retry_after_ms),
             }),
         }
     }
@@ -161,9 +192,10 @@ mod tests {
     fn request_roundtrips_exactly() {
         let mut req = Request::new(7, "beta", &["mesh2", "64", "--trials", "2"]);
         req.deadline_ms = Some(1500);
+        req.idem_key = Some(0xfeed_beef);
         let back = Request::decode(&req.encode()).unwrap();
         assert_eq!(back, req);
-        // None deadline round-trips too (serialized as null).
+        // None deadline and idem_key round-trip too (serialized as null).
         let req = Request::new(8, "ping", &[]);
         assert_eq!(Request::decode(&req.encode()).unwrap(), req);
     }
@@ -176,6 +208,19 @@ mod tests {
         let back = Response::decode(&err.encode()).unwrap();
         assert_eq!(back, err);
         assert_eq!(back.error.unwrap().kind, ErrorKind::Overloaded);
+    }
+
+    #[test]
+    fn overloaded_carries_a_retry_after_hint() {
+        let resp = Response::overloaded(5, "queue full; retry later", 40);
+        let back = Response::decode(&resp.encode()).unwrap();
+        assert_eq!(back, resp);
+        let err = back.error.unwrap();
+        assert_eq!(err.kind, ErrorKind::Overloaded);
+        assert_eq!(err.retry_after_ms, Some(40));
+        // Plain failures carry no hint.
+        let plain = Response::failure(6, ErrorKind::Internal, "boom");
+        assert_eq!(plain.error.unwrap().retry_after_ms, None);
     }
 
     #[test]

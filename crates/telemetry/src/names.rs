@@ -166,6 +166,29 @@ pub const SERVE_REGISTRY_MISSES_TOTAL: &str = "serve_registry_misses_total";
 pub const SERVE_CONNECTIONS_TOTAL: &str = "serve_connections_total";
 /// Requests still in flight when a drain began (gauge).
 pub const SERVE_DRAIN_INFLIGHT: &str = "serve_drain_inflight";
+/// Heavy requests that waited in the admission queue before running.
+pub const SERVE_QUEUED_TOTAL: &str = "serve_queued_total";
+/// Requests shed because the admission queue was full.
+pub const SERVE_SHED_FULL_TOTAL: &str = "serve_shed_full_total";
+/// Requests shed because their queue-wait budget (or deadline) expired.
+pub const SERVE_SHED_DEADLINE_TOTAL: &str = "serve_shed_deadline_total";
+/// Retried requests answered from the idempotent reply cache.
+pub const SERVE_REPLAYED_TOTAL: &str = "serve_replayed_total";
+/// Client-side retry attempts after a transport or overload failure.
+pub const SERVE_RETRY_ATTEMPTS_TOTAL: &str = "serve_retry_attempts_total";
+/// Client-side requests that exhausted their retry budget.
+pub const SERVE_RETRY_EXHAUSTED_TOTAL: &str = "serve_retry_exhausted_total";
+
+// --- wire chaos ---------------------------------------------------------
+
+/// Connection resets injected by a seeded chaos plan.
+pub const CHAOS_RESETS_TOTAL: &str = "chaos_resets_total";
+/// Write stalls injected by a seeded chaos plan.
+pub const CHAOS_STALLS_TOTAL: &str = "chaos_stalls_total";
+/// Truncated frames injected by a seeded chaos plan.
+pub const CHAOS_TRUNCATIONS_TOTAL: &str = "chaos_truncations_total";
+/// Corrupted frames injected by a seeded chaos plan.
+pub const CHAOS_CORRUPTIONS_TOTAL: &str = "chaos_corruptions_total";
 
 /// Every name above, for exhaustive tests (uniqueness, conventions).
 pub const ALL: &[&str] = &[
@@ -235,6 +258,16 @@ pub const ALL: &[&str] = &[
     SERVE_REGISTRY_MISSES_TOTAL,
     SERVE_CONNECTIONS_TOTAL,
     SERVE_DRAIN_INFLIGHT,
+    SERVE_QUEUED_TOTAL,
+    SERVE_SHED_FULL_TOTAL,
+    SERVE_SHED_DEADLINE_TOTAL,
+    SERVE_REPLAYED_TOTAL,
+    SERVE_RETRY_ATTEMPTS_TOTAL,
+    SERVE_RETRY_EXHAUSTED_TOTAL,
+    CHAOS_RESETS_TOTAL,
+    CHAOS_STALLS_TOTAL,
+    CHAOS_TRUNCATIONS_TOTAL,
+    CHAOS_CORRUPTIONS_TOTAL,
 ];
 
 #[cfg(test)]
