@@ -1,0 +1,332 @@
+//! The incremental analysis cache.
+//!
+//! `--cache PATH` persists every file's phase-1 artifact — its per-file
+//! findings, suppressions, and [`FileIndex`] — keyed by an FNV-1a 64 hash
+//! of the file's contents. On the next run, files whose hash is unchanged
+//! skip scrubbing and phase 1 entirely; phase 2 (the cross-file rules)
+//! always reruns over the merged index, so a cached run is byte-identical
+//! to a cold one (CI gates on exactly that).
+//!
+//! The format is a line-oriented, tab-separated text file stamped
+//! `fcn-analyze-cache/1`, with the analyzer's rule count baked into the
+//! header: a cache written by a different rule set is discarded wholesale
+//! rather than risk replaying stale findings. [`parse`] is the matching
+//! validator — any malformed record invalidates the whole cache (a cold
+//! re-analysis is always correct, so the failure mode is just slower).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::index::{
+    Event, EventKind, FileIndex, FnItem, RankDef, Receiver, TagSite, TelConst, TelRef,
+};
+use crate::report::Finding;
+use crate::rules::RULES;
+use crate::{CachedSuppression, FileArtifact};
+
+/// Schema tag stamped on the cache header line.
+pub const CACHE_SCHEMA: &str = "fcn-analyze-cache/1";
+
+/// FNV-1a 64-bit content hash: dependency-free, stable across platforms.
+pub fn fnv1a64(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn header() -> String {
+    format!("{CACHE_SCHEMA} rules={}", RULES.len())
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some(c) => out.push(c),
+            None => {}
+        }
+    }
+    out
+}
+
+fn opt(s: &Option<String>) -> String {
+    s.clone().unwrap_or_else(|| "-".to_string())
+}
+
+fn parse_opt(s: &str) -> Option<String> {
+    if s == "-" {
+        None
+    } else {
+        Some(s.to_string())
+    }
+}
+
+/// Render the cache body for `entries` (artifact + content hash), in the
+/// given (already path-sorted) order.
+pub fn render(entries: &[(&FileArtifact, u64)]) -> String {
+    let mut out = header();
+    out.push('\n');
+    for (a, hash) in entries {
+        let _ = writeln!(out, "file\t{}\t{hash:016x}", a.path);
+        for f in &a.findings {
+            let _ = writeln!(out, "find\t{}\t{}\t{}", f.line, f.rule, esc(&f.message));
+        }
+        for s in &a.suppressions {
+            let _ = writeln!(out, "sup\t{}\t{}\t{}", s.line, s.rule, esc(&s.reason));
+        }
+        let ix = &a.index;
+        let _ = writeln!(out, "val\t{}", u8::from(ix.has_validator));
+        for t in &ix.schema_tags {
+            let _ = writeln!(out, "tag\t{}\t{}", t.line, t.tag);
+        }
+        for r in &ix.rank_defs {
+            let _ = writeln!(out, "rank\t{}\t{}\t{}", r.line, r.name, r.rank);
+        }
+        for c in &ix.tel_consts {
+            let _ = writeln!(out, "tc\t{}\t{}\t{}", c.line, c.name, esc(&c.value));
+        }
+        for r in &ix.tel_refs {
+            let _ = writeln!(out, "tr\t{}\t{}\t{}", r.line, u8::from(r.in_test), r.name);
+        }
+        for f in &ix.fns {
+            let _ = writeln!(
+                out,
+                "fn\t{}\t{}\t{}\t{}",
+                f.line,
+                f.name,
+                f.impl_type,
+                u8::from(f.returns_guard)
+            );
+            for ev in &f.events {
+                let payload = match &ev.kind {
+                    EventKind::Open => "o".to_string(),
+                    EventKind::Close => "c".to_string(),
+                    EventKind::Acquire { rank, bound } => format!("a\t{rank}\t{}", opt(bound)),
+                    EventKind::Call {
+                        callee,
+                        receiver,
+                        bound,
+                    } => {
+                        let recv = match receiver {
+                            Receiver::SelfDot => "s".to_string(),
+                            Receiver::Method => "m".to_string(),
+                            Receiver::Free => "f".to_string(),
+                            Receiver::Type(t) => format!("t:{t}"),
+                        };
+                        format!("k\t{callee}\t{recv}\t{}", opt(bound))
+                    }
+                    EventKind::Wait => "w".to_string(),
+                    EventKind::DropVar { var } => format!("d\t{var}"),
+                    EventKind::Blocking { pat } => format!("b\t{pat}"),
+                };
+                let _ = writeln!(out, "ev\t{}\t{payload}", ev.line);
+            }
+        }
+        out.push_str("end\n");
+    }
+    out
+}
+
+/// Parse a cache file back into `path -> (hash, artifact)`. Returns `None`
+/// on any schema/shape mismatch (the caller then re-analyzes cold).
+pub fn parse(text: &str) -> Option<BTreeMap<String, (u64, FileArtifact)>> {
+    let mut lines = text.lines();
+    if lines.next()? != header() {
+        return None;
+    }
+    let mut map = BTreeMap::new();
+    let mut cur: Option<(u64, FileArtifact)> = None;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields[0] {
+            "file" => {
+                if cur.is_some() || fields.len() != 3 {
+                    return None;
+                }
+                let hash = u64::from_str_radix(fields[2], 16).ok()?;
+                cur = Some((
+                    hash,
+                    FileArtifact {
+                        path: fields[1].to_string(),
+                        findings: Vec::new(),
+                        suppressions: Vec::new(),
+                        index: FileIndex::empty(fields[1]),
+                    },
+                ));
+            }
+            "end" => {
+                let (hash, a) = cur.take()?;
+                map.insert(a.path.clone(), (hash, a));
+            }
+            _ => {
+                let (_, a) = cur.as_mut()?;
+                match (fields[0], fields.len()) {
+                    ("find", 4) => {
+                        let rule = RULES.iter().find(|(r, _)| *r == fields[2])?.0;
+                        a.findings.push(Finding {
+                            path: a.path.clone(),
+                            line: fields[1].parse().ok()?,
+                            rule,
+                            message: unesc(fields[3]),
+                        });
+                    }
+                    ("sup", 4) => a.suppressions.push(CachedSuppression {
+                        line: fields[1].parse().ok()?,
+                        rule: fields[2].to_string(),
+                        reason: unesc(fields[3]),
+                    }),
+                    ("val", 2) => a.index.has_validator = fields[1] == "1",
+                    ("tag", 3) => a.index.schema_tags.push(TagSite {
+                        line: fields[1].parse().ok()?,
+                        tag: fields[2].to_string(),
+                    }),
+                    ("rank", 4) => a.index.rank_defs.push(RankDef {
+                        line: fields[1].parse().ok()?,
+                        name: fields[2].to_string(),
+                        rank: fields[3].parse().ok()?,
+                    }),
+                    ("tc", 4) => a.index.tel_consts.push(TelConst {
+                        line: fields[1].parse().ok()?,
+                        name: fields[2].to_string(),
+                        value: unesc(fields[3]),
+                    }),
+                    ("tr", 4) => a.index.tel_refs.push(TelRef {
+                        line: fields[1].parse().ok()?,
+                        in_test: fields[2] == "1",
+                        name: fields[3].to_string(),
+                    }),
+                    ("fn", 5) => a.index.fns.push(FnItem {
+                        line: fields[1].parse().ok()?,
+                        name: fields[2].to_string(),
+                        impl_type: fields[3].to_string(),
+                        returns_guard: fields[4] == "1",
+                        events: Vec::new(),
+                    }),
+                    ("ev", n) if n >= 3 => {
+                        let kind = match (fields[2], fields.len()) {
+                            ("o", 3) => EventKind::Open,
+                            ("c", 3) => EventKind::Close,
+                            ("w", 3) => EventKind::Wait,
+                            ("a", 5) => EventKind::Acquire {
+                                rank: fields[3].to_string(),
+                                bound: parse_opt(fields[4]),
+                            },
+                            ("k", 6) => EventKind::Call {
+                                callee: fields[3].to_string(),
+                                receiver: match fields[4] {
+                                    "s" => Receiver::SelfDot,
+                                    "m" => Receiver::Method,
+                                    "f" => Receiver::Free,
+                                    t => Receiver::Type(t.strip_prefix("t:")?.to_string()),
+                                },
+                                bound: parse_opt(fields[5]),
+                            },
+                            ("d", 4) => EventKind::DropVar {
+                                var: fields[3].to_string(),
+                            },
+                            ("b", 4) => EventKind::Blocking {
+                                pat: fields[3].to_string(),
+                            },
+                            _ => return None,
+                        };
+                        a.index.fns.last_mut()?.events.push(Event {
+                            line: fields[1].parse().ok()?,
+                            kind,
+                        });
+                    }
+                    _ => return None,
+                }
+            }
+        }
+    }
+    if cur.is_some() {
+        return None; // truncated file
+    }
+    Some(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase1;
+
+    fn artifact() -> FileArtifact {
+        let src = "\
+use std::collections::HashMap; // fcn-allow: DET-HASH fixture reason
+impl A {
+    fn lock(&self) -> RankedGuard<'_, u32> {
+        lock_ranked(&self.m, ranks::SERVE_ADMISSION)
+    }
+}
+fn f(s: &mut S) {
+    s.inc(names::ROUTER_TICKS);
+    if x {
+        let g = lock_ranked(a, ranks::EXEC_SLOTS);
+        drop(g);
+    }
+    let t = fs::read_to_string(\"fcn-demo/3\");
+}
+";
+        phase1("crates/routing/src/x.rs", src)
+    }
+
+    #[test]
+    fn cache_round_trips_losslessly() {
+        let a = artifact();
+        let hash = fnv1a64("whatever");
+        let body = render(&[(&a, hash)]);
+        let map = parse(&body).expect("self-rendered cache parses");
+        let (h, back) = map.get("crates/routing/src/x.rs").expect("entry present");
+        assert_eq!(*h, hash);
+        assert_eq!(back, &a, "artifact survives the round trip bit-for-bit");
+        // and rendering the parsed artifact reproduces the bytes
+        assert_eq!(render(&[(back, *h)]), body);
+    }
+
+    #[test]
+    fn wrong_header_or_truncation_invalidates() {
+        let a = artifact();
+        let body = render(&[(&a, 7)]);
+        assert!(parse(&body.replace("cache/1", "cache/9")).is_none());
+        assert!(parse(&body.replace("rules=", "rules=9")).is_none());
+        let truncated: String = body.lines().take(3).map(|l| format!("{l}\n")).collect();
+        assert!(parse(&truncated).is_none());
+    }
+
+    #[test]
+    fn escaping_survives_tabs_and_backslashes() {
+        assert_eq!(unesc(&esc("a\tb\\c\nd")), "a\tb\\c\nd");
+    }
+
+    #[test]
+    fn hash_is_stable_and_content_sensitive() {
+        assert_eq!(fnv1a64(""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a64("a"), fnv1a64("b"));
+    }
+}

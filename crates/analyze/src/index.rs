@@ -1,0 +1,935 @@
+//! Phase 1 of the two-phase analysis: a lightweight per-file symbol index.
+//!
+//! [`build_index`] walks the scrubbed code plane of one [`SourceFile`] and
+//! extracts everything the cross-file rules in [`crate::graph`] need,
+//! without ever materializing an AST (the analyzer stays `syn`-free):
+//!
+//! * function items with their enclosing `impl` type and a compact *event
+//!   stream* — brace opens/closes, ranked lock acquisitions, calls, condvar
+//!   waits, explicit `drop(var)` releases, and blocking-I/O sites — that
+//!   phase 2 replays to simulate lock nesting;
+//! * `LockRank::new(N, …)` constant definitions (the declared lock order);
+//! * the telemetry name table (`pub const` entries of `names.rs`) and every
+//!   `names::X` reference elsewhere;
+//! * versioned `fcn-*/N` schema-tag literals (including CI gate files);
+//! * whether the file carries a validator-shaped function.
+//!
+//! The index is also the unit of the incremental cache: it round-trips
+//! losslessly through [`crate::cache`], so a cache hit skips scrubbing and
+//! phase 1 entirely while phase 2 still sees the full workspace picture.
+
+use crate::rules::{has_prefix_token, schema_tags_in};
+use crate::source::{FileKind, SourceFile};
+
+/// Path of the one canonical telemetry name table.
+pub const NAMES_PATH: &str = "crates/telemetry/src/names.rs";
+
+/// How a call site names its callee; drives cross-file resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Receiver {
+    /// `self.f()` — resolve against the enclosing `impl` type.
+    SelfDot,
+    /// `x.f()` — resolve only if `f` is unambiguous in the crate.
+    Method,
+    /// `Type::f()` — resolve against that `impl` type.
+    Type(String),
+    /// `f()` — resolve against free functions, same file first.
+    Free,
+}
+
+/// One entry in a function's replayable event stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A `{` inside the function body (scope push).
+    Open,
+    /// A `}` inside the function body (scope pop: releases block-scoped guards).
+    Close,
+    /// A `lock_ranked(…, ranks::RANK)` acquisition. `bound` is the `let`
+    /// variable holding the guard, if any; an unbound acquire is a
+    /// statement temporary and holds nothing afterwards.
+    Acquire {
+        /// The `ranks::` constant named at the site (empty if unresolved).
+        rank: String,
+        /// `let` binding receiving the guard, when present.
+        bound: Option<String>,
+    },
+    /// A call that phase 2 may resolve and inline one level.
+    Call {
+        /// Callee identifier as written.
+        callee: String,
+        /// Call shape (see [`Receiver`]).
+        receiver: Receiver,
+        /// `let` binding receiving the result, when present.
+        bound: Option<String>,
+    },
+    /// A condvar wait (`wait_timeout_ranked` or a raw `.wait*()`).
+    Wait,
+    /// An explicit `drop(var)` releasing a bound guard early.
+    DropVar {
+        /// The dropped variable.
+        var: String,
+    },
+    /// A blocking socket/fs/process call (for BLOCKING-IN-HANDLER).
+    Blocking {
+        /// The matched pattern, e.g. `fs::read_to_string`.
+        pat: String,
+    },
+}
+
+/// One event at a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// 1-based line of the event.
+    pub line: usize,
+    /// What happened there.
+    pub kind: EventKind,
+}
+
+/// One indexed function item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// Function name as written.
+    pub name: String,
+    /// Enclosing `impl` type name, or empty for free functions.
+    pub impl_type: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Whether the signature mentions a `*Guard` type (guard-returning
+    /// wrappers act as lock acquisitions at their call sites).
+    pub returns_guard: bool,
+    /// The body's event stream, in source order.
+    pub events: Vec<Event>,
+}
+
+/// A `LockRank::new(N, …)` constant definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankDef {
+    /// Constant identifier, e.g. `SERVE_ADMISSION`.
+    pub name: String,
+    /// Declared numeric rank.
+    pub rank: u32,
+    /// 1-based definition line.
+    pub line: usize,
+}
+
+/// A `pub const`/`pub static` declaration in the telemetry names table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelConst {
+    /// Constant identifier.
+    pub name: String,
+    /// The metric-name string value (empty for non-string entries like
+    /// `ALL`, which are declared-known but not dead-checked).
+    pub value: String,
+    /// 1-based declaration line.
+    pub line: usize,
+}
+
+/// A `names::X` reference outside the table itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelRef {
+    /// Referenced constant identifier.
+    pub name: String,
+    /// 1-based reference line.
+    pub line: usize,
+    /// Whether the reference sits in a test region (tests keep a name
+    /// alive but never justify an unknown one).
+    pub in_test: bool,
+}
+
+/// A versioned schema-tag literal occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TagSite {
+    /// The full tag, e.g. `fcn-analyze/1`.
+    pub tag: String,
+    /// 1-based line of the literal.
+    pub line: usize,
+}
+
+/// Everything phase 2 needs to know about one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileIndex {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Kind derived from the path (never serialized; recomputed on load).
+    pub kind: FileKind,
+    /// Owning crate name.
+    pub crate_name: String,
+    /// Indexed functions (non-test regions only).
+    pub fns: Vec<FnItem>,
+    /// Declared lock ranks.
+    pub rank_defs: Vec<RankDef>,
+    /// Telemetry name-table entries (only populated for [`NAMES_PATH`]).
+    pub tel_consts: Vec<TelConst>,
+    /// `names::X` references.
+    pub tel_refs: Vec<TelRef>,
+    /// Schema-tag literal sites (Lib/Bin string plane; whole text for
+    /// [`FileKind::Gate`] files).
+    pub schema_tags: Vec<TagSite>,
+    /// Whether any line starts a `from_*`/`validate*`/`parse*` identifier.
+    pub has_validator: bool,
+}
+
+impl FileIndex {
+    /// An empty index for `path`, with kind and crate derived from it.
+    pub fn empty(path: &str) -> FileIndex {
+        FileIndex {
+            path: path.to_string(),
+            kind: crate::source::classify(path),
+            crate_name: crate::source::crate_of(path),
+            fns: Vec::new(),
+            rank_defs: Vec::new(),
+            tel_consts: Vec::new(),
+            tel_refs: Vec::new(),
+            schema_tags: Vec::new(),
+            has_validator: false,
+        }
+    }
+}
+
+/// Keywords that look like calls when followed by `(` but never are.
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "fn", "let", "mut", "as", "in", "move", "ref",
+    "else", "unsafe", "dyn", "impl", "where", "use", "pub", "mod", "struct", "enum", "trait",
+    "type", "const", "static", "crate", "super", "Self", "self", "box", "async", "await", "true",
+    "false", "break", "continue",
+];
+
+/// Method names so common on std containers/iterators that a `x.name()`
+/// call is never worth resolving (it would alias unrelated helpers). Only
+/// applies to [`Receiver::Method`]; `self.f()` and `Type::f()` always index.
+const COMMON_METHODS: &[&str] = &[
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "len",
+    "is_empty",
+    "clone",
+    "cloned",
+    "copied",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "entry",
+    "or_insert",
+    "or_default",
+    "contains",
+    "contains_key",
+    "starts_with",
+    "ends_with",
+    "strip_prefix",
+    "strip_suffix",
+    "trim_start_matches",
+    "trim_end_matches",
+    "extend",
+    "drain",
+    "retain",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "dedup",
+    "join",
+    "next",
+    "take",
+    "replace",
+    "min",
+    "max",
+    "abs",
+    "trim",
+    "split",
+    "splitn",
+    "split_once",
+    "find",
+    "position",
+    "parse",
+    "to_string",
+    "to_owned",
+    "as_str",
+    "as_bytes",
+    "as_ref",
+    "as_mut",
+    "as_deref",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "expect",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "err",
+    "map",
+    "map_err",
+    "and_then",
+    "or_else",
+    "filter",
+    "filter_map",
+    "collect",
+    "fold",
+    "sum",
+    "count",
+    "any",
+    "all",
+    "rev",
+    "zip",
+    "chain",
+    "enumerate",
+    "flat_map",
+    "flatten",
+    "last",
+    "first",
+    "push_str",
+    "chars",
+    "bytes",
+    "lines",
+    "keys",
+    "values",
+    "cmp",
+    "eq",
+    "ne",
+    "display",
+    "fmt",
+    "into",
+    "from",
+    "is_some",
+    "is_none",
+    "is_ok",
+    "is_err",
+];
+
+/// `(qualifier, method)` pairs that count as blocking calls.
+const BLOCKING_PAIRS: &[(&str, &str)] = &[
+    ("File", "open"),
+    ("File", "create"),
+    ("fs", "read"),
+    ("fs", "read_to_string"),
+    ("fs", "write"),
+    ("fs", "copy"),
+    ("fs", "remove_file"),
+    ("fs", "create_dir_all"),
+    ("fs", "read_dir"),
+    ("fs", "metadata"),
+    ("TcpStream", "connect"),
+    ("UdpSocket", "bind"),
+    ("thread", "sleep"),
+    ("Command", "new"),
+];
+
+#[derive(Clone, Copy, PartialEq)]
+enum Link {
+    None,
+    Dot,
+    Colons,
+}
+
+struct PendingFn {
+    name: String,
+    line: usize,
+    in_test: bool,
+    has_guard: bool,
+}
+
+struct Indexer<'a> {
+    sf: &'a SourceFile,
+    out: FileIndex,
+    depth: i32,
+    fn_stack: Vec<(usize, i32)>,
+    impl_stack: Vec<(String, i32)>,
+    pending_fn: Option<PendingFn>,
+    pending_impl: Option<Vec<String>>,
+    angle: i32,
+    expect_fn_name: bool,
+    expect_binding: bool,
+    binding_var: Option<String>,
+    pending_rank: Option<(usize, usize)>,
+    pending_drop: Option<(usize, usize)>,
+    prev_word: String,
+    link: Link,
+}
+
+/// Build the phase-1 index for one scrubbed file.
+pub fn build_index(sf: &SourceFile) -> FileIndex {
+    let mut ix = Indexer {
+        sf,
+        out: FileIndex::empty(&sf.path),
+        depth: 0,
+        fn_stack: Vec::new(),
+        impl_stack: Vec::new(),
+        pending_fn: None,
+        pending_impl: None,
+        angle: 0,
+        expect_fn_name: false,
+        expect_binding: false,
+        binding_var: None,
+        pending_rank: None,
+        pending_drop: None,
+        prev_word: String::new(),
+        link: Link::None,
+    };
+    for (i, line) in sf.lines.iter().enumerate() {
+        let ln = i + 1;
+        ix.scan_line_extras(ln, line);
+        ix.scan_code(ln, &line.code);
+    }
+    ix.out.has_validator = sf.lines.iter().any(|l| {
+        ["from_", "validate", "parse"]
+            .iter()
+            .any(|t| has_prefix_token(&l.code, t))
+    });
+    ix.out
+}
+
+impl Indexer<'_> {
+    /// Line-level extraction that does not need the token walk: rank
+    /// definitions, the telemetry table, and schema tags.
+    fn scan_line_extras(&mut self, ln: usize, line: &crate::source::ScrubbedLine) {
+        let in_test = self.sf.is_test_line(ln);
+        if !in_test {
+            if let Some(at) = line.code.find("LockRank::new(") {
+                if let Some(name) = ident_after(&line.code, "const ") {
+                    let digits: String = line.code[at + "LockRank::new(".len()..]
+                        .chars()
+                        .skip_while(|c| *c == ' ')
+                        .take_while(char::is_ascii_digit)
+                        .collect();
+                    if let Ok(rank) = digits.parse::<u32>() {
+                        self.out.rank_defs.push(RankDef {
+                            name,
+                            rank,
+                            line: ln,
+                        });
+                    }
+                }
+            }
+            if self.out.path == NAMES_PATH
+                && (line.code.contains("pub const ") || line.code.contains("pub static "))
+            {
+                let name = ident_after(&line.code, "const ")
+                    .or_else(|| ident_after(&line.code, "static "));
+                if let Some(name) = name {
+                    self.out.tel_consts.push(TelConst {
+                        name,
+                        value: line.strings.trim().to_string(),
+                        line: ln,
+                    });
+                }
+            }
+        }
+        match self.out.kind {
+            FileKind::Gate => {
+                for tag in schema_tags_in(&line.strings) {
+                    self.out.schema_tags.push(TagSite { tag, line: ln });
+                }
+            }
+            FileKind::Lib | FileKind::Bin if !in_test => {
+                for tag in schema_tags_in(&line.strings) {
+                    self.out.schema_tags.push(TagSite { tag, line: ln });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn in_fn(&self) -> bool {
+        !self.fn_stack.is_empty()
+    }
+
+    fn push_event(&mut self, ln: usize, kind: EventKind) -> Option<(usize, usize)> {
+        let (fn_idx, _) = *self.fn_stack.last()?;
+        let events = &mut self.out.fns[fn_idx].events;
+        events.push(Event { line: ln, kind });
+        Some((fn_idx, events.len() - 1))
+    }
+
+    /// Consume the armed `let` binding, if any (first event on the
+    /// statement claims it).
+    fn take_binding(&mut self) -> Option<String> {
+        self.binding_var.take()
+    }
+
+    fn end_statement(&mut self) {
+        self.expect_binding = false;
+        self.binding_var = None;
+        self.pending_rank = None;
+        self.pending_drop = None;
+    }
+
+    /// The token walk over one line's code plane. Structural tracking
+    /// (braces, `fn`/`impl` headers) always runs; events are only recorded
+    /// inside non-test function bodies.
+    fn scan_code(&mut self, ln: usize, code: &str) {
+        let in_test = self.sf.is_test_line(ln);
+        let chars: Vec<char> = code.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_alphanumeric() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let w: String = chars[start..i].iter().collect();
+                let mut j = i;
+                while j < chars.len() && chars[j] == ' ' {
+                    j += 1;
+                }
+                let is_macro = chars.get(j) == Some(&'!');
+                let is_call = chars.get(j) == Some(&'(');
+                self.word(ln, in_test, &w, is_call, is_macro);
+                self.prev_word = w;
+                self.link = Link::None;
+                continue;
+            }
+            match c {
+                '.' => self.link = Link::Dot,
+                ':' if chars.get(i + 1) == Some(&':') => {
+                    self.link = Link::Colons;
+                    i += 2;
+                    continue;
+                }
+                '<' if self.pending_impl.is_some() => self.angle += 1,
+                '>' if self.pending_impl.is_some() => self.angle -= 1,
+                '{' => self.on_open(ln, in_test),
+                '}' => self.on_close(ln, in_test),
+                ';' => self.on_semi(),
+                '(' => {
+                    if self.expect_binding {
+                        // `let (a, b) = …`: pattern bindings are untracked.
+                        self.expect_binding = false;
+                    }
+                    self.link = Link::None;
+                    self.prev_word.clear();
+                }
+                ' ' => {}
+                _ => {
+                    self.link = Link::None;
+                    self.prev_word.clear();
+                }
+            }
+            i += 1;
+        }
+    }
+
+    fn word(&mut self, ln: usize, in_test: bool, w: &str, is_call: bool, is_macro: bool) {
+        // --- declaration tracking -----------------------------------------
+        if self.expect_fn_name {
+            self.expect_fn_name = false;
+            self.pending_fn = Some(PendingFn {
+                name: w.to_string(),
+                line: ln,
+                in_test,
+                has_guard: false,
+            });
+            return;
+        }
+        if let Some(pf) = self.pending_fn.as_mut() {
+            // Between `fn name` and `{`: every word is part of the
+            // signature (params, return type, where clause) — record guard
+            // types, emit nothing.
+            if w.contains("Guard") {
+                pf.has_guard = true;
+            }
+            return;
+        }
+        if w == "fn" {
+            self.expect_fn_name = true;
+            return;
+        }
+        if w == "impl" && self.pending_impl.is_none() {
+            self.pending_impl = Some(Vec::new());
+            self.angle = 0;
+            return;
+        }
+        if let Some(words) = self.pending_impl.as_mut() {
+            if self.angle == 0 {
+                words.push(w.to_string());
+            }
+            return;
+        }
+        // --- `let` binding capture ----------------------------------------
+        if w == "let" {
+            self.expect_binding = true;
+            return;
+        }
+        if self.expect_binding {
+            if w == "mut" {
+                return;
+            }
+            self.expect_binding = false;
+            // Uppercase-initial = enum/struct pattern (`let Some(x) = …`):
+            // the guard is then block-scoped but unnamed; treat as unbound.
+            if !w.starts_with(char::is_uppercase) {
+                self.binding_var = Some(w.to_string());
+            }
+            // fall through: the word may itself matter (rare)
+        }
+        // `names::X` references count from anywhere, tests included — a
+        // test exercising a metric keeps its name alive.
+        if self.link == Link::Colons && self.prev_word == "names" {
+            self.out.tel_refs.push(TelRef {
+                name: w.to_string(),
+                line: ln,
+                in_test,
+            });
+        }
+        // --- event extraction ---------------------------------------------
+        if !self.in_fn() || in_test {
+            return;
+        }
+        // Fill a pending `ranks::X` / `drop(x)` operand.
+        if self.link == Link::Colons && self.prev_word == "ranks" {
+            if let Some((f, e)) = self.pending_rank.take() {
+                if let EventKind::Acquire { rank, .. } = &mut self.out.fns[f].events[e].kind {
+                    *rank = w.to_string();
+                }
+            }
+        }
+        if let Some((f, e)) = self.pending_drop.take() {
+            if let EventKind::DropVar { var } = &mut self.out.fns[f].events[e].kind {
+                *var = w.to_string();
+            }
+        }
+        if !is_call || is_macro {
+            return;
+        }
+        if w == "lock_ranked" {
+            let bound = self.take_binding();
+            self.pending_rank = self.push_event(
+                ln,
+                EventKind::Acquire {
+                    rank: String::new(),
+                    bound,
+                },
+            );
+            return;
+        }
+        if w == "wait_timeout_ranked"
+            || (self.link == Link::Dot && matches!(w, "wait" | "wait_timeout" | "wait_while"))
+        {
+            self.push_event(ln, EventKind::Wait);
+            return;
+        }
+        if w == "drop" && self.link == Link::None {
+            self.pending_drop = self.push_event(ln, EventKind::DropVar { var: String::new() });
+            return;
+        }
+        if self.link == Link::Colons {
+            for (q, m) in BLOCKING_PAIRS {
+                if self.prev_word == *q && w == *m {
+                    self.push_event(
+                        ln,
+                        EventKind::Blocking {
+                            pat: format!("{q}::{m}"),
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+        if w == "stdin" && self.link == Link::None {
+            self.push_event(
+                ln,
+                EventKind::Blocking {
+                    pat: "stdin".to_string(),
+                },
+            );
+            return;
+        }
+        if KEYWORDS.contains(&w) || w.starts_with(char::is_uppercase) {
+            return;
+        }
+        let receiver = match self.link {
+            Link::Dot if self.prev_word == "self" => Receiver::SelfDot,
+            Link::Dot => {
+                if COMMON_METHODS.contains(&w) {
+                    return;
+                }
+                Receiver::Method
+            }
+            Link::Colons => {
+                if self.prev_word.starts_with(char::is_uppercase) {
+                    Receiver::Type(self.prev_word.clone())
+                } else {
+                    // module-qualified free call (`helper::f()`): resolution
+                    // would need a module map; skip.
+                    return;
+                }
+            }
+            Link::None => Receiver::Free,
+        };
+        let bound = self.take_binding();
+        self.push_event(
+            ln,
+            EventKind::Call {
+                callee: w.to_string(),
+                receiver,
+                bound,
+            },
+        );
+    }
+
+    fn on_open(&mut self, _ln: usize, _in_test: bool) {
+        if let Some(pf) = self.pending_fn.take() {
+            if !pf.in_test {
+                self.out.fns.push(FnItem {
+                    name: pf.name,
+                    impl_type: self
+                        .impl_stack
+                        .last()
+                        .map(|(t, _)| t.clone())
+                        .unwrap_or_default(),
+                    line: pf.line,
+                    returns_guard: pf.has_guard,
+                    events: Vec::new(),
+                });
+                self.fn_stack.push((self.out.fns.len() - 1, self.depth));
+            }
+            // test-region fn: body braces still tracked via depth, but the
+            // fn_stack entry is omitted so no events are recorded.
+        } else if let Some(words) = self.pending_impl.take() {
+            let ty = words
+                .iter()
+                .position(|w| w == "for")
+                .and_then(|p| words.get(p + 1))
+                .or_else(|| words.first())
+                .cloned()
+                .unwrap_or_default();
+            self.impl_stack.push((ty, self.depth));
+        } else if self.in_fn() && !_in_test {
+            self.push_event(_ln, EventKind::Open);
+        }
+        self.depth += 1;
+        self.binding_var = None;
+        self.expect_binding = false;
+        self.prev_word.clear();
+        self.link = Link::None;
+    }
+
+    fn on_close(&mut self, _ln: usize, _in_test: bool) {
+        self.depth -= 1;
+        if let Some((ty, d)) = self.impl_stack.last() {
+            let _ = ty;
+            if *d == self.depth {
+                self.impl_stack.pop();
+            }
+        }
+        if let Some((_, d)) = self.fn_stack.last() {
+            if *d == self.depth {
+                self.fn_stack.pop();
+                self.end_statement();
+            } else if !_in_test {
+                self.push_event(_ln, EventKind::Close);
+            }
+        }
+        self.prev_word.clear();
+        self.link = Link::None;
+    }
+
+    fn on_semi(&mut self) {
+        if self.pending_fn.is_some() {
+            // trait method declaration without a body
+            self.pending_fn = None;
+        }
+        self.end_statement();
+        self.prev_word.clear();
+        self.link = Link::None;
+    }
+}
+
+/// The identifier immediately following `marker` in `code`, if any.
+fn ident_after(code: &str, marker: &str) -> Option<String> {
+    let at = code.find(marker)? + marker.len();
+    let rest = code[at..].trim_start();
+    let ident: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if ident.is_empty() {
+        None
+    } else {
+        Some(ident)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index(path: &str, src: &str) -> FileIndex {
+        build_index(&SourceFile::parse(path, src))
+    }
+
+    #[test]
+    fn indexes_fns_with_impl_types_and_guards() {
+        let src = "\
+struct A;
+impl A {
+    fn lock(&self) -> RankedGuard<'_, u32> {
+        lock_ranked(&self.m, ranks::SERVE_ADMISSION)
+    }
+    fn plain(&self) {}
+}
+fn free() {}
+";
+        let ix = index("crates/serve/src/x.rs", src);
+        assert_eq!(ix.fns.len(), 3);
+        assert_eq!(ix.fns[0].name, "lock");
+        assert_eq!(ix.fns[0].impl_type, "A");
+        assert!(ix.fns[0].returns_guard);
+        assert_eq!(
+            ix.fns[0].events,
+            vec![Event {
+                line: 4,
+                kind: EventKind::Acquire {
+                    rank: "SERVE_ADMISSION".into(),
+                    bound: None
+                }
+            }]
+        );
+        assert_eq!(ix.fns[2].name, "free");
+        assert_eq!(ix.fns[2].impl_type, "");
+    }
+
+    #[test]
+    fn impl_for_resolves_to_the_implementing_type() {
+        let src = "\
+impl<'a, T> Drop for Token<T> {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+";
+        let ix = index("crates/x/src/lib.rs", src);
+        assert_eq!(ix.fns[0].impl_type, "Token");
+        assert_eq!(
+            ix.fns[0].events,
+            vec![Event {
+                line: 3,
+                kind: EventKind::Call {
+                    callee: "release".into(),
+                    receiver: Receiver::SelfDot,
+                    bound: None
+                }
+            }]
+        );
+    }
+
+    #[test]
+    fn bindings_waits_and_drops_are_tracked() {
+        let src = "\
+fn f(a: &M, cv: &C) {
+    let mut g = lock_ranked(a, ranks::EXEC_WATCHDOG);
+    let (g2, _) = wait_timeout_ranked(cv, g, d);
+    drop(g2);
+}
+";
+        let ix = index("crates/x/src/lib.rs", src);
+        let kinds: Vec<&EventKind> = ix.fns[0].events.iter().map(|e| &e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                &EventKind::Acquire {
+                    rank: "EXEC_WATCHDOG".into(),
+                    bound: Some("g".into())
+                },
+                &EventKind::Wait,
+                &EventKind::DropVar { var: "g2".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn multiline_acquire_still_resolves_its_rank() {
+        let src = "\
+fn f(a: &M) {
+    let g = lock_ranked(
+        a,
+        ranks::TEL_COUNTERS,
+    );
+}
+";
+        let ix = index("crates/x/src/lib.rs", src);
+        assert_eq!(
+            ix.fns[0].events[0].kind,
+            EventKind::Acquire {
+                rank: "TEL_COUNTERS".into(),
+                bound: Some("g".into())
+            }
+        );
+    }
+
+    #[test]
+    fn blocking_calls_and_common_methods() {
+        let src = "\
+fn f(p: &str) {
+    let text = fs::read_to_string(p);
+    text.map(|t| t.len());
+    helper(p);
+}
+";
+        let ix = index("crates/serve/src/x.rs", src);
+        let kinds: Vec<&EventKind> = ix.fns[0].events.iter().map(|e| &e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                &EventKind::Blocking {
+                    pat: "fs::read_to_string".into()
+                },
+                &EventKind::Call {
+                    callee: "helper".into(),
+                    receiver: Receiver::Free,
+                    bound: None
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn rank_defs_tel_consts_and_tags() {
+        let lockdep = "\
+pub const SERVE_ADMISSION: LockRank = LockRank::new(10, \"serve.admission\");
+pub const SERVE_REGISTRY: LockRank = LockRank::new(20, \"serve.registry\");
+";
+        let ix = index("crates/telemetry/src/lockdep.rs", lockdep);
+        assert_eq!(ix.rank_defs.len(), 2);
+        assert_eq!(ix.rank_defs[0].name, "SERVE_ADMISSION");
+        assert_eq!(ix.rank_defs[0].rank, 10);
+
+        let names = "\
+pub const ROUTER_TICKS: &str = \"router_ticks\";
+pub static ALL: &[&str] = &[ROUTER_TICKS];
+";
+        let nix = index(NAMES_PATH, names);
+        assert_eq!(nix.tel_consts.len(), 2);
+        assert_eq!(nix.tel_consts[0].value, "router_ticks");
+        assert_eq!(nix.tel_consts[1].name, "ALL");
+        assert_eq!(nix.tel_consts[1].value, "");
+
+        let user = "fn f(s: &mut S) { s.inc(names::ROUTER_TICKS); }\n";
+        let uix = index("crates/routing/src/lib.rs", user);
+        assert_eq!(uix.tel_refs.len(), 1);
+        assert_eq!(uix.tel_refs[0].name, "ROUTER_TICKS");
+
+        let tagged = "const S: &str = \"fcn-demo/3\";\nfn validate_s() {}\n";
+        let tix = index("crates/x/src/lib.rs", tagged);
+        assert_eq!(tix.schema_tags.len(), 1);
+        assert_eq!(tix.schema_tags[0].tag, "fcn-demo/3");
+        assert!(tix.has_validator);
+    }
+
+    #[test]
+    fn test_regions_are_not_indexed() {
+        let src = "\
+fn live() { lock_ranked(a, ranks::EXEC_SLOTS); }
+#[cfg(test)]
+mod tests {
+    fn fixture() { lock_ranked(b, ranks::SERVE_ADMISSION); }
+}
+";
+        let ix = index("crates/x/src/lib.rs", src);
+        assert_eq!(ix.fns.len(), 1);
+        assert_eq!(ix.fns[0].name, "live");
+    }
+}

@@ -1,9 +1,9 @@
 //! `fcn-analyze` — run the workspace invariant checker.
 //!
 //! ```text
-//! fcn-analyze [--rule ID]... [--format text|json] [--baseline PATH]
-//!             [--no-baseline] [--write-baseline] [--root DIR] [--list]
-//!             [paths…]
+//! fcn-analyze [--rule ID]... [--format text|json|sarif] [--baseline PATH]
+//!             [--no-baseline] [--write-baseline] [--cache PATH]
+//!             [--root DIR] [--list] [paths…]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings, 2 I/O or usage error (matching the
@@ -12,7 +12,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use fcn_analyze::{analyze_workspace, report, rules, walk};
+use fcn_analyze::{analyze_workspace_cached, report, rules, walk};
 
 struct Opts {
     rules: Vec<String>,
@@ -20,19 +20,22 @@ struct Opts {
     baseline: Option<PathBuf>,
     no_baseline: bool,
     write_baseline: bool,
+    cache: Option<PathBuf>,
     root: Option<PathBuf>,
     list: bool,
     paths: Vec<String>,
 }
 
 fn usage() -> &'static str {
-    "usage: fcn-analyze [--rule ID]... [--format text|json] [--baseline PATH]\n\
-     \x20                  [--no-baseline] [--write-baseline] [--root DIR] [--list]\n\
-     \x20                  [paths...]\n\
+    "usage: fcn-analyze [--rule ID]... [--format text|json|sarif] [--baseline PATH]\n\
+     \x20                  [--no-baseline] [--write-baseline] [--cache PATH]\n\
+     \x20                  [--root DIR] [--list] [paths...]\n\
      \n\
      Checks the workspace against the determinism/error-typing/schema rules.\n\
      Suppress one finding with `// fcn-allow: RULE-ID reason` on or above the\n\
-     offending line. Exit codes: 0 clean, 1 findings, 2 I/O or usage error."
+     offending line. `--cache PATH` reuses per-file results for unchanged\n\
+     files (cross-file rules always rerun; output is identical either way).\n\
+     Exit codes: 0 clean, 1 findings, 2 I/O or usage error."
 }
 
 fn parse_args(args: &[String]) -> Result<Opts, String> {
@@ -42,6 +45,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         baseline: None,
         no_baseline: false,
         write_baseline: false,
+        cache: None,
         root: None,
         list: false,
         paths: Vec::new(),
@@ -59,9 +63,9 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                 o.rules.push(id);
             }
             "--format" => {
-                let f = it.next().ok_or("--format needs text|json")?.clone();
-                if f != "text" && f != "json" {
-                    return Err(format!("unknown format `{f}` (want text|json)"));
+                let f = it.next().ok_or("--format needs text|json|sarif")?.clone();
+                if f != "text" && f != "json" && f != "sarif" {
+                    return Err(format!("unknown format `{f}` (want text|json|sarif)"));
                 }
                 o.format = f;
             }
@@ -70,6 +74,9 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             }
             "--no-baseline" => o.no_baseline = true,
             "--write-baseline" => o.write_baseline = true,
+            "--cache" => {
+                o.cache = Some(PathBuf::from(it.next().ok_or("--cache needs a path")?));
+            }
             "--root" => {
                 o.root = Some(PathBuf::from(it.next().ok_or("--root needs a dir")?));
             }
@@ -97,8 +104,12 @@ fn main() -> ExitCode {
     };
 
     if opts.list {
-        for (id, why) in rules::RULES {
-            println!("{id:<12} {why}");
+        // Sorted by id: the table is pinned by a CLI test, and sorted output
+        // stays stable as rules are appended to the declaration table.
+        let mut table: Vec<(&str, &str)> = rules::RULES.to_vec();
+        table.sort_by_key(|(id, _)| *id);
+        for (id, why) in table {
+            println!("{id:<20} {why}");
         }
         return ExitCode::SUCCESS;
     }
@@ -133,7 +144,13 @@ fn main() -> ExitCode {
         }
     };
 
-    let analysis = match analyze_workspace(&root, &opts.paths, &opts.rules, &baseline) {
+    let analysis = match analyze_workspace_cached(
+        &root,
+        &opts.paths,
+        &opts.rules,
+        &baseline,
+        opts.cache.as_deref(),
+    ) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("fcn-analyze: scanning {}: {e}", root.display());
@@ -162,6 +179,14 @@ fn main() -> ExitCode {
             // same discipline the BENCH writers follow.
             if let Err(e) = report::validate_report(&text) {
                 eprintln!("fcn-analyze: internal error: emitted invalid report: {e}");
+                return ExitCode::from(2);
+            }
+            print!("{text}");
+        }
+        "sarif" => {
+            let text = report::render_sarif(&analysis.findings);
+            if let Err(e) = report::validate_sarif(&text) {
+                eprintln!("fcn-analyze: internal error: emitted invalid SARIF: {e}");
                 return ExitCode::from(2);
             }
             print!("{text}");

@@ -50,11 +50,35 @@ pub fn parse_baseline(text: &str) -> Vec<String> {
         .collect()
 }
 
-/// Render a baseline file body for `--write-baseline`.
+/// Occurrence-indexed baseline keys for a `(path, line)`-ordered finding
+/// slice: the first occurrence of a `(path, rule, message)` triple keeps
+/// the plain [`Finding::baseline_key`]; the k-th repeat (same message on
+/// another line — e.g. two identical `HashMap` imports) gets ` (#k)`
+/// appended. Without the index, one baseline entry would silently swallow
+/// every later identical finding in the same file.
+pub fn occurrence_keys(findings: &[Finding]) -> Vec<String> {
+    let mut counts: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    findings
+        .iter()
+        .map(|f| {
+            let base = f.baseline_key();
+            let n = counts.entry(base.clone()).or_insert(0);
+            *n += 1;
+            if *n == 1 {
+                base
+            } else {
+                format!("{base} (#{n})")
+            }
+        })
+        .collect()
+}
+
+/// Render a baseline file body for `--write-baseline`. Keys are
+/// occurrence-indexed (see [`occurrence_keys`]) so identical findings on
+/// different lines stay individually tracked.
 pub fn render_baseline(findings: &[Finding]) -> String {
-    let mut keys: Vec<String> = findings.iter().map(Finding::baseline_key).collect();
+    let mut keys = occurrence_keys(findings);
     keys.sort();
-    keys.dedup();
     let mut out = String::from(
         "# fcn-analyze baseline: grandfathered findings, one `path [RULE] message`\n\
          # per line. New findings not listed here fail the run. Keep this empty.\n",
@@ -177,6 +201,88 @@ pub fn validate_report(text: &str) -> Result<(), String> {
     }
 }
 
+/// Render the findings as a SARIF 2.1.0 log (single run, one result per
+/// finding, rule metadata from the analyzer's rule table sorted by id).
+/// Deterministic: equal inputs produce identical bytes, which is what lets
+/// CI `cmp` a cached run against a cold one.
+pub fn render_sarif(findings: &[Finding]) -> String {
+    let mut rules: Vec<(&str, &str)> = crate::rules::RULES.to_vec();
+    rules.sort();
+    let mut out = String::from(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+         \"name\":\"fcn-analyze\",\"version\":\"",
+    );
+    out.push_str(env!("CARGO_PKG_VERSION"));
+    out.push_str("\",\"rules\":[");
+    for (i, (id, why)) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+            esc(id),
+            esc(why)
+        );
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let rule_index = rules
+            .iter()
+            .position(|(id, _)| *id == f.rule)
+            .unwrap_or(usize::MAX);
+        let _ = write!(
+            out,
+            "{{\"ruleId\":\"{}\",\"ruleIndex\":{rule_index},\"level\":\"error\",\
+             \"message\":{{\"text\":\"{}\"}},\"locations\":[{{\"physicalLocation\":\
+             {{\"artifactLocation\":{{\"uri\":\"{}\"}},\"region\":{{\"startLine\":{}}}}}}}]}}",
+            esc(f.rule),
+            esc(&f.message),
+            esc(&f.path),
+            f.line
+        );
+    }
+    out.push_str("]}]}\n");
+    out
+}
+
+/// Validate a SARIF log against the 2.1.0 required shape this emitter
+/// produces: version, one run with a named tool driver and rule table, and
+/// per-result ruleId/message/location fields in matching numbers.
+pub fn validate_sarif(text: &str) -> Result<(), String> {
+    if !text.contains("\"version\":\"2.1.0\"") {
+        return Err("missing required `version: 2.1.0`".to_string());
+    }
+    if !text.contains("\"runs\":[") {
+        return Err("missing required `runs` array".to_string());
+    }
+    if !text.contains("\"driver\":{\"name\":\"fcn-analyze\"") {
+        return Err("missing required tool.driver.name".to_string());
+    }
+    if !text.contains("\"rules\":[{\"id\":") {
+        return Err("missing tool.driver.rules table".to_string());
+    }
+    let results = text.matches("\"ruleId\":").count();
+    for (key, what) in [
+        ("\"message\":{\"text\":", "message.text"),
+        ("\"artifactLocation\":{\"uri\":", "artifactLocation.uri"),
+        ("\"startLine\":", "region.startLine"),
+    ] {
+        let got = text.matches(key).count();
+        if got != results {
+            return Err(format!(
+                "{results} results but {got} `{what}` fields: every result needs \
+                 ruleId, message.text, and a physical location"
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn extract_usize(line: &str, key: &str) -> Option<usize> {
     let at = line.find(key)? + key.len();
     let rest = &line[at..];
@@ -259,5 +365,38 @@ mod tests {
         let keys = parse_baseline(&body);
         assert_eq!(keys.len(), 2);
         assert!(keys[0].contains("[DET-TIME]"));
+    }
+
+    #[test]
+    fn occurrence_keys_distinguish_identical_findings() {
+        let mut fs = sample();
+        let mut dup = fs[0].clone();
+        dup.line = 17;
+        fs.push(dup);
+        let keys = occurrence_keys(&fs);
+        assert_eq!(keys.len(), 3);
+        assert_eq!(keys[0], fs[0].baseline_key());
+        assert_eq!(keys[2], format!("{} (#2)", fs[0].baseline_key()));
+        // a baseline written from these findings masks each exactly once
+        let body = render_baseline(&fs);
+        assert_eq!(parse_baseline(&body).len(), 3);
+    }
+
+    #[test]
+    fn sarif_log_validates_and_is_deterministic() {
+        let text = render_sarif(&sample());
+        validate_sarif(&text).expect("self-emitted SARIF validates");
+        assert_eq!(text, render_sarif(&sample()), "byte-stable");
+        assert!(text.contains("\"version\":\"2.1.0\""));
+        assert!(text.contains("\"ruleId\":\"DET-TIME\""));
+        assert!(text.contains("\"uri\":\"crates/x/src/lib.rs\""));
+        assert!(text.contains("\"startLine\":3"));
+    }
+
+    #[test]
+    fn sarif_validator_rejects_broken_logs() {
+        let good = render_sarif(&sample());
+        assert!(validate_sarif(&good.replace("2.1.0", "2.0.0")).is_err());
+        assert!(validate_sarif(&good.replacen("\"startLine\":", "\"line\":", 1)).is_err());
     }
 }

@@ -1,4 +1,4 @@
-//! The rule set: ten token-level invariant checks.
+//! The rule set: fourteen invariant checks (ten per-file, four cross-file).
 //!
 //! | id | invariant it pins |
 //! |----|-------------------|
@@ -12,10 +12,16 @@
 //! | `SHARD-MERGE`| cross-shard buffers drain only through the merge helper |
 //! | `SERVE-DEADLINE` | service-crate sockets speak only through the framed I/O layer |
 //! | `CHAOS-SEED` | wire-fault injection lives only in the seeded ChaosPlan path |
+//! | `LOCK-ORDER` | `lock_ranked` nesting follows the declared lockdep rank order |
+//! | `TEL-DEAD`   | every telemetry name is recorded somewhere, every record site named |
+//! | `SCHEMA-DRIFT` | emitter, validator, and CI gate agree on every tag's version |
+//! | `BLOCKING-IN-HANDLER` | no blocking I/O reachable from fcn-serve handlers |
 //!
-//! Rules run over the scrubbed planes of [`SourceFile`]; matches inside
-//! strings, comments, and `#[cfg(test)]` regions never fire (except where a
-//! rule explicitly reads the string or comment plane).
+//! Per-file rules run over the scrubbed planes of [`SourceFile`]; matches
+//! inside strings, comments, and `#[cfg(test)]` regions never fire (except
+//! where a rule explicitly reads the string or comment plane). The four
+//! cross-file rules live in [`crate::graph`] and run over the phase-1
+//! [`crate::index::FileIndex`] set.
 
 use crate::report::Finding;
 use crate::source::{FileKind, SourceFile};
@@ -88,6 +94,31 @@ pub const RULES: &[(&str, &str)] = &[
          (chaos.rs deciding, io.rs applying): a ChaosAction constructed or matched \
          anywhere else is an injection site the differential pin cannot replay",
     ),
+    (
+        "LOCK-ORDER",
+        "lock_ranked nesting must follow the declared lockdep::ranks order: every \
+         acquisition made while other ranked locks are held strictly increases the \
+         rank, the acquisition graph is acyclic, and a condvar wait holds only the \
+         waited lock",
+    ),
+    (
+        "TEL-DEAD",
+        "every const in the telemetry names table is recorded somewhere, and every \
+         names:: reference resolves to the table: dead names are schema noise, \
+         unknown names are unvalidated drift",
+    ),
+    (
+        "SCHEMA-DRIFT",
+        "every fcn-*/N schema tag carries one version everywhere it appears — \
+         emitters, validators, and CI gate files — so a bump cannot leave a stale \
+         reader or gate behind",
+    ),
+    (
+        "BLOCKING-IN-HANDLER",
+        "no blocking socket/fs/process call reachable from an fcn-serve request \
+         handler outside the framed I/O layer (io.rs): handlers run under the \
+         request deadline and must never wedge on the OS",
+    ),
 ];
 
 /// The one file allowed to touch a boundary `Outbox`'s message buffer
@@ -109,7 +140,7 @@ pub fn known_rule(id: &str) -> bool {
 
 /// Byte offsets of `pat` in `code` honoring identifier boundaries on
 /// whichever ends of the pattern are identifier characters.
-fn token_hits(code: &str, pat: &str) -> Vec<usize> {
+pub(crate) fn token_hits(code: &str, pat: &str) -> Vec<usize> {
     let mut hits = Vec::new();
     let bytes = code.as_bytes();
     let first_ident = pat
@@ -140,7 +171,7 @@ fn token_hits(code: &str, pat: &str) -> Vec<usize> {
 /// Does `code` contain `pat` as the *prefix* of an identifier/path (word
 /// boundary before, free continuation after)? Used for validator detection,
 /// where `validate_report`, `from_jsonl`, `from_str` all count.
-fn has_prefix_token(code: &str, pat: &str) -> bool {
+pub(crate) fn has_prefix_token(code: &str, pat: &str) -> bool {
     let bytes = code.as_bytes();
     let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
     let mut from = 0usize;
@@ -279,7 +310,7 @@ fn err_unwrap(sf: &SourceFile, out: &mut Vec<Finding>) {
 }
 
 /// The `fcn-xyz/N` schema-tag pattern, scanned over the string plane.
-fn schema_tags_in(strings: &str) -> Vec<String> {
+pub(crate) fn schema_tags_in(strings: &str) -> Vec<String> {
     let mut tags = Vec::new();
     let bytes = strings.as_bytes();
     let mut from = 0usize;
@@ -574,109 +605,13 @@ pub fn check_file(sf: &SourceFile) -> Vec<Finding> {
     out
 }
 
-/// Cross-file checks: schema-tag uniqueness + validator presence, and the
-/// telemetry names table (duplicate values are drift).
+/// Cross-file checks now run in [`crate::graph::check_workspace`] over the
+/// phase-1 index; this thin wrapper keeps the historical entry point for
+/// callers holding parsed sources.
 pub fn check_workspace(files: &[SourceFile]) -> Vec<Finding> {
-    let mut out = Vec::new();
-
-    // --- SCHEMA-TAG, workspace half -------------------------------------
-    // tag -> sorted list of (path, line) of non-test string occurrences
-    let mut tag_sites: std::collections::BTreeMap<String, Vec<(String, usize)>> =
-        std::collections::BTreeMap::new();
-    for sf in files {
-        if sf.kind != FileKind::Lib && sf.kind != FileKind::Bin {
-            continue;
-        }
-        for (i, line) in sf.lines.iter().enumerate() {
-            let ln = i + 1;
-            if sf.is_test_line(ln) {
-                continue;
-            }
-            for tag in schema_tags_in(&line.strings) {
-                tag_sites
-                    .entry(tag)
-                    .or_default()
-                    .push((sf.path.clone(), ln));
-            }
-        }
-    }
-    let by_path =
-        |files: &[SourceFile], p: &str| -> Option<usize> { files.iter().position(|f| f.path == p) };
-    for (tag, sites) in &tag_sites {
-        let mut files_with: Vec<&str> = sites.iter().map(|(p, _)| p.as_str()).collect();
-        files_with.dedup();
-        if files_with.len() > 1 {
-            let canonical = files_with[0];
-            for (p, ln) in sites.iter().filter(|(p, _)| p != canonical) {
-                if let Some(idx) = by_path(files, p) {
-                    out.push(finding(
-                        &files[idx],
-                        *ln,
-                        "SCHEMA-TAG",
-                        format!(
-                            "schema tag `{tag}` duplicated as a literal (canonical \
-                             definition: {canonical}); reference the shared const \
-                             instead"
-                        ),
-                    ));
-                }
-            }
-        }
-        // validator presence in the defining file
-        let (def_path, def_line) = &sites[0];
-        if let Some(idx) = by_path(files, def_path) {
-            let sf = &files[idx];
-            let has_validator = sf.lines.iter().any(|l| {
-                ["from_", "validate", "parse"]
-                    .iter()
-                    .any(|t| has_prefix_token(&l.code, t))
-            });
-            if !has_validator {
-                out.push(finding(
-                    sf,
-                    *def_line,
-                    "SCHEMA-TAG",
-                    format!(
-                        "schema tag `{tag}` has no matching validator in its defining \
-                         file (expected a from_*/validate fn that checks the tag)"
-                    ),
-                ));
-            }
-        }
-    }
-
-    // --- TEL-NAME, workspace half: the const table itself ----------------
-    if let Some(names) = files
-        .iter()
-        .find(|f| f.path == "crates/telemetry/src/names.rs")
-    {
-        let mut seen: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
-        for (i, line) in names.lines.iter().enumerate() {
-            let ln = i + 1;
-            if names.is_test_line(ln) || !line.code.contains("pub const") {
-                continue;
-            }
-            let value = line.strings.trim();
-            if value.is_empty() {
-                continue;
-            }
-            if let Some(first) = seen.get(value) {
-                out.push(finding(
-                    names,
-                    ln,
-                    "TEL-NAME",
-                    format!(
-                        "duplicate metric name `{value}` in the names table (first \
-                         defined on line {first})"
-                    ),
-                ));
-            } else {
-                seen.insert(value.to_string(), ln);
-            }
-        }
-    }
-
-    out
+    let indexes: Vec<crate::index::FileIndex> =
+        files.iter().map(crate::index::build_index).collect();
+    crate::graph::check_workspace(&indexes)
 }
 
 #[cfg(test)]

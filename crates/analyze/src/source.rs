@@ -41,6 +41,10 @@ pub enum FileKind {
     Bench,
     /// Example programs (`examples/`).
     Example,
+    /// Non-Rust gate files (CI workflows): scanned for schema tags only.
+    /// Their whole text lands in the strings plane; code and comment planes
+    /// stay empty so no code rule can fire on them.
+    Gate,
 }
 
 /// An inline `// fcn-allow: RULE-ID reason` suppression.
@@ -78,7 +82,19 @@ impl SourceFile {
     pub fn parse(path: &str, text: &str) -> SourceFile {
         let kind = classify(path);
         let crate_name = crate_of(path);
-        let lines = scrub(text);
+        let lines = if kind == FileKind::Gate {
+            // Gate files are not Rust: expose the raw text as "strings" so
+            // the schema-tag scanner sees it, and nothing else does.
+            text.split('\n')
+                .map(|l| ScrubbedLine {
+                    code: String::new(),
+                    strings: l.to_string(),
+                    comment: String::new(),
+                })
+                .collect()
+        } else {
+            scrub(text)
+        };
         let test_lines = mark_test_regions(&lines);
         let suppressions = collect_suppressions(&lines);
         SourceFile {
@@ -110,7 +126,9 @@ impl SourceFile {
 
 /// Classify a workspace-relative path into a [`FileKind`].
 pub fn classify(path: &str) -> FileKind {
-    if path.starts_with("tests/") || path.contains("/tests/") {
+    if !path.ends_with(".rs") {
+        FileKind::Gate
+    } else if path.starts_with("tests/") || path.contains("/tests/") {
         FileKind::Test
     } else if path.starts_with("benches/") || path.contains("/benches/") {
         FileKind::Bench
@@ -504,5 +522,17 @@ mod tests {
         assert_eq!(classify("crates/routing/tests/t.rs"), FileKind::Test);
         assert_eq!(classify("crates/bench/benches/routing.rs"), FileKind::Bench);
         assert_eq!(classify("examples/quickstart.rs"), FileKind::Example);
+        assert_eq!(classify(".github/workflows/ci.yml"), FileKind::Gate);
+    }
+
+    #[test]
+    fn gate_files_surface_text_as_strings_only() {
+        let f = SourceFile::parse(
+            ".github/workflows/ci.yml",
+            "run: grep -q 'fcn-analyze/1' report.json\n",
+        );
+        assert_eq!(f.kind, FileKind::Gate);
+        assert!(f.lines[0].strings.contains("fcn-analyze/1"));
+        assert!(f.lines[0].code.is_empty());
     }
 }

@@ -2,8 +2,11 @@
 //!
 //! Collects every `.rs` file under the workspace root, skipping `target/`,
 //! `vendor/` (the shims are externally-specified API surface, not simulation
-//! code), and VCS internals. Paths are normalized to forward-slash,
-//! root-relative form so findings and baselines are machine-independent.
+//! code), and VCS internals, plus the CI workflow files under
+//! `.github/workflows/` (gate files: `SCHEMA-DRIFT` cross-checks the `grep`
+//! pins in CI against the schema tags the code actually emits). Paths are
+//! normalized to forward-slash, root-relative form so findings and
+//! baselines are machine-independent.
 
 use std::fs;
 use std::io;
@@ -35,6 +38,25 @@ pub fn collect_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
                     stack.push(path);
                 }
             } else if name.ends_with(".rs") {
+                let text = fs::read_to_string(&path)?;
+                files.push((relative(root, &path), text));
+            }
+        }
+    }
+    // Gate files: CI workflows carry schema-tag pins that SCHEMA-DRIFT
+    // checks against the emitters. `.github` is a skipped dot-dir in the
+    // walk above, so pick the workflows up explicitly.
+    let workflows = root.join(".github").join("workflows");
+    if let Ok(entries) = fs::read_dir(&workflows) {
+        let mut paths: Vec<PathBuf> = entries
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        paths.sort();
+        for path in paths {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.ends_with(".yml") || name.ends_with(".yaml") {
                 let text = fs::read_to_string(&path)?;
                 files.push((relative(root, &path), text));
             }
@@ -79,6 +101,12 @@ mod tests {
         let root = find_workspace_root(here).expect("inside the fcn workspace");
         let files = collect_sources(&root).expect("workspace readable");
         assert!(files.iter().any(|(p, _)| p == "crates/analyze/src/walk.rs"));
+        assert!(
+            files
+                .iter()
+                .any(|(p, _)| p.starts_with(".github/workflows/") && p.ends_with(".yml")),
+            "CI workflow gate files are collected"
+        );
         assert!(!files.iter().any(|(p, _)| p.starts_with("vendor/")));
         assert!(!files.iter().any(|(p, _)| p.contains("/target/")));
         let mut sorted = files.iter().map(|(p, _)| p.clone()).collect::<Vec<_>>();

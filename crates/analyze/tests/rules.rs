@@ -289,12 +289,20 @@ fn tel_name_clean_when_names_come_from_the_const_table() {
 
 #[test]
 fn tel_name_workspace_half_flags_duplicate_table_values() {
-    let a = run(&[(
-        "crates/telemetry/src/names.rs",
-        r#"pub const A: &str = "dup.metric";
+    // The second file keeps both consts live so TEL-DEAD stays quiet and
+    // only the duplicate-value finding surfaces.
+    let a = run(&[
+        (
+            "crates/telemetry/src/names.rs",
+            r#"pub const A: &str = "dup.metric";
 pub const B: &str = "dup.metric";
 "#,
-    )]);
+        ),
+        (
+            "crates/routing/src/fx.rs",
+            "pub fn f(t: &Telemetry) { t.inc(names::A, 1); t.inc(names::B, 1); }\n",
+        ),
+    ]);
     assert_eq!(rule_ids(&a), vec!["TEL-NAME"], "findings: {:?}", a.findings);
     assert_eq!(a.findings[0].line, 2);
     assert!(a.findings[0].message.contains("duplicate metric name"));

@@ -37,10 +37,24 @@
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use fcn_telemetry::LocalShard;
+
+/// The workspace lockdep: ordered lock-rank assertions in debug builds.
+///
+/// This is the canonical import path for service/runtime code (`use
+/// fcn_exec::lockdep::{lock_ranked, ranks}`); the implementation lives in
+/// [`fcn_telemetry::lockdep`] because the telemetry registry sits below
+/// this crate in the dependency stack and ranks its own maps too.
+pub mod lockdep {
+    pub use fcn_telemetry::lockdep::{
+        lock_ranked, ranks, wait_timeout_ranked, LockRank, LockToken, RankedGuard,
+    };
+}
+
+use lockdep::{lock_ranked, ranks, wait_timeout_ranked};
 
 /// Domain separator for deterministic retry seeds: retry attempt `k` of job
 /// `i` re-runs with `job_seed(base ⊕ job_seed(RETRY_STREAM, k), i)`, so the
@@ -85,14 +99,6 @@ pub fn backoff_ms(seed: u64, index: u64, attempt: u32, base_ms: u64, cap_ms: u64
     let window = base.saturating_mul(doubling).min(cap);
     let span = window - base; // window ≥ base by construction
     base + retry_seed(seed, index, attempt) % (span + 1)
-}
-
-/// Lock a mutex, recovering from poison: a panicking *job* must not turn
-/// into a cascading double-panic in the pool's bookkeeping. The data under
-/// these locks is per-slot (each job writes only its own index), so a
-/// poisoned lock's contents are still well-formed for every other slot.
-fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|poison| poison.into_inner())
 }
 
 /// Render a panic payload as text (panics carry `&str` or `String` in
@@ -276,10 +282,10 @@ impl Pool {
                             // job i's delta.
                             let shard = fcn_telemetry::take_shard();
                             if !shard.is_empty() {
-                                relock(&job_shards)[i] = Some(shard);
+                                lock_ranked(&job_shards, ranks::EXEC_SHARDS)[i] = Some(shard);
                             }
                         }
-                        relock(&slots)[i] = Some(value);
+                        lock_ranked(&slots, ranks::EXEC_SLOTS)[i] = Some(value);
                     }
                     if tele_on {
                         // ordering: commutative additions summed across
@@ -630,7 +636,7 @@ impl Watchdog {
             // it cancels runaway runs and never feeds simulated state.
             #[allow(clippy::disallowed_methods)]
             let deadline = Instant::now() + timeout;
-            let mut disarmed = relock(lock);
+            let mut disarmed = lock_ranked(lock, ranks::EXEC_WATCHDOG);
             loop {
                 if *disarmed {
                     return;
@@ -640,9 +646,7 @@ impl Watchdog {
                 if now >= deadline {
                     break;
                 }
-                let (g, _) = cv
-                    .wait_timeout(disarmed, deadline - now)
-                    .unwrap_or_else(|poison| poison.into_inner());
+                let (g, _) = wait_timeout_ranked(cv, disarmed, deadline - now);
                 disarmed = g;
             }
             drop(disarmed);
@@ -676,7 +680,7 @@ impl Drop for Watchdog {
     fn drop(&mut self) {
         {
             let (lock, cv) = &*self.disarm;
-            *relock(lock) = true;
+            *lock_ranked(lock, ranks::EXEC_WATCHDOG) = true;
             cv.notify_all();
         }
         if let Some(h) = self.handle.take() {

@@ -25,6 +25,7 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
+use fcn_exec::lockdep::{lock_ranked, ranks, RankedGuard};
 use fcn_multigraph::NodeId;
 use fcn_telemetry::Counter;
 
@@ -96,10 +97,8 @@ impl PlanCache {
     /// Lock the tree map, recovering from a poisoned mutex: the guarded
     /// state is a plain map that is never left half-edited (inserts are
     /// single calls), so a panic elsewhere cannot corrupt it.
-    fn lock_map(&self) -> std::sync::MutexGuard<'_, BTreeMap<PlanKey, Arc<Vec<NodeId>>>> {
-        self.map
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    fn lock_map(&self) -> RankedGuard<'_, BTreeMap<PlanKey, Arc<Vec<NodeId>>>> {
+        lock_ranked(&self.map, ranks::ROUTING_PLAN_CACHE)
     }
 
     /// Fraction of lookups served from the cache.

@@ -22,9 +22,10 @@
 //! in microseconds even while heavy beta grids saturate every slot.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use fcn_exec::lockdep::{lock_ranked, ranks, wait_timeout_ranked, RankedGuard};
 use fcn_telemetry::names;
 
 /// Bump a process-global counter when global telemetry is enabled (the
@@ -226,10 +227,7 @@ impl Admission {
                 self.cv.notify_all();
                 return decision;
             }
-            let (g, _) = self
-                .cv
-                .wait_timeout(st, deadline - now)
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            let (g, _) = wait_timeout_ranked(&self.cv, st, deadline - now);
             st = g;
         }
     }
@@ -243,10 +241,8 @@ impl Admission {
         })
     }
 
-    fn lock(&self) -> MutexGuard<'_, AdmState> {
-        self.state
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    fn lock(&self) -> RankedGuard<'_, AdmState> {
+        lock_ranked(&self.state, ranks::SERVE_ADMISSION)
     }
 }
 

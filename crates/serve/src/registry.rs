@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
+use fcn_exec::lockdep::{lock_ranked, ranks, RankedGuard};
 use fcn_routing::{CompiledNet, PlanCache};
 use fcn_topology::Machine;
 
@@ -90,12 +91,11 @@ impl Registry {
         });
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<u64, RegistryEntry>> {
-        // A poisoned map only means another request thread panicked while
-        // holding the lock; the map itself is always structurally valid.
-        self.entries
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    fn lock(&self) -> RankedGuard<'_, BTreeMap<u64, RegistryEntry>> {
+        // Poison recovery is inside lock_ranked: a poisoned map only means
+        // another request thread panicked while holding the lock; the map
+        // itself is always structurally valid.
+        lock_ranked(&self.entries, ranks::SERVE_REGISTRY)
     }
 }
 

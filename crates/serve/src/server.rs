@@ -26,6 +26,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use fcn_exec::lockdep::{lock_ranked, ranks, RankedGuard};
 use fcn_exec::Watchdog;
 use fcn_telemetry::names;
 use fcn_telemetry::{take_shard, with_shard, LocalShard, MetricsRegistry};
@@ -148,10 +149,8 @@ impl MergeQueue {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, MergeState> {
-        self.state
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    fn lock(&self) -> RankedGuard<'_, MergeState> {
+        lock_ranked(&self.state, ranks::SERVE_MERGE)
     }
 }
 
@@ -258,10 +257,8 @@ impl ReplyCache {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, ReplyCacheState> {
-        self.state
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    fn lock(&self) -> RankedGuard<'_, ReplyCacheState> {
+        lock_ranked(&self.state, ranks::SERVE_REPLIES)
     }
 }
 
@@ -568,6 +565,7 @@ impl<H: Handler> Server<H> {
         let permit = match self.admission.admit(wait_budget) {
             Admit::Granted(permit) => permit,
             Admit::Shed(shed) => {
+                with_shard(|s| s.inc(names::SERVE_OVERLOADED_TOTAL));
                 return Response::overloaded(
                     req.id,
                     format!(

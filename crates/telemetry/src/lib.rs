@@ -29,6 +29,7 @@
 //!    --format prom`).
 
 pub mod hist;
+pub mod lockdep;
 pub mod names;
 pub mod registry;
 pub mod shard;

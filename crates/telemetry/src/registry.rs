@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::hist::{bucket_index, LocalHistogram, HIST_BUCKETS};
+use crate::lockdep::{lock_ranked, ranks};
 use crate::snapshot::MetricsSnapshot;
 
 /// A monotonically increasing `u64` counter.
@@ -211,9 +212,7 @@ impl MetricsRegistry {
     /// Get or create the counter `name`.
     pub fn counter(&self, name: &str) -> Counter {
         assert_name(name);
-        self.counters
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        lock_ranked(&self.counters, ranks::TEL_COUNTERS)
             .entry(name.to_string())
             .or_default()
             .clone()
@@ -222,9 +221,7 @@ impl MetricsRegistry {
     /// Get or create the gauge `name`.
     pub fn gauge(&self, name: &str) -> Gauge {
         assert_name(name);
-        self.gauges
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        lock_ranked(&self.gauges, ranks::TEL_GAUGES)
             .entry(name.to_string())
             .or_default()
             .clone()
@@ -233,9 +230,7 @@ impl MetricsRegistry {
     /// Get or create the histogram `name`.
     pub fn histogram(&self, name: &str) -> Histogram {
         assert_name(name);
-        self.histograms
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        lock_ranked(&self.histograms, ranks::TEL_HISTOGRAMS)
             .entry(name.to_string())
             .or_default()
             .clone()
@@ -243,24 +238,15 @@ impl MetricsRegistry {
 
     /// A point-in-time copy of every instrument, sorted by name.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let counters = self
-            .counters
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        let counters = lock_ranked(&self.counters, ranks::TEL_COUNTERS)
             .iter()
             .map(|(k, c)| (k.clone(), c.get()))
             .collect();
-        let gauges = self
-            .gauges
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        let gauges = lock_ranked(&self.gauges, ranks::TEL_GAUGES)
             .iter()
             .map(|(k, g)| (k.clone(), g.get()))
             .collect();
-        let histograms = self
-            .histograms
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        let histograms = lock_ranked(&self.histograms, ranks::TEL_HISTOGRAMS)
             .iter()
             .map(|(k, h)| (k.clone(), h.load()))
             .collect();
